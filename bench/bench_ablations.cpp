@@ -1,0 +1,148 @@
+// E9 (extension) - Ablations of the design choices DESIGN.md calls out.
+//
+// Each ablation switches off or re-tunes one mechanism and measures what the
+// paper's analysis says it buys:
+//   A1  MergeAllClusters repetitions: the paper proves 2 suffice
+//       asymptotically; at simulable n the split-brain rate vs. repetitions
+//       shows why this implementation defaults to 5 O(1)-round repetitions.
+//   A2  BoundedClusterPush growth-stop threshold: stopping early starves the
+//       final PULL phase (more pull traffic); stopping late wastes pushes -
+//       the 1.1 factor from Algorithm 2 sits at the measured sweet spot.
+//   A3  Grow-phase mass (the seeds x threshold = n/log n calibration of
+//       Lemma 11): more mass buys nothing in rounds but pays linearly in
+//       messages - the reason Cluster2 grows only Theta(n/log n) nodes.
+//   A4  Settle rounds after simultaneous merges: zero settle rounds leave
+//       follow-chains that break the final ClusterShare.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/cluster2.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace gossip;
+
+core::BroadcastReport run_c2(std::uint32_t n, std::uint64_t seed,
+                             const core::Cluster2Options& opts) {
+  sim::NetworkOptions o;
+  o.n = n;
+  o.seed = seed;
+  sim::Network net(o);
+  sim::Engine engine(net);
+  core::Cluster2 algo(engine, opts);
+  return algo.run(0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gossip;
+  const auto cfg = bench::Config::parse(argc, argv);
+  const std::uint32_t n = cfg.full ? (1u << 18) : (1u << 16);
+  const unsigned seeds = std::max(4u, cfg.seeds);
+
+  bench::print_header("E9 (extension): ablations of Cluster2's design choices",
+                      "each row disables/re-tunes one mechanism the analysis relies on");
+
+  // --- A1: MergeAllClusters repetitions -----------------------------------
+  Table a1("A1: MergeAllClusters repetitions vs split-brain rate (n = " +
+               std::to_string(n) + ")",
+           {"reps", "failed runs", "informed frac (min)", "rounds"});
+  for (const unsigned reps : {1u, 2u, 3u, 5u}) {
+    core::Cluster2Options opts;
+    opts.merge_all_reps = reps;
+    unsigned failures = 0;
+    double min_frac = 1.0;
+    std::uint64_t rounds = 0;
+    for (unsigned seed = 1; seed <= seeds; ++seed) {
+      const auto r = run_c2(n, 3000 + seed, opts);
+      failures += r.all_informed ? 0 : 1;
+      min_frac = std::min(min_frac, r.informed_fraction());
+      rounds = r.rounds;
+    }
+    a1.row()
+        .add(reps)
+        .add(std::to_string(failures) + "/" + std::to_string(seeds))
+        .add(min_frac, 4)
+        .add(rounds);
+  }
+  a1.print(std::cout);
+
+  // --- A2: BoundedClusterPush stop factor ---------------------------------
+  Table a2("A2: BoundedClusterPush growth-stop (paper: 1.1) vs message split",
+           {"stop factor", "msg/node total", "bounded_push msgs/node", "pull conns/node",
+            "complete"});
+  for (const double stop : {1.02, 1.1, 1.3, 1.6}) {
+    core::Cluster2Options opts;
+    opts.bounded_push_stop = stop;
+    RunningStat total, bp, pull;
+    bool complete = true;
+    for (unsigned seed = 1; seed <= seeds; ++seed) {
+      const auto r = run_c2(n, 4000 + seed, opts);
+      complete &= r.all_informed;
+      total.add(r.payload_messages_per_node());
+      for (const auto& ph : r.phases) {
+        if (ph.name == "bounded_push") {
+          bp.add(static_cast<double>(ph.payload_messages) / n);
+        }
+        if (ph.name == "pull") {
+          pull.add(static_cast<double>(ph.connections) / n);
+        }
+      }
+    }
+    a2.row()
+        .add(stop, 2)
+        .add(total.mean(), 2)
+        .add(bp.mean(), 2)
+        .add(pull.mean(), 3)
+        .add(complete ? "yes" : "NO");
+  }
+  a2.print(std::cout);
+
+  // --- A3: grow-phase clustered mass --------------------------------------
+  Table a3("A3: grow-phase mass calibration (Lemma 11: mass = n/log n) vs cost",
+           {"mass factor", "msg/node", "rounds", "complete"});
+  for (const double mass : {0.25, 1.0, 4.0, 16.0}) {
+    core::Cluster2Options opts;
+    opts.mass_factor = mass;
+    RunningStat msgs, rounds;
+    bool complete = true;
+    for (unsigned seed = 1; seed <= seeds; ++seed) {
+      const auto r = run_c2(n, 5000 + seed, opts);
+      complete &= r.all_informed;
+      msgs.add(r.payload_messages_per_node());
+      rounds.add(static_cast<double>(r.rounds));
+    }
+    a3.row().add(mass, 2).add(msgs.mean(), 2).add(rounds.mean(), 1).add(
+        complete ? "yes" : "NO");
+  }
+  a3.print(std::cout);
+
+  // --- A4: settle rounds ----------------------------------------------------
+  Table a4("A4: settle (path-compression) rounds after simultaneous merges",
+           {"settle rounds", "failed runs", "informed frac (min)"});
+  for (const unsigned settle : {0u, 1u, 2u}) {
+    core::Cluster2Options opts;
+    opts.settle_rounds = settle;
+    unsigned failures = 0;
+    double min_frac = 1.0;
+    for (unsigned seed = 1; seed <= seeds; ++seed) {
+      const auto r = run_c2(n, 6000 + seed, opts);
+      failures += r.all_informed ? 0 : 1;
+      min_frac = std::min(min_frac, r.informed_fraction());
+    }
+    a4.row()
+        .add(settle)
+        .add(std::to_string(failures) + "/" + std::to_string(seeds))
+        .add(min_frac, 4);
+  }
+  a4.print(std::cout);
+
+  std::cout << "\nReading: A1 motivates the 5-repetition default (the paper's 2 are\n"
+               "asymptotic); A2 shows the 1.1 stop balancing push cost against pull\n"
+               "cost; A3 shows message cost scaling with the clustered mass while\n"
+               "rounds stay flat - the Lemma 11 calibration is what makes Cluster2\n"
+               "message-optimal; A4 shows the settle rounds earning their keep.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// E6 - Fault tolerance (Theorem 19): with F obliviously chosen node
+// failures, the algorithms keep their round/message bounds and inform all
+// but o(F) surviving nodes.
+//
+// Sweeps the failure fraction and the adversary strategy; the reproducible
+// shape is the "uninformed survivors / F" column collapsing toward 0 (o(F))
+// while rounds and messages stay at their failure-free values.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "sim/fault.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gossip;
+  const auto cfg = bench::Config::parse(argc, argv);
+  const std::uint32_t n = cfg.full ? (1u << 18) : (1u << 16);
+
+  bench::print_header(
+      "E6: oblivious node failures",
+      "Theorem 19: F oblivious failures -> all but o(F) survivors informed; "
+      "round-, message- and bit-complexity preserved");
+
+  const auto algorithms = bench::standard_algorithms();
+  for (const auto& algo : algorithms) {
+    if (algo.name != "Cluster1" && algo.name != "Cluster2" && algo.name != "C3+CPP") {
+      continue;
+    }
+    Table t(algo.name + " under failures (n = " + std::to_string(n) + ", " +
+                std::to_string(cfg.seeds) + " seeds)",
+            {"F/n", "adversary", "uninformed (mean)", "uninformed/F", "informed frac",
+             "rounds", "msg/node"});
+    for (const double frac : {0.0, 0.01, 0.05, 0.1, 0.2, 0.3}) {
+      for (const auto strategy :
+           {sim::FaultStrategy::kRandomSubset, sim::FaultStrategy::kSmallestIds}) {
+        if (frac == 0.0 && strategy != sim::FaultStrategy::kRandomSubset) continue;
+        const auto f = static_cast<std::uint32_t>(frac * n);
+        RunningStat uninformed, rounds, msgs, informed_frac;
+        for (unsigned seed = 1; seed <= cfg.seeds; ++seed) {
+          sim::NetworkOptions o;
+          o.n = n;
+          o.seed = 500 + seed;
+          sim::Network net(o);
+          Rng adversary(mix64(seed * 31337ULL));  // oblivious: independent stream
+          for (std::uint32_t v : sim::choose_failures(net, f, strategy, adversary)) {
+            net.fail(v);
+          }
+          std::uint32_t source = 0;
+          while (!net.alive(source)) ++source;
+          const auto rep = algo.run(net, source);
+          uninformed.add(static_cast<double>(rep.uninformed()));
+          informed_frac.add(rep.informed_fraction());
+          rounds.add(static_cast<double>(rep.rounds));
+          msgs.add(rep.payload_messages_per_node());
+        }
+        t.row()
+            .add(frac, 2)
+            .add(sim::to_string(strategy))
+            .add(uninformed.mean(), 1)
+            .add(f ? uninformed.mean() / static_cast<double>(f) : 0.0, 4)
+            .add(informed_frac.mean(), 4)
+            .add(rounds.mean(), 1)
+            .add(msgs.mean(), 2);
+      }
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\nReading: 'uninformed/F' staying near 0 across failure fractions\n"
+               "and adversaries is Theorem 19's all-but-o(F) guarantee; the rounds\n"
+               "column is unchanged from F=0 (the schedule is deterministic) and\n"
+               "msg/node stays at its failure-free level.\n";
+  return 0;
+}

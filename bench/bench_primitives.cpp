@@ -1,0 +1,165 @@
+// E8 - Substrate and primitive micro-benchmarks (google-benchmark).
+//
+// Wall-clock costs of the simulator and the Section 3.2 cluster primitives:
+// engine round throughput, the O(1)-round primitives at various cluster
+// sizes, RNG and knowledge-tracking overhead. These are simulator-
+// implementation numbers (the paper's model has no wall clock); they bound
+// how large an experiment the harness can run.
+#include <benchmark/benchmark.h>
+
+#include "cluster/driver.hpp"
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace gossip;
+
+void BM_RngNextU64(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_u64());
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_RngUniformBelow(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.uniform_below(1000003));
+}
+BENCHMARK(BM_RngUniformBelow);
+
+void BM_EngineRoundAllPush(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  sim::NetworkOptions o;
+  o.n = n;
+  o.seed = 1;
+  sim::Network net(o);
+  sim::Engine eng(net);
+  sim::RoundHooks hooks;
+  hooks.initiate = [](std::uint32_t) -> std::optional<sim::Contact> {
+    return sim::Contact::push_random(sim::Message::rumor());
+  };
+  hooks.on_push = [](std::uint32_t, const sim::Message&) {};
+  for (auto _ : state) eng.run_round(hooks);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineRoundAllPush)->Range(1 << 10, 1 << 18);
+
+void BM_EngineRoundAllPull(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  sim::NetworkOptions o;
+  o.n = n;
+  o.seed = 1;
+  sim::Network net(o);
+  sim::Engine eng(net);
+  sim::RoundHooks hooks;
+  hooks.initiate = [](std::uint32_t) -> std::optional<sim::Contact> {
+    return sim::Contact::pull_random();
+  };
+  hooks.respond = [](std::uint32_t) { return sim::Message::rumor(); };
+  hooks.on_pull_reply = [](std::uint32_t, const sim::Message&) {};
+  for (auto _ : state) eng.run_round(hooks);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineRoundAllPull)->Range(1 << 10, 1 << 18);
+
+/// Sets up one flat clustering of cluster size `s` covering all n nodes.
+void stage_clusters(cluster::Driver& driver, std::uint32_t n, std::uint32_t s) {
+  auto& cl = driver.clustering();
+  for (std::uint32_t base = 0; base < n; base += s) {
+    cl.make_leader(base);
+    for (std::uint32_t i = base + 1; i < std::min(n, base + s); ++i) {
+      cl.set_follow(i, driver.network().id_of(base));
+    }
+  }
+}
+
+void BM_PrimitiveActivate(benchmark::State& state) {
+  const std::uint32_t n = 1 << 16;
+  sim::NetworkOptions o;
+  o.n = n;
+  o.seed = 1;
+  sim::Network net(o);
+  sim::Engine eng(net);
+  cluster::Driver driver(eng);
+  stage_clusters(driver, n, static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) driver.activate(0.5);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PrimitiveActivate)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_PrimitiveComputeSizes(benchmark::State& state) {
+  const std::uint32_t n = 1 << 16;
+  sim::NetworkOptions o;
+  o.n = n;
+  o.seed = 1;
+  sim::Network net(o);
+  sim::Engine eng(net);
+  cluster::Driver driver(eng);
+  stage_clusters(driver, n, static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) driver.compute_sizes(false);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PrimitiveComputeSizes)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_PrimitiveResize(benchmark::State& state) {
+  const std::uint32_t n = 1 << 16;
+  sim::NetworkOptions o;
+  o.n = n;
+  o.seed = 1;
+  sim::Network net(o);
+  sim::Engine eng(net);
+  cluster::Driver driver(eng);
+  const auto s = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    driver.clustering().reset();
+    stage_clusters(driver, n, 4 * s);
+    state.ResumeTiming();
+    driver.resize(s, false);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PrimitiveResize)->Arg(16)->Arg(256);
+
+void BM_PrimitiveShare(benchmark::State& state) {
+  const std::uint32_t n = 1 << 16;
+  sim::NetworkOptions o;
+  o.n = n;
+  o.seed = 1;
+  sim::Network net(o);
+  sim::Engine eng(net);
+  cluster::Driver driver(eng);
+  stage_clusters(driver, n, 256);
+  std::vector<std::uint8_t> informed(n, 0);
+  for (std::uint32_t v = 0; v < n; v += 256) informed[v] = 1;  // leaders know
+  for (auto _ : state) {
+    std::vector<std::uint8_t> copy = informed;
+    driver.share_rumor(copy, false);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PrimitiveShare);
+
+void BM_KnowledgeTrackingOverhead(benchmark::State& state) {
+  const std::uint32_t n = 1 << 12;
+  sim::NetworkOptions o;
+  o.n = n;
+  o.seed = 1;
+  o.track_knowledge = state.range(0) != 0;
+  sim::Network net(o);
+  sim::Engine eng(net);
+  sim::RoundHooks hooks;
+  hooks.initiate = [&net](std::uint32_t v) -> std::optional<sim::Contact> {
+    return sim::Contact::push_random(sim::Message::single_id(net.id_of(v)));
+  };
+  hooks.on_push = [](std::uint32_t, const sim::Message&) {};
+  for (auto _ : state) eng.run_round(hooks);
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(o.track_knowledge ? "tracking-on" : "tracking-off");
+}
+BENCHMARK(BM_KnowledgeTrackingOverhead)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

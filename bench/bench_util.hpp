@@ -1,0 +1,139 @@
+// Shared harness for the experiment benchmarks (E1-E8 in DESIGN.md).
+//
+// Every bench binary accepts:
+//   --full        larger sizes / more seeds (longer runs)
+//   --seeds=N     override the seed count
+//   --max-exp=K   cap network sizes at 2^K
+// and prints self-describing tables (common/table.hpp) with a paper-vs-
+// measured note, so bench_output.txt reads as the experiment record.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "baselines/avin_elsasser.hpp"
+#include "baselines/rrs.hpp"
+#include "baselines/uniform.hpp"
+#include "common/table.hpp"
+#include "core/broadcast.hpp"
+#include "sim/engine.hpp"
+
+namespace gossip::bench {
+
+struct Config {
+  bool full = false;
+  unsigned seeds = 5;
+  unsigned max_exp = 18;  ///< largest network is 2^max_exp (20 with --full)
+
+  static Config parse(int argc, char** argv) {
+    Config c;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--full") {
+        c.full = true;
+        c.max_exp = 20;
+        c.seeds = 5;
+      } else if (arg.rfind("--seeds=", 0) == 0) {
+        c.seeds = static_cast<unsigned>(std::stoul(arg.substr(8)));
+      } else if (arg.rfind("--max-exp=", 0) == 0) {
+        c.max_exp = static_cast<unsigned>(std::stoul(arg.substr(10)));
+      } else {
+        std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      }
+    }
+    return c;
+  }
+
+  /// Standard size sweep: powers of four from 2^10 up to 2^max_exp.
+  [[nodiscard]] std::vector<std::uint32_t> size_sweep(unsigned min_exp = 10) const {
+    std::vector<std::uint32_t> sizes;
+    for (unsigned e = min_exp; e <= max_exp; e += 2) sizes.push_back(1u << e);
+    return sizes;
+  }
+};
+
+/// A named broadcast algorithm runnable on a fresh network.
+struct NamedAlgorithm {
+  std::string name;
+  std::function<core::BroadcastReport(sim::Network&, std::uint32_t source)> run;
+};
+
+/// The standard comparison set: the paper's algorithms plus every baseline.
+inline std::vector<NamedAlgorithm> standard_algorithms(std::uint64_t delta = 1024) {
+  return {
+      {"Cluster1",
+       [](sim::Network& net, std::uint32_t source) {
+         core::BroadcastOptions o;
+         o.algorithm = core::Algorithm::kCluster1;
+         o.source = source;
+         return core::broadcast(net, o);
+       }},
+      {"Cluster2",
+       [](sim::Network& net, std::uint32_t source) {
+         core::BroadcastOptions o;
+         o.algorithm = core::Algorithm::kCluster2;
+         o.source = source;
+         return core::broadcast(net, o);
+       }},
+      {"C3+CPP",
+       [delta](sim::Network& net, std::uint32_t source) {
+         core::BroadcastOptions o;
+         o.algorithm = core::Algorithm::kCluster3PushPull;
+         o.delta = delta;
+         o.source = source;
+         return core::broadcast(net, o);
+       }},
+      {"AvinElsasser",
+       [](sim::Network& net, std::uint32_t source) {
+         sim::Engine engine(net);
+         baselines::AvinElsasser algo(engine);
+         return algo.run(source);
+       }},
+      {"RRS[10]",
+       [](sim::Network& net, std::uint32_t source) {
+         return baselines::run_rrs(net, source, {});
+       }},
+      {"PUSH-PULL",
+       [](sim::Network& net, std::uint32_t source) {
+         return baselines::run_push_pull(net, source, {});
+       }},
+      {"PUSH",
+       [](sim::Network& net, std::uint32_t source) {
+         return baselines::run_push(net, source, {});
+       }},
+      {"PULL",
+       [](sim::Network& net, std::uint32_t source) {
+         return baselines::run_pull(net, source, {});
+       }},
+  };
+}
+
+/// Runs `algo` across seeds on n-node networks and aggregates the reports.
+inline analysis::ReportAggregate sweep(const NamedAlgorithm& algo, std::uint32_t n,
+                                       unsigned seeds, std::uint32_t rumor_bits = 256) {
+  analysis::ReportAggregate agg;
+  for (unsigned seed = 1; seed <= seeds; ++seed) {
+    sim::NetworkOptions o;
+    o.n = n;
+    o.seed = 1000 + seed;
+    o.rumor_bits = rumor_bits;
+    sim::Network net(o);
+    agg.add(algo.run(net, seed % n));
+  }
+  return agg;
+}
+
+inline void print_header(const char* experiment, const char* claim) {
+  std::cout << "\n############################################################\n"
+            << "# " << experiment << "\n"
+            << "# paper claim: " << claim << "\n"
+            << "############################################################\n";
+}
+
+}  // namespace gossip::bench

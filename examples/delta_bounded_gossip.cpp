@@ -1,0 +1,72 @@
+// Scenario: gossip under per-node connection limits (paper Section 7).
+//
+// Real transports cap how many simultaneous connections a node can serve
+// (file descriptors, NIC queues, accept backlogs). Cluster1/Cluster2 assume
+// a leader can answer n-1 requests in one round; this example shows the
+// paper's answer when that is unacceptable: pick a budget Delta, build a
+// Delta-clustering with Cluster3 (Theorem 18), broadcast with
+// ClusterPushPull (Lemma 17), and pay only log n / log Delta rounds - while
+// the measured peak fan-in actually honours the budget.
+//
+//   $ ./examples/delta_bounded_gossip [n]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/math.hpp"
+#include "common/table.hpp"
+#include "core/cluster3.hpp"
+#include "core/cluster_push_pull.hpp"
+#include "sim/engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gossip;
+  const std::uint32_t n = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1]))
+                                   : (1u << 16);
+
+  std::cout << "Delta-bounded gossip: n = " << n
+            << " - sweeping the per-node connection budget\n";
+
+  Table t("connection budget vs. broadcast latency",
+          {"Delta budget", "cluster size D", "clusters", "peak fan-in", "within budget",
+           "build rounds", "broadcast rounds", "log n/log D"});
+
+  for (const std::uint64_t delta : {64ull, 256ull, 1024ull, 8192ull}) {
+    sim::NetworkOptions o;
+    o.n = n;
+    o.seed = 11;
+    sim::Network net(o);
+    sim::Engine engine(net);
+
+    // Stage 1: the Delta-clustering (Theorem 18).
+    core::Cluster3 builder(engine, delta);
+    const auto build = builder.run();
+    const auto stats = builder.driver().clustering().stats();
+
+    // Stage 2: broadcast over it (Algorithm 3 / Lemma 17), measured alone.
+    core::ClusterPushPull spread(builder.driver());
+    const auto sp = spread.run(/*source=*/0, builder.cluster_target(),
+                               /*reset_metrics=*/true);
+
+    const std::uint32_t peak = std::max(build.max_delta(), sp.max_delta());
+    t.row()
+        .add(std::uint64_t{delta})
+        .add(std::uint64_t{builder.cluster_target()})
+        .add(stats.clusters)
+        .add(std::uint64_t{peak})
+        .add(peak <= delta ? "yes" : "NO")
+        .add(build.rounds)
+        .add(sp.rounds)
+        .add(log2d(n) / std::log2(std::max(2.0, static_cast<double>(builder.cluster_target()))),
+             2);
+    if (!sp.all_informed) std::cout << "WARNING: incomplete at Delta=" << delta << "\n";
+  }
+  t.print(std::cout);
+
+  std::cout << "\nHow to read this: raising the budget buys latency - broadcast\n"
+               "rounds fall like log n / log Delta (Lemma 16 says you cannot do\n"
+               "better) - while 'peak fan-in' stays within the budget at every\n"
+               "point (Theorem 18). The one-off clustering build is O(log log n)\n"
+               "rounds and amortizes over every later broadcast.\n";
+  return 0;
+}

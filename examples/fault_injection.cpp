@@ -1,0 +1,74 @@
+// Scenario: broadcasting through a partial outage (Theorem 19).
+//
+// An oblivious adversary takes down a fraction of the fleet before the
+// update goes out - a rack loses power, an AZ drops. The paper's guarantee:
+// with F failed nodes, still all but o(F) of the survivors learn the update,
+// with unchanged round/message bounds. This example injects increasing
+// failure fractions under three adversary strategies and reports what
+// actually happens to coverage.
+//
+//   $ ./examples/fault_injection [n]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/broadcast.hpp"
+#include "sim/fault.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gossip;
+  const std::uint32_t n = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1]))
+                                   : (1u << 16);
+
+  std::cout << "Fault injection: Cluster2 broadcast with F oblivious failures, n = "
+            << n << "\n";
+
+  Table t("coverage under failures (3 seeds each)",
+          {"F/n", "adversary", "survivors", "uninformed", "uninformed/F", "rounds"});
+
+  for (const double frac : {0.05, 0.15, 0.30}) {
+    for (const auto strategy :
+         {sim::FaultStrategy::kRandomSubset, sim::FaultStrategy::kSmallestIds,
+          sim::FaultStrategy::kIndexStride}) {
+      const auto f = static_cast<std::uint32_t>(frac * n);
+      double uninformed_sum = 0;
+      std::uint64_t rounds = 0;
+      std::uint64_t survivors = 0;
+      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        sim::NetworkOptions o;
+        o.n = n;
+        o.seed = seed;
+        sim::Network net(o);
+        // Oblivious: the failure set is fixed before the run, from an
+        // independent random stream.
+        Rng adversary(mix64(seed * 65537ULL));
+        for (std::uint32_t v : sim::choose_failures(net, f, strategy, adversary)) {
+          net.fail(v);
+        }
+        std::uint32_t source = 0;
+        while (!net.alive(source)) ++source;
+        core::BroadcastOptions bo;
+        bo.source = source;
+        const auto report = core::broadcast(net, bo);
+        uninformed_sum += static_cast<double>(report.uninformed());
+        rounds = report.rounds;
+        survivors = report.alive;
+      }
+      t.row()
+          .add(frac, 2)
+          .add(sim::to_string(strategy))
+          .add(survivors)
+          .add(uninformed_sum / 3.0, 1)
+          .add(uninformed_sum / 3.0 / static_cast<double>(f), 5)
+          .add(rounds);
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nHow to read this: 'uninformed/F' near zero is Theorem 19's\n"
+               "all-but-o(F) guarantee; the adversary's strategy does not matter\n"
+               "(the algorithms are symmetric in the nodes, so oblivious failures\n"
+               "act like random ones), and the round count never changes - the\n"
+               "schedule is deterministic and failures only silence dead nodes.\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Scenario: disseminating a membership update in a large cluster.
+//
+// A coordination service (think: a control plane pushing a new view of the
+// member list) must get one update to every node. This example compares the
+// candidate dissemination strategies on the same network - the paper's
+// Cluster2 against the uniform gossips and the prior direct-addressing state
+// of the art - and prints the trade-off table an operator would look at:
+// rounds (latency in synchronous steps), messages (network load), bits, and
+// the peak per-node fan-in (hot-spotting).
+//
+//   $ ./examples/membership_broadcast [n] [update_bits]
+#include <cstdlib>
+#include <iostream>
+
+#include "baselines/avin_elsasser.hpp"
+#include "baselines/rrs.hpp"
+#include "baselines/uniform.hpp"
+#include "common/math.hpp"
+#include "common/table.hpp"
+#include "core/broadcast.hpp"
+#include "sim/engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gossip;
+  const std::uint32_t n = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1]))
+                                   : (1u << 16);
+  const std::uint32_t update_bits =
+      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 2048;
+
+  std::cout << "Membership update dissemination: n = " << n << " nodes, update = "
+            << update_bits << " bits, source = node 0\n";
+
+  Table t("strategy comparison",
+          {"strategy", "rounds", "msg/node", "conn/node", "KB/node", "peak fan-in",
+           "complete"});
+
+  const auto add_row = [&](const std::string& name, const core::BroadcastReport& r) {
+    t.row()
+        .add(name)
+        .add(r.rounds)
+        .add(r.payload_messages_per_node(), 2)
+        .add(r.connections_per_node(), 2)
+        .add(r.bits_per_node() / 8192.0, 2)
+        .add(std::uint64_t{r.max_delta()})
+        .add(r.all_informed ? "yes" : "NO");
+  };
+
+  const auto fresh_net = [&] {
+    sim::NetworkOptions o;
+    o.n = n;
+    o.seed = 7;
+    o.rumor_bits = update_bits;
+    return o;
+  };
+
+  {
+    sim::Network net(fresh_net());
+    core::BroadcastOptions o;
+    o.algorithm = core::Algorithm::kCluster2;
+    add_row("Cluster2 (this paper)", core::broadcast(net, o));
+  }
+  {
+    sim::Network net(fresh_net());
+    core::BroadcastOptions o;
+    o.algorithm = core::Algorithm::kCluster3PushPull;
+    o.delta = 1024;  // cap fan-in at 1024 connections/round
+    add_row("Cluster3+PushPull (Delta=1024)", core::broadcast(net, o));
+  }
+  {
+    sim::Network net(fresh_net());
+    sim::Engine engine(net);
+    baselines::AvinElsasser ae(engine);
+    add_row("Avin-Elsasser (DISC'13)", ae.run(0));
+  }
+  {
+    sim::Network net(fresh_net());
+    add_row("RRS counters (FOCS'00)", baselines::run_rrs(net, 0, {}));
+  }
+  {
+    sim::Network net(fresh_net());
+    add_row("uniform PUSH-PULL", baselines::run_push_pull(net, 0, {}));
+  }
+  {
+    sim::Network net(fresh_net());
+    add_row("uniform PUSH", baselines::run_push(net, 0, {}));
+  }
+  t.print(std::cout);
+
+  std::cout << "\nHow to read this: Cluster2 minimizes total network load (its\n"
+               "msg/node and KB/node stay constant as the fleet grows - Theorem 2)\n"
+               "at the cost of hot leaders (peak fan-in ~n). If fan-in matters\n"
+               "(connection limits, NIC queues), Cluster3+PushPull caps it at\n"
+               "Delta while keeping near-optimal load and latency that degrades\n"
+               "only as log n / log Delta (Section 7). Uniform gossip has no hot\n"
+               "spots but pays log n rounds and rumor retransmissions.\n";
+  return 0;
+}

@@ -1,0 +1,18 @@
+#include "analysis/experiment.hpp"
+
+namespace gossip::analysis {
+
+void ReportAggregate::add(const core::BroadcastReport& r) {
+  ++runs;
+  if (!r.all_informed) ++failures;
+  rounds.add(static_cast<double>(r.rounds));
+  payload_per_node.add(r.payload_messages_per_node());
+  connections_per_node.add(r.connections_per_node());
+  bits_per_node.add(r.bits_per_node());
+  total_bits.add(static_cast<double>(r.stats.total.bits));
+  max_delta.add(static_cast<double>(r.max_delta()));
+  informed_fraction.add(r.informed_fraction());
+  uninformed.add(static_cast<double>(r.uninformed()));
+}
+
+}  // namespace gossip::analysis

@@ -1,0 +1,28 @@
+// Seed-sweep aggregation used by every benchmark: collect BroadcastReports
+// across seeds and expose mean/min/max statistics per complexity measure.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "core/report.hpp"
+
+namespace gossip::analysis {
+
+/// Accumulates the complexity measures of repeated runs.
+struct ReportAggregate {
+  RunningStat rounds;
+  RunningStat payload_per_node;
+  RunningStat connections_per_node;
+  RunningStat bits_per_node;
+  RunningStat total_bits;
+  RunningStat max_delta;
+  RunningStat informed_fraction;
+  RunningStat uninformed;
+  std::uint64_t runs = 0;
+  std::uint64_t failures = 0;  ///< runs that did not inform everyone
+
+  void add(const core::BroadcastReport& r);
+};
+
+}  // namespace gossip::analysis

@@ -1,0 +1,99 @@
+#include "analysis/graph.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace gossip::analysis {
+
+Graph::Graph(std::uint32_t n) : n_(n), adj_(n) { GOSSIP_CHECK(n >= 1); }
+
+void Graph::add_edge(std::uint32_t u, std::uint32_t v) {
+  GOSSIP_CHECK(u < n_ && v < n_);
+  if (u == v) return;
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+  ++num_edges_;
+}
+
+std::uint32_t Graph::max_degree() const {
+  std::size_t best = 0;
+  for (const auto& a : adj_) best = std::max(best, a.size());
+  return static_cast<std::uint32_t>(best);
+}
+
+std::vector<std::uint32_t> Graph::bfs_distances(std::uint32_t src) const {
+  GOSSIP_CHECK(src < n_);
+  std::vector<std::uint32_t> dist(n_, kUnreachable);
+  std::vector<std::uint32_t> frontier{src};
+  dist[src] = 0;
+  std::uint32_t d = 0;
+  std::vector<std::uint32_t> next;
+  while (!frontier.empty()) {
+    ++d;
+    next.clear();
+    for (std::uint32_t u : frontier) {
+      for (std::uint32_t w : adj_[u]) {
+        if (dist[w] == kUnreachable) {
+          dist[w] = d;
+          next.push_back(w);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+bool Graph::connected() const {
+  const auto dist = bfs_distances(0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::uint32_t d) { return d == kUnreachable; });
+}
+
+std::uint32_t Graph::eccentricity(std::uint32_t src) const {
+  const auto dist = bfs_distances(src);
+  std::uint32_t ecc = 0;
+  for (std::uint32_t d : dist) {
+    if (d == kUnreachable) return kUnreachable;
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t Graph::diameter_exact() const {
+  std::uint32_t diam = 0;
+  for (std::uint32_t v = 0; v < n_; ++v) {
+    const std::uint32_t ecc = eccentricity(v);
+    if (ecc == kUnreachable) return kUnreachable;
+    diam = std::max(diam, ecc);
+  }
+  return diam;
+}
+
+Graph::Bounds Graph::diameter_bounds(unsigned sweeps, Rng& rng) const {
+  Bounds b;
+  std::uint32_t min_ecc = kUnreachable;
+  std::uint32_t start = static_cast<std::uint32_t>(rng.uniform_below(n_));
+  for (unsigned i = 0; i < std::max(1u, sweeps); ++i) {
+    const auto dist = bfs_distances(start);
+    std::uint32_t ecc = 0;
+    std::uint32_t farthest = start;
+    for (std::uint32_t v = 0; v < n_; ++v) {
+      if (dist[v] == kUnreachable) return Bounds{kUnreachable, kUnreachable};
+      if (dist[v] > ecc) {
+        ecc = dist[v];
+        farthest = v;
+      }
+    }
+    b.lower = std::max(b.lower, ecc);
+    min_ecc = std::min(min_ecc, ecc);
+    // Double-sweep: continue from the farthest vertex found (known to give
+    // tight diameter lower bounds on random graphs).
+    start = farthest;
+  }
+  b.upper = min_ecc == kUnreachable ? kUnreachable : 2 * min_ecc;
+  return b;
+}
+
+}  // namespace gossip::analysis

@@ -1,0 +1,58 @@
+// Minimal undirected graph with the BFS machinery the lower-bound analysis
+// needs: connectivity, eccentricities, exact diameters for small graphs and
+// certified diameter bounds (double-sweep lower bound, 2*ecc upper bound)
+// for large ones.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gossip::analysis {
+
+constexpr std::uint32_t kUnreachable = std::numeric_limits<std::uint32_t>::max();
+
+class Graph {
+ public:
+  explicit Graph(std::uint32_t n);
+
+  void add_edge(std::uint32_t u, std::uint32_t v);
+
+  [[nodiscard]] std::uint32_t n() const noexcept { return n_; }
+  [[nodiscard]] std::uint64_t num_edges() const noexcept { return num_edges_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& neighbors(std::uint32_t v) const {
+    return adj_[v];
+  }
+  [[nodiscard]] std::uint32_t max_degree() const;
+
+  /// BFS distances from `src` (kUnreachable where disconnected).
+  [[nodiscard]] std::vector<std::uint32_t> bfs_distances(std::uint32_t src) const;
+
+  [[nodiscard]] bool connected() const;
+
+  /// Max finite BFS distance from src; kUnreachable if the graph is
+  /// disconnected from src.
+  [[nodiscard]] std::uint32_t eccentricity(std::uint32_t src) const;
+
+  /// Exact diameter via all-sources BFS. Intended for n <= ~8192.
+  /// kUnreachable if disconnected.
+  [[nodiscard]] std::uint32_t diameter_exact() const;
+
+  /// Certified diameter bounds from `sweeps` double-sweep probes:
+  /// lower = max eccentricity observed, upper = 2 * min eccentricity
+  /// observed (diam <= 2 rad). kUnreachable/kUnreachable if disconnected.
+  struct Bounds {
+    std::uint32_t lower = 0;
+    std::uint32_t upper = 0;
+  };
+  [[nodiscard]] Bounds diameter_bounds(unsigned sweeps, Rng& rng) const;
+
+ private:
+  std::uint32_t n_;
+  std::uint64_t num_edges_ = 0;
+  std::vector<std::vector<std::uint32_t>> adj_;
+};
+
+}  // namespace gossip::analysis

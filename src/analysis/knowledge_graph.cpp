@@ -1,0 +1,73 @@
+#include "analysis/knowledge_graph.hpp"
+
+#include "common/assert.hpp"
+#include "common/math.hpp"
+
+namespace gossip::analysis {
+
+Graph union_contact_graphs(std::uint32_t n, unsigned t, Rng& rng) {
+  GOSSIP_CHECK(n >= 2);
+  Graph g(n);
+  for (unsigned round = 0; round < t; ++round) {
+    for (std::uint32_t v = 0; v < n; ++v) {
+      std::uint32_t u = static_cast<std::uint32_t>(rng.uniform_below(n - 1));
+      if (u >= v) ++u;
+      g.add_edge(v, u);
+    }
+  }
+  return g;
+}
+
+FeasibilityResult check_feasibility(std::uint32_t n, unsigned t, Rng& rng,
+                                    std::uint32_t exact_diameter_cutoff) {
+  FeasibilityResult res;
+  res.t = t;
+  const Graph g = union_contact_graphs(n, t, rng);
+  res.max_degree = g.max_degree();
+
+  // 2^t, saturated (t >= 32 always feasible for connected graphs of n < 2^32).
+  const std::uint64_t reach = t >= 63 ? ~0ULL : (1ULL << t);
+
+  if (!g.connected()) {
+    res.connected = false;
+    res.feasible = false;  // some node never interacts with the rest at all
+    res.diameter_lower = kUnreachable;
+    res.diameter_upper = kUnreachable;
+    return res;
+  }
+  res.connected = true;
+
+  if (n <= exact_diameter_cutoff) {
+    const std::uint32_t diam = g.diameter_exact();
+    res.diameter_lower = res.diameter_upper = diam;
+    res.feasible = diam <= reach;
+    return res;
+  }
+
+  Rng sweep_rng = rng.fork(0xd1a77);
+  const Graph::Bounds b = g.diameter_bounds(/*sweeps=*/8, sweep_rng);
+  res.diameter_lower = b.lower;
+  res.diameter_upper = b.upper;
+  if (b.upper <= reach) {
+    res.feasible = true;
+  } else if (b.lower > reach) {
+    res.feasible = false;
+  } else {
+    res.feasible = true;  // conservative for a lower-bound experiment
+    res.uncertain = true;
+  }
+  return res;
+}
+
+unsigned min_feasible_rounds(std::uint32_t n, std::uint64_t seed, unsigned t_max) {
+  for (unsigned t = 1; t <= t_max; ++t) {
+    // Fresh generator per t keeps G_1..G_t a nested family in distribution;
+    // deterministic in (seed, t).
+    Rng rng(mix64(seed ^ (0x10e27b0c9dULL + t * 0x9e3779b97f4a7c15ULL)));
+    Rng sample = rng.fork(t);
+    if (check_feasibility(n, t, sample).feasible) return t;
+  }
+  return t_max;
+}
+
+}  // namespace gossip::analysis

@@ -1,0 +1,54 @@
+// The Omega(log log n) lower-bound machinery (paper Section 6, Theorem 3 and
+// Lemma 14), made computational.
+//
+// Lemma 14: pre-sample the random contacts - G_t connects every node to the
+// uniform contact it would draw in round t - and the knowledge graph after T
+// rounds satisfies K_T <= (G_1 u ... u G_T)^(2^T), *regardless* of the
+// algorithm, even with unbounded messages, non-oblivious behaviour and
+// unbounded fan-out. Broadcasting from one node within T rounds therefore
+// requires K' = G_1 u ... u G_T (a random graph where every node draws T
+// uniform neighbours) to have diameter <= 2^T. Checking that condition
+// yields, per (n, seed), the information-theoretic minimum round count that
+// *no* algorithm can beat - the quantity Theorem 3 lower-bounds by
+// ~log log n.
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/graph.hpp"
+#include "common/rng.hpp"
+
+namespace gossip::analysis {
+
+/// Builds K' = union of G_1..G_T: every node draws T uniform random contacts
+/// (self-loops excluded), edges undirected.
+[[nodiscard]] Graph union_contact_graphs(std::uint32_t n, unsigned t, Rng& rng);
+
+struct FeasibilityResult {
+  unsigned t = 0;
+  bool connected = false;
+  /// Certified diameter bounds of K' (exact when they coincide).
+  std::uint32_t diameter_lower = 0;
+  std::uint32_t diameter_upper = 0;
+  std::uint32_t max_degree = 0;
+  /// True iff diameter(K') <= 2^t is certain; false iff certainly not.
+  bool feasible = false;
+  /// Set when the bounds straddle 2^t and n was too large for an exact
+  /// diameter; the caller should treat the result as feasible (conservative
+  /// for a lower-bound experiment).
+  bool uncertain = false;
+};
+
+/// Checks Lemma 14's necessary condition for T-round broadcast.
+/// Uses the exact diameter for n <= exact_diameter_cutoff, certified bounds
+/// plus extra sweeps otherwise.
+[[nodiscard]] FeasibilityResult check_feasibility(std::uint32_t n, unsigned t, Rng& rng,
+                                                  std::uint32_t exact_diameter_cutoff = 8192);
+
+/// Smallest T whose feasibility check passes (searching T = 1, 2, ...).
+/// Every algorithm needs at least this many rounds on this random-contact
+/// sample; Theorem 3 says the answer concentrates near log log n.
+[[nodiscard]] unsigned min_feasible_rounds(std::uint32_t n, std::uint64_t seed,
+                                           unsigned t_max = 16);
+
+}  // namespace gossip::analysis

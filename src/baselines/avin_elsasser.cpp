@@ -1,0 +1,70 @@
+#include "baselines/avin_elsasser.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/math.hpp"
+
+namespace gossip::baselines {
+
+AvinElsasser::AvinElsasser(sim::Engine& engine, AvinElsasserOptions options,
+                           cluster::DriverOptions driver_opts,
+                           core::PhaseObserverFn observer)
+    : core::ClusterAlgorithmBase(engine, driver_opts, std::move(observer)),
+      opts_(options) {}
+
+core::BroadcastReport AvinElsasser::run(std::uint32_t source) {
+  GOSSIP_CHECK(source < net_.n());
+  informed_[source] = 1;
+
+  const std::uint64_t n = net_.n();
+  const double log_n = std::max(2.0, log2d(n));
+
+  // --- initial clusters of size ~log n, as Cluster1's GrowInitialClusters.
+  const double seed_prob = 1.0 / (opts_.seed_factor_c * log_n);
+  const auto grow_rounds = static_cast<unsigned>(
+      std::ceil(std::log2(opts_.seed_factor_c * log_n)) + opts_.extra_grow_rounds);
+  seed_singletons(seed_prob);
+  grow_simple(grow_rounds);
+  mark_phase("grow");
+
+  // --- geometric merge phases: phase i activates w.p. ~2^-i, so sizes
+  // multiply by ~2^(i-1) per phase; Theta(sqrt(log n)) phases reach
+  // n/polylog(n). Each phase is O(1) rounds (resize + activate + push +
+  // relay + merge).
+  const auto s0 = std::max<std::uint64_t>(4, static_cast<std::uint64_t>(log_n));
+  driver_.dissolve_below(s0);
+  const std::uint64_t target = std::max<std::uint64_t>(
+      s0, static_cast<std::uint64_t>(static_cast<double>(n) / (4.0 * log_n)));
+  std::uint64_t s = s0;
+  unsigned phase = 1;
+  while (s < target && phase <= opts_.max_phases) {
+    driver_.clear_candidates();
+    driver_.resize(s, /*only_active=*/false);
+    const double p = std::max(std::ldexp(1.0, -static_cast<int>(phase)), 1.0 / 64.0);
+    driver_.activate(std::min(0.5, p));
+    driver_.push_cluster_id(/*only_active=*/true, /*recruit_unclustered=*/false,
+                            cluster::RelayPolicy::kRandom);
+    driver_.relay_candidates(cluster::RelayPolicy::kRandom, /*only_inactive_relayers=*/true);
+    driver_.merge_from_inbox(cluster::RelayPolicy::kRandom, /*only_inactive=*/true);
+    const double growth = std::max(2.0, std::ldexp(1.0, static_cast<int>(phase)) / 2.0);
+    s = std::max(s + 1, static_cast<std::uint64_t>(static_cast<double>(s) * growth));
+    observe("phase", phase, s);
+    ++phase;
+  }
+  mark_phase("merge_phases");
+
+  // --- clean-up exactly as Cluster1: merge everything into the smallest-ID
+  // cluster, pull in the stragglers, share the rumor.
+  merge_all_clusters(opts_.merge_all_reps, opts_.settle_rounds);
+  mark_phase("merge_all");
+  unclustered_pull(ceil_loglog2(n) + opts_.extra_pull_rounds);
+  mark_phase("pull");
+  final_share();
+  mark_phase("share");
+
+  return make_report();
+}
+
+}  // namespace gossip::baselines

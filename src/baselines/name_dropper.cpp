@@ -1,0 +1,119 @@
+#include "baselines/name_dropper.hpp"
+
+#include <bit>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+
+namespace gossip::baselines {
+
+namespace {
+
+/// Dense bitset knowledge row; word-parallel merge keeps the O(log^2 n)
+/// rounds x n nodes x n-bit rows simulation fast.
+class BitRows {
+ public:
+  BitRows(std::uint32_t n) : n_(n), words_per_row_((n + 63) / 64), bits_(static_cast<std::size_t>(n) * words_per_row_, 0) {}
+
+  void set(std::uint32_t row, std::uint32_t col) {
+    bits_[static_cast<std::size_t>(row) * words_per_row_ + col / 64] |= 1ULL << (col % 64);
+  }
+
+  [[nodiscard]] bool get(std::uint32_t row, std::uint32_t col) const {
+    return (bits_[static_cast<std::size_t>(row) * words_per_row_ + col / 64] >>
+            (col % 64)) & 1ULL;
+  }
+
+  /// dst |= src. Returns the number of newly set bits in dst.
+  std::uint64_t merge(std::uint32_t dst, std::uint32_t src) {
+    std::uint64_t gained = 0;
+    auto* d = &bits_[static_cast<std::size_t>(dst) * words_per_row_];
+    const auto* s = &bits_[static_cast<std::size_t>(src) * words_per_row_];
+    for (std::uint32_t w = 0; w < words_per_row_; ++w) {
+      const std::uint64_t before = d[w];
+      d[w] |= s[w];
+      gained += static_cast<std::uint64_t>(std::popcount(d[w] ^ before));
+    }
+    return gained;
+  }
+
+  [[nodiscard]] std::uint64_t popcount(std::uint32_t row) const {
+    std::uint64_t total = 0;
+    const auto* r = &bits_[static_cast<std::size_t>(row) * words_per_row_];
+    for (std::uint32_t w = 0; w < words_per_row_; ++w) {
+      total += static_cast<std::uint64_t>(std::popcount(r[w]));
+    }
+    return total;
+  }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t words_per_row_;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace
+
+NameDropperReport run_name_dropper(std::uint32_t n, std::uint64_t seed,
+                                   NameDropperOptions options) {
+  GOSSIP_CHECK(n >= 2);
+  const unsigned cap = options.max_rounds
+                           ? options.max_rounds
+                           : 8 * ceil_log2(n) * ceil_log2(n) + 50;
+  Rng rng(mix64(seed ^ 0x9a11edd7099e6ULL));
+
+  BitRows known(n);
+  std::vector<std::vector<std::uint32_t>> contacts(n);  // materialised known sets
+  for (std::uint32_t v = 0; v < n; ++v) {
+    known.set(v, v);
+    std::uint32_t peer = 0;
+    switch (options.start) {
+      case NameDropperStart::kRing:
+        peer = (v + 1) % n;
+        break;
+      case NameDropperStart::kRandomTree:
+        peer = v == 0 ? 1 : static_cast<std::uint32_t>(rng.uniform_below(v));
+        break;
+    }
+    known.set(v, peer);
+    contacts[v].push_back(peer);
+  }
+
+  NameDropperReport report;
+  report.n = n;
+  std::uint64_t total_known = 2ULL * n - (options.start == NameDropperStart::kRing ? 0 : 1);
+  // (kRandomTree: node 0's peer is 1 and 1's may be 0; exact count recomputed below.)
+  total_known = 0;
+  for (std::uint32_t v = 0; v < n; ++v) total_known += known.popcount(v);
+
+  const std::uint64_t complete = static_cast<std::uint64_t>(n) * n;
+  std::vector<std::uint32_t> targets(n);
+  while (total_known < complete && report.rounds < cap) {
+    // Each node picks a uniformly random known contact and forwards its
+    // entire known set ("drops all the names it knows").
+    for (std::uint32_t v = 0; v < n; ++v) {
+      // Refresh the materialised contact list lazily: collect new bits only
+      // when the popcount outgrew the cached list. A full rescan is O(n/64)
+      // words - cheap relative to the merge below.
+      if (contacts[v].size() != known.popcount(v) - 1) {
+        contacts[v].clear();
+        for (std::uint32_t u = 0; u < n; ++u) {
+          if (u != v && known.get(v, u)) contacts[v].push_back(u);
+        }
+      }
+      targets[v] = contacts[v][rng.uniform_below(contacts[v].size())];
+    }
+    for (std::uint32_t v = 0; v < n; ++v) {
+      report.id_transfers += known.popcount(v);
+      total_known += known.merge(targets[v], v);
+      ++report.messages;
+    }
+    ++report.rounds;
+  }
+  report.complete = total_known == complete;
+  return report;
+}
+
+}  // namespace gossip::baselines

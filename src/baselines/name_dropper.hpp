@@ -1,0 +1,42 @@
+// Name-Dropper (Harchol-Balter, Leighton & Lewin, PODC 1999 - paper
+// reference [9]): the classical resource-discovery algorithm under direct
+// addressing. Starting from any weakly connected knowledge graph, every
+// round each node forwards all IDs it knows to one uniformly random known
+// node; the knowledge graph becomes complete in O(log^2 n) rounds.
+//
+// Name-Dropper solves a different task (discovery, not broadcast) and its
+// per-message payloads are Theta(n) IDs, so it runs on a dedicated
+// mini-simulator with bitset knowledge sets instead of the main engine
+// (which meters O(1)-ID messages); its round/message/ID-transfer accounting
+// matches the engine's conventions. Used by the benchmarks as the
+// O(log^2 n)-round reference point of the direct-addressing lineage.
+#pragma once
+
+#include <cstdint>
+
+namespace gossip::baselines {
+
+enum class NameDropperStart {
+  kRing,        ///< each node initially knows its ring successor
+  kRandomTree,  ///< node i knows a uniform random predecessor (rooted tree)
+};
+
+struct NameDropperOptions {
+  NameDropperStart start = NameDropperStart::kRing;
+  /// 0 = auto: 8 * ceil(log2 n)^2 + 50.
+  unsigned max_rounds = 0;
+};
+
+struct NameDropperReport {
+  std::uint64_t n = 0;
+  std::uint64_t rounds = 0;
+  bool complete = false;          ///< every node knows every other node
+  std::uint64_t messages = 0;     ///< one per initiated forward
+  std::uint64_t id_transfers = 0; ///< total IDs carried (bits ~ id_transfers * log n)
+};
+
+[[nodiscard]] NameDropperReport run_name_dropper(std::uint32_t n, std::uint64_t seed,
+                                                 NameDropperOptions options =
+                                                     NameDropperOptions());
+
+}  // namespace gossip::baselines

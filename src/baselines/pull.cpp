@@ -1,0 +1,32 @@
+#include "baselines/uniform.hpp"
+#include "baselines/uniform_detail.hpp"
+
+namespace gossip::baselines {
+
+core::BroadcastReport run_pull(sim::Network& net, std::uint32_t source,
+                               UniformOptions options) {
+  const unsigned cap = detail::auto_round_cap(net.n(), options.max_rounds);
+  return detail::run_until_informed(
+      net, source, cap, "pull",
+      [](std::vector<std::uint8_t>& informed, std::uint64_t& informed_count) {
+        sim::RoundHooks hooks;
+        hooks.initiate =
+            [&informed](std::uint32_t v) -> std::optional<sim::Contact> {
+          if (informed[v]) return std::nullopt;
+          return sim::Contact::pull_random();
+        };
+        hooks.respond = [&informed](std::uint32_t v) {
+          return informed[v] ? sim::Message::rumor() : sim::Message::empty();
+        };
+        hooks.on_pull_reply = [&informed, &informed_count](std::uint32_t q,
+                                                           const sim::Message& m) {
+          if (m.has_rumor() && !informed[q]) {
+            informed[q] = 1;
+            ++informed_count;
+          }
+        };
+        return hooks;
+      });
+}
+
+}  // namespace gossip::baselines

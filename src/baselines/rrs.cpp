@@ -1,0 +1,89 @@
+#include "baselines/rrs.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "baselines/uniform_detail.hpp"
+#include "common/assert.hpp"
+#include "common/math.hpp"
+#include "sim/engine.hpp"
+
+namespace gossip::baselines {
+
+using sim::Contact;
+using sim::Message;
+using sim::RoundHooks;
+
+core::BroadcastReport run_rrs(sim::Network& net, std::uint32_t source, RrsOptions options) {
+  GOSSIP_CHECK_MSG(net.alive(source), "source node must be alive");
+  const std::uint32_t n = net.n();
+  const unsigned ctr_max =
+      options.ctr_max ? options.ctr_max : ceil_loglog2(n) + 2;
+  const unsigned cap = detail::auto_round_cap(n, options.max_rounds);
+
+  sim::Engine engine(net);
+  // ctr == 0: uninformed; 1..ctr_max: state B; > ctr_max: state C.
+  std::vector<std::uint32_t> ctr(n, 0);
+  std::vector<std::uint32_t> partner_max(n, 0);  // largest counter met this round
+  std::vector<std::uint8_t> met_informed(n, 0);
+  ctr[source] = 1;
+  std::uint64_t informed_count = 1;
+
+  const auto state_message = [&](std::uint32_t v) {
+    if (ctr[v] == 0) return Message::empty();
+    return Message::rumor().and_count(ctr[v]);
+  };
+  const auto process = [&](std::uint32_t v, const Message& m) {
+    if (!m.has_rumor()) return;
+    if (ctr[v] == 0) {
+      ctr[v] = 1;
+      ++informed_count;
+      return;
+    }
+    met_informed[v] = 1;
+    if (m.has_count()) {
+      partner_max[v] =
+          std::max<std::uint32_t>(partner_max[v], static_cast<std::uint32_t>(m.count_value()));
+    }
+  };
+
+  RoundHooks hooks;
+  hooks.initiate = [&](std::uint32_t v) -> std::optional<Contact> {
+    if (ctr[v] > ctr_max) return std::nullopt;  // state C: stopped
+    return Contact::exchange_random(state_message(v));
+  };
+  hooks.respond = state_message;
+  hooks.on_push = process;
+  hooks.on_pull_reply = process;
+
+  while (informed_count < net.alive_count() && engine.rounds() < cap) {
+    std::fill(partner_max.begin(), partner_max.end(), 0);
+    std::fill(met_informed.begin(), met_informed.end(), 0);
+    engine.run_round(hooks);
+    // Counter rule: a B-node that met a partner with counter >= its own (or
+    // any informed partner in state C, whose counter is larger by
+    // construction) increments once per round.
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (ctr[v] == 0 || ctr[v] > ctr_max) continue;
+      if (met_informed[v] && partner_max[v] >= ctr[v]) ++ctr[v];
+    }
+  }
+
+  core::BroadcastReport r;
+  r.n = n;
+  r.alive = net.alive_count();
+  r.informed = informed_count;
+  r.all_informed = r.informed == r.alive;
+  r.rounds = engine.rounds();
+  r.stats = engine.metrics().run();
+  core::PhaseBreakdown pb;
+  pb.name = "rrs";
+  pb.rounds = engine.rounds();
+  pb.payload_messages = r.stats.total.payload_messages;
+  pb.connections = r.stats.total.connections;
+  pb.bits = r.stats.total.bits;
+  r.phases.push_back(std::move(pb));
+  return r;
+}
+
+}  // namespace gossip::baselines

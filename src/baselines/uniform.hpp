@@ -1,0 +1,34 @@
+// Uniform random phone call gossip baselines (paper references [12], [10]):
+//   PUSH      - every informed node pushes the rumor to a uniform random node;
+//   PULL      - every uninformed node pulls from a uniform random node;
+//   PUSH-PULL - both per round (each node initiates one contact: a push if
+//               informed, a pull otherwise).
+//
+// Termination convention: these protocols have no local termination rule
+// (that is Karp et al.'s point); we stop at the first round in which every
+// alive node is informed (an oracle measurement, standard in gossip
+// simulation) or at a generous O(log n) cap. The measured message counts are
+// therefore *lower* bounds for deployable variants - which only strengthens
+// every comparison in which the paper's algorithms win.
+#pragma once
+
+#include <cstdint>
+
+#include "core/report.hpp"
+#include "sim/network.hpp"
+
+namespace gossip::baselines {
+
+struct UniformOptions {
+  /// 0 = auto: 10 * ceil(log2 n) + 50 rounds.
+  unsigned max_rounds = 0;
+};
+
+[[nodiscard]] core::BroadcastReport run_push(sim::Network& net, std::uint32_t source,
+                                             UniformOptions options = UniformOptions());
+[[nodiscard]] core::BroadcastReport run_pull(sim::Network& net, std::uint32_t source,
+                                             UniformOptions options = UniformOptions());
+[[nodiscard]] core::BroadcastReport run_push_pull(sim::Network& net, std::uint32_t source,
+                                                  UniformOptions options = UniformOptions());
+
+}  // namespace gossip::baselines

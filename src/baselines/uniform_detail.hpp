@@ -1,0 +1,30 @@
+// Shared skeleton for the uniform gossip baselines.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/math.hpp"
+#include "core/report.hpp"
+#include "sim/engine.hpp"
+
+namespace gossip::baselines::detail {
+
+/// Runs a per-round behaviour until all alive nodes are informed (oracle
+/// stop) or `max_rounds` elapse, and assembles the standard report.
+/// `behaviour(informed, informed_count)` returns the hooks for one round.
+core::BroadcastReport run_until_informed(
+    sim::Network& net, std::uint32_t source, unsigned max_rounds, std::string phase_name,
+    const std::function<sim::RoundHooks(std::vector<std::uint8_t>&, std::uint64_t&)>&
+        make_hooks);
+
+[[nodiscard]] inline unsigned auto_round_cap(std::uint64_t n, unsigned requested) {
+  if (requested) return requested;
+  return 10 * gossip::ceil_log2(n) + 50;
+}
+
+}  // namespace gossip::baselines::detail

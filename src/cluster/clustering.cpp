@@ -1,0 +1,77 @@
+#include "cluster/clustering.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace gossip::cluster {
+
+Clustering::Clustering(sim::Network& net)
+    : net_(net),
+      follow_(net.n(), NodeId::unclustered()),
+      active_(net.n(), 0),
+      size_(net.n(), 0),
+      prev_size_(net.n(), 0) {}
+
+void Clustering::reset() {
+  std::fill(follow_.begin(), follow_.end(), NodeId::unclustered());
+  std::fill(active_.begin(), active_.end(), 0);
+  std::fill(size_.begin(), size_.end(), 0);
+  std::fill(prev_size_.begin(), prev_size_.end(), 0);
+}
+
+bool Clustering::is_flat() const {
+  for (std::uint32_t v = 0; v < n(); ++v) {
+    if (!net_.alive(v) || !is_follower(v)) continue;
+    const auto target = net_.find(follow_[v]);
+    if (!target) return false;
+    if (!net_.alive(*target)) continue;  // leader failed: tolerated, measured elsewhere
+    if (follow_[*target] != follow_[v]) return false;
+  }
+  return true;
+}
+
+std::unordered_map<std::uint32_t, std::uint64_t> Clustering::cluster_sizes() const {
+  std::unordered_map<std::uint32_t, std::uint64_t> sizes;
+  for (std::uint32_t v = 0; v < n(); ++v) {
+    if (!net_.alive(v) || is_unclustered(v)) continue;
+    const auto leader = net_.find(follow_[v]);
+    GOSSIP_CHECK_MSG(leader.has_value(), "follow target not in network");
+    ++sizes[*leader];
+  }
+  return sizes;
+}
+
+ClusteringStats Clustering::stats() const {
+  ClusteringStats s;
+  const auto sizes = cluster_sizes();
+  s.clusters = sizes.size();
+  for (std::uint32_t v = 0; v < n(); ++v) {
+    if (!net_.alive(v)) continue;
+    if (is_unclustered(v)) {
+      ++s.unclustered_nodes;
+    } else {
+      ++s.clustered_nodes;
+    }
+  }
+  if (!sizes.empty()) {
+    s.min_size = sizes.begin()->second;
+    s.max_size = sizes.begin()->second;
+    for (const auto& [leader, size] : sizes) {
+      s.min_size = std::min(s.min_size, size);
+      s.max_size = std::max(s.max_size, size);
+    }
+    s.mean_size = static_cast<double>(s.clustered_nodes) / static_cast<double>(s.clusters);
+  }
+  return s;
+}
+
+std::vector<std::uint32_t> Clustering::members_of(NodeId leader_id) const {
+  std::vector<std::uint32_t> members;
+  for (std::uint32_t v = 0; v < n(); ++v) {
+    if (net_.alive(v) && follow_[v] == leader_id) members.push_back(v);
+  }
+  return members;
+}
+
+}  // namespace gossip::cluster

@@ -1,0 +1,101 @@
+// Clusterings (paper Section 3.1).
+//
+// A clustering partitions the nodes into leader-rooted clusters plus a set of
+// unclustered nodes. It is implemented exactly as in the paper: every node v
+// carries a `follow` variable holding the ID of its cluster leader (its own
+// ID if it *is* the leader) or infinity if unclustered. A node decides its
+// role by comparing `follow` to its own ID - there is no global state.
+//
+// This class stores the per-node follow/active/size variables and offers
+// global *read-only* views (statistics, invariant checks) that exist for
+// validation and measurement only - algorithms never consult them.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "sim/network.hpp"
+
+namespace gossip::cluster {
+
+/// Aggregate view of a clustering, used by tests and benchmarks.
+struct ClusteringStats {
+  std::uint64_t clusters = 0;
+  std::uint64_t clustered_nodes = 0;    ///< leaders + followers (alive only)
+  std::uint64_t unclustered_nodes = 0;  ///< alive nodes with follow == infinity
+  std::uint64_t min_size = 0;
+  std::uint64_t max_size = 0;
+  double mean_size = 0.0;
+};
+
+class Clustering {
+ public:
+  explicit Clustering(sim::Network& net);
+
+  [[nodiscard]] sim::Network& network() noexcept { return net_; }
+  [[nodiscard]] const sim::Network& network() const noexcept { return net_; }
+  [[nodiscard]] std::uint32_t n() const noexcept { return static_cast<std::uint32_t>(follow_.size()); }
+
+  // --- per-node state (node-local; algorithms may use these freely) -------
+  [[nodiscard]] NodeId follow(std::uint32_t v) const { return follow_[v]; }
+  void set_follow(std::uint32_t v, NodeId target) { follow_[v] = target; }
+
+  [[nodiscard]] bool active(std::uint32_t v) const { return active_[v] != 0; }
+  void set_active(std::uint32_t v, bool a) { active_[v] = a ? 1 : 0; }
+
+  /// Latest size estimate this node holds for its cluster (from the last
+  /// ClusterSize-style exchange); 0 if never measured.
+  [[nodiscard]] std::uint64_t size_estimate(std::uint32_t v) const { return size_[v]; }
+  void set_size_estimate(std::uint32_t v, std::uint64_t s) { size_[v] = s; }
+  [[nodiscard]] std::uint64_t prev_size_estimate(std::uint32_t v) const { return prev_size_[v]; }
+  void set_prev_size_estimate(std::uint32_t v, std::uint64_t s) { prev_size_[v] = s; }
+
+  [[nodiscard]] bool is_unclustered(std::uint32_t v) const {
+    return follow_[v].is_unclustered();
+  }
+  [[nodiscard]] bool is_clustered(std::uint32_t v) const { return !is_unclustered(v); }
+  [[nodiscard]] bool is_leader(std::uint32_t v) const {
+    return follow_[v] == net_.id_of(v);
+  }
+  [[nodiscard]] bool is_follower(std::uint32_t v) const {
+    return is_clustered(v) && !is_leader(v);
+  }
+
+  /// Makes node v a singleton cluster leader.
+  void make_leader(std::uint32_t v) { follow_[v] = net_.id_of(v); }
+  void make_unclustered(std::uint32_t v) {
+    follow_[v] = NodeId::unclustered();
+    active_[v] = 0;
+    size_[v] = 0;
+  }
+
+  /// Resets every node to unclustered/inactive.
+  void reset();
+
+  // --- global read-only views (validation & measurement only) -------------
+  /// True if every alive follower's follow target is an alive leader
+  /// (i.e. no chains: target.follow == target's own ID).
+  [[nodiscard]] bool is_flat() const;
+
+  /// Cluster statistics over alive nodes. Requires a flat clustering for
+  /// meaningful sizes (chained followers are attributed to their direct
+  /// target's cluster).
+  [[nodiscard]] ClusteringStats stats() const;
+
+  /// leader index -> cluster size (leaders counted; alive nodes only).
+  [[nodiscard]] std::unordered_map<std::uint32_t, std::uint64_t> cluster_sizes() const;
+
+  /// Alive member indices of the cluster led by `leader_id` (test helper).
+  [[nodiscard]] std::vector<std::uint32_t> members_of(NodeId leader_id) const;
+
+ private:
+  sim::Network& net_;
+  std::vector<NodeId> follow_;
+  std::vector<std::uint8_t> active_;
+  std::vector<std::uint64_t> size_;
+  std::vector<std::uint64_t> prev_size_;
+};
+
+}  // namespace gossip::cluster

@@ -1,0 +1,48 @@
+// Contract-checking macros used throughout the library.
+//
+// GOSSIP_CHECK fires in all build types: model-honesty invariants (e.g. "a
+// direct-addressed contact must target a known ID") are part of the paper's
+// model and violating them silently would invalidate every measurement, so
+// they are never compiled out. Violations throw gossip::ContractViolation,
+// which makes them testable with gtest and recoverable in long experiment
+// sweeps.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gossip {
+
+/// Thrown when a library precondition or model invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_failure(const char* expr, const char* file, int line,
+                                          const std::string& msg) {
+  std::ostringstream os;
+  os << "contract violation: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " - " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace gossip
+
+#define GOSSIP_CHECK(expr)                                                   \
+  do {                                                                       \
+    if (!(expr)) ::gossip::detail::contract_failure(#expr, __FILE__, __LINE__, {}); \
+  } while (0)
+
+#define GOSSIP_CHECK_MSG(expr, msg)                                          \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      std::ostringstream gossip_check_os_;                                   \
+      gossip_check_os_ << msg;                                               \
+      ::gossip::detail::contract_failure(#expr, __FILE__, __LINE__,          \
+                                         gossip_check_os_.str());            \
+    }                                                                        \
+  } while (0)

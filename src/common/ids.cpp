@@ -1,0 +1,27 @@
+#include "common/ids.hpp"
+
+#include <unordered_set>
+
+#include "common/assert.hpp"
+
+namespace gossip {
+
+std::string NodeId::to_string() const {
+  if (is_unclustered()) return "<unclustered>";
+  return std::to_string(raw_);
+}
+
+std::vector<NodeId> generate_unique_ids(std::size_t n, Rng& rng) {
+  std::vector<NodeId> ids;
+  ids.reserve(n);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(n * 2);
+  while (ids.size() < n) {
+    const std::uint64_t raw = rng.next_u64();
+    if (raw == std::numeric_limits<std::uint64_t>::max()) continue;  // sentinel
+    if (seen.insert(raw).second) ids.emplace_back(raw);
+  }
+  return ids;
+}
+
+}  // namespace gossip

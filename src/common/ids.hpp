@@ -1,0 +1,63 @@
+// Node identifiers and the ID space of the random phone call model.
+//
+// The paper (Section 2) assumes each node carries a unique O(log n)-bit ID
+// from a polynomially large space, initially known only to the node itself.
+// We model IDs as opaque 64-bit values drawn injectively at random: nothing
+// in the algorithms may depend on IDs being dense or ordered like indices
+// (several primitives *do* depend on IDs being totally ordered, e.g.
+// ClusterResize and merge-to-smallest, which the strong ordering supports).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gossip {
+
+/// Strongly typed node identifier. The all-ones value is reserved as the
+/// "unclustered" sentinel (the paper's follow = infinity).
+class NodeId {
+ public:
+  constexpr NodeId() noexcept : raw_(kUnclusteredRaw) {}
+  constexpr explicit NodeId(std::uint64_t raw) noexcept : raw_(raw) {}
+
+  /// The paper's `infinity` follow value: compares greater than any real ID.
+  [[nodiscard]] static constexpr NodeId unclustered() noexcept { return NodeId(); }
+
+  [[nodiscard]] constexpr std::uint64_t raw() const noexcept { return raw_; }
+  [[nodiscard]] constexpr bool is_unclustered() const noexcept {
+    return raw_ == kUnclusteredRaw;
+  }
+  /// True for any ID that denotes an actual node.
+  [[nodiscard]] constexpr bool is_node() const noexcept { return !is_unclustered(); }
+
+  friend constexpr bool operator==(NodeId a, NodeId b) noexcept { return a.raw_ == b.raw_; }
+  friend constexpr bool operator!=(NodeId a, NodeId b) noexcept { return a.raw_ != b.raw_; }
+  friend constexpr bool operator<(NodeId a, NodeId b) noexcept { return a.raw_ < b.raw_; }
+  friend constexpr bool operator<=(NodeId a, NodeId b) noexcept { return a.raw_ <= b.raw_; }
+  friend constexpr bool operator>(NodeId a, NodeId b) noexcept { return a.raw_ > b.raw_; }
+  friend constexpr bool operator>=(NodeId a, NodeId b) noexcept { return a.raw_ >= b.raw_; }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  static constexpr std::uint64_t kUnclusteredRaw = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t raw_;
+};
+
+/// Generates `n` distinct random IDs (none equal to the sentinel).
+/// Deterministic in `rng`'s state.
+[[nodiscard]] std::vector<NodeId> generate_unique_ids(std::size_t n, Rng& rng);
+
+}  // namespace gossip
+
+template <>
+struct std::hash<gossip::NodeId> {
+  std::size_t operator()(gossip::NodeId id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.raw());
+  }
+};

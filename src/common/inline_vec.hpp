@@ -1,0 +1,89 @@
+// Small-buffer vector for message payloads. Almost every message in the
+// paper's algorithms carries O(1) node IDs (Section 2), so the common case
+// must not heap-allocate; only ClusterResize responses (footnote 2 of the
+// paper) ever spill.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace gossip {
+
+template <typename T, std::size_t kInline>
+class InlineVec {
+ public:
+  InlineVec() = default;
+  InlineVec(std::initializer_list<T> init) {
+    for (const T& v : init) push_back(v);
+  }
+
+  void push_back(const T& v) {
+    if (size_ < kInline) {
+      inline_[size_] = v;
+    } else {
+      overflow_.push_back(v);
+    }
+    ++size_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    GOSSIP_CHECK(i < size_);
+    return i < kInline ? inline_[i] : overflow_[i - kInline];
+  }
+
+  [[nodiscard]] T& operator[](std::size_t i) {
+    GOSSIP_CHECK(i < size_);
+    return i < kInline ? inline_[i] : overflow_[i - kInline];
+  }
+
+  [[nodiscard]] const T& front() const { return (*this)[0]; }
+  [[nodiscard]] const T& back() const { return (*this)[size_ - 1]; }
+
+  void clear() noexcept {
+    size_ = 0;
+    overflow_.clear();
+  }
+
+  /// Copies out to a std::vector (used by the rare large-list consumers).
+  [[nodiscard]] std::vector<T> to_vector() const {
+    std::vector<T> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) out.push_back((*this)[i]);
+    return out;
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < size_; ++i) fn((*this)[i]);
+  }
+
+  [[nodiscard]] bool contains(const T& v) const {
+    for (std::size_t i = 0; i < size_; ++i) {
+      if ((*this)[i] == v) return true;
+    }
+    return false;
+  }
+
+  friend bool operator==(const InlineVec& a, const InlineVec& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (!(a[i] == b[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::array<T, kInline> inline_{};
+  std::size_t size_ = 0;
+  std::vector<T> overflow_;
+};
+
+}  // namespace gossip

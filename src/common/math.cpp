@@ -1,0 +1,47 @@
+#include "common/math.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace gossip {
+
+unsigned floor_log2(std::uint64_t x) noexcept {
+  return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+unsigned ceil_log2(std::uint64_t x) noexcept {
+  if (x <= 1) return 0;
+  return floor_log2(x - 1) + 1;
+}
+
+double log2d(std::uint64_t x) noexcept { return std::log2(static_cast<double>(x)); }
+
+double loglog2d(std::uint64_t x) noexcept {
+  const double l = log2d(x);
+  if (l <= 2.0) return 1.0;
+  return std::log2(l);
+}
+
+unsigned ceil_loglog2(std::uint64_t n) noexcept {
+  return static_cast<unsigned>(std::ceil(loglog2d(n)));
+}
+
+std::uint64_t isqrt(std::uint64_t x) noexcept {
+  if (x == 0) return 0;
+  auto r = static_cast<std::uint64_t>(std::sqrt(static_cast<double>(x)));
+  // Fix up floating-point edge cases around perfect squares.
+  while (r > 0 && r * r > x) --r;
+  while ((r + 1) * (r + 1) <= x) ++r;
+  return r;
+}
+
+std::uint64_t saturating_mul(std::uint64_t a, std::uint64_t b) noexcept {
+  const __uint128_t p = static_cast<__uint128_t>(a) * b;
+  if (p > std::numeric_limits<std::uint64_t>::max()) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return static_cast<std::uint64_t>(p);
+}
+
+}  // namespace gossip

@@ -1,0 +1,39 @@
+// Small integer/real math helpers used by the algorithms' parameter
+// schedules (log n, log log n, sqrt(n)/polylog thresholds, ...).
+#pragma once
+
+#include <cstdint>
+
+namespace gossip {
+
+/// floor(log2(x)). Precondition: x > 0.
+[[nodiscard]] unsigned floor_log2(std::uint64_t x) noexcept;
+
+/// ceil(log2(x)). Precondition: x > 0. ceil_log2(1) == 0.
+[[nodiscard]] unsigned ceil_log2(std::uint64_t x) noexcept;
+
+/// Real-valued log2 of x (x > 0).
+[[nodiscard]] double log2d(std::uint64_t x) noexcept;
+
+/// Real-valued log2(log2(x)), the paper's ubiquitous `log log n`.
+/// Defined for x >= 3 (log2(x) > 1); clamped to >= 1 below that so round
+/// schedules stay positive for tiny test networks.
+[[nodiscard]] double loglog2d(std::uint64_t x) noexcept;
+
+/// ceil(log2(log2(n))) clamped to >= 1; the integer `Theta(log log n)` used
+/// to size round loops.
+[[nodiscard]] unsigned ceil_loglog2(std::uint64_t n) noexcept;
+
+/// Integer square root: largest r with r*r <= x.
+[[nodiscard]] std::uint64_t isqrt(std::uint64_t x) noexcept;
+
+/// ceil(a / b). Precondition: b > 0.
+[[nodiscard]] constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// Saturating multiply guarding the `s <- Theta(s^2)` cluster-size schedule
+/// against overflow on 64 bits.
+[[nodiscard]] std::uint64_t saturating_mul(std::uint64_t a, std::uint64_t b) noexcept;
+
+}  // namespace gossip

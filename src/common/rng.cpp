@@ -1,0 +1,79 @@
+#include "common/rng.hpp"
+
+namespace gossip {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix64(std::uint64_t value) noexcept {
+  std::uint64_t s = value;
+  return splitmix64(s);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+  // xoshiro must not start in the all-zero state; SplitMix64 makes that
+  // astronomically unlikely, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform_below(std::uint64_t bound) noexcept {
+  // Lemire's method; the rejection loop runs ~once on average.
+  __uint128_t m = static_cast<__uint128_t>(next_u64()) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0ULL - bound) % bound;
+    while (lo < threshold) {
+      m = static_cast<__uint128_t>(next_u64()) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t Rng::uniform_range(std::uint64_t lo, std::uint64_t hi) noexcept {
+  return lo + uniform_below(hi - lo + 1);
+}
+
+double Rng::uniform01() noexcept {
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+Rng Rng::fork(std::uint64_t stream) const noexcept {
+  // Child seed: decorrelate the parent seed and the stream index through two
+  // SplitMix64 rounds; children of distinct (seed, stream) pairs collide only
+  // with probability ~2^-64.
+  return Rng(mix64(seed_ ^ mix64(stream + 0x632be59bd9b4e019ULL)));
+}
+
+}  // namespace gossip

@@ -1,0 +1,60 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// All randomness in the library flows through gossip::Rng so that every
+// experiment is reproducible from a single 64-bit seed. The generator is
+// xoshiro256** (Blackman & Vigna), seeded via SplitMix64; `fork(stream)`
+// derives statistically independent per-node streams, which is what lets the
+// simulator model n nodes flipping independent coins without sharing state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace gossip {
+
+/// SplitMix64 step: used for seeding and for cheap stateless hashing.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stateless mixing of a 64-bit value (one SplitMix64 round on a copy).
+[[nodiscard]] std::uint64_t mix64(std::uint64_t value) noexcept;
+
+/// xoshiro256** generator with helpers for the distributions the algorithms
+/// need (uniform-below, Bernoulli, uniform double).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four words of state from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Next raw 64-bit output.
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  /// Uses Lemire's nearly-divisionless bounded sampling.
+  [[nodiscard]] std::uint64_t uniform_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  [[nodiscard]] std::uint64_t uniform_range(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() noexcept;
+
+  /// True with probability p (clamped to [0, 1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Derives an independent generator for a sub-stream (e.g. one per node).
+  /// Different `stream` values give streams that never correlate in practice.
+  [[nodiscard]] Rng fork(std::uint64_t stream) const noexcept;
+
+  // UniformRandomBitGenerator interface (usable with <algorithm> shuffles).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() noexcept { return next_u64(); }
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+  std::uint64_t seed_;  // retained so fork() can derive child seeds
+};
+
+}  // namespace gossip

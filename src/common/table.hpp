@@ -1,0 +1,44 @@
+// Plain-text aligned table printer for the benchmark harness. Every bench
+// binary prints self-describing tables with this; keeping the format in one
+// place makes bench_output.txt uniform and diffable.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gossip {
+
+/// Column-aligned table with a title, header row and formatted cells.
+class Table {
+ public:
+  explicit Table(std::string title, std::vector<std::string> headers);
+
+  /// Starts a new row; fill it with the add_* calls below.
+  Table& row();
+
+  Table& add(std::string cell);
+  Table& add(const char* cell);
+  Table& add(std::uint64_t v);
+  Table& add(std::int64_t v);
+  Table& add(int v);
+  Table& add(unsigned v);
+  /// Fixed-precision double (default 2 decimal places).
+  Table& add(double v, int precision = 2);
+
+  /// Renders the table (title, rule, header, rows) to `os`.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double like "3.14" with the given precision.
+[[nodiscard]] std::string format_double(double v, int precision = 2);
+
+}  // namespace gossip

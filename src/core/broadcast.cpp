@@ -1,0 +1,55 @@
+#include "core/broadcast.hpp"
+
+#include "common/assert.hpp"
+#include "core/cluster1.hpp"
+#include "core/cluster2.hpp"
+#include "core/cluster3.hpp"
+#include "core/cluster_push_pull.hpp"
+#include "sim/engine.hpp"
+
+namespace gossip::core {
+
+const char* to_string(Algorithm a) noexcept {
+  switch (a) {
+    case Algorithm::kCluster1: return "Cluster1";
+    case Algorithm::kCluster2: return "Cluster2";
+    case Algorithm::kCluster3PushPull: return "Cluster3+PushPull";
+  }
+  return "?";
+}
+
+BroadcastReport broadcast(sim::Network& net, const BroadcastOptions& options) {
+  sim::Engine engine(net);
+  cluster::DriverOptions driver_opts;
+  driver_opts.validate = options.validate;
+
+  switch (options.algorithm) {
+    case Algorithm::kCluster1: {
+      Cluster1 algo(engine, options.cluster1, driver_opts, options.observer);
+      return algo.run(options.source);
+    }
+    case Algorithm::kCluster2: {
+      Cluster2 algo(engine, options.cluster2, driver_opts, options.observer);
+      return algo.run(options.source);
+    }
+    case Algorithm::kCluster3PushPull: {
+      Cluster3 builder(engine, options.delta, options.cluster3, driver_opts,
+                       options.observer);
+      BroadcastReport clustering_report = builder.run();
+      ClusterPushPull spread(builder.driver(), options.push_pull);
+      BroadcastReport spread_report =
+          spread.run(options.source, builder.cluster_target(), /*reset_metrics=*/false);
+      // Combined end-to-end accounting (Theorem 4): the engine metered both
+      // stages; report total rounds and attribute phases from both reports.
+      spread_report.rounds = engine.rounds();
+      spread_report.phases.insert(spread_report.phases.begin(),
+                                  clustering_report.phases.begin(),
+                                  clustering_report.phases.end());
+      return spread_report;
+    }
+  }
+  GOSSIP_CHECK_MSG(false, "unknown algorithm");
+  return {};
+}
+
+}  // namespace gossip::core

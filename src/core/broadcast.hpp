@@ -1,0 +1,48 @@
+// One-call public API: broadcast a rumor with one of the paper's algorithms.
+//
+//   gossip::sim::Network net({.n = 1'000'000, .seed = 7});
+//   auto report = gossip::core::broadcast(net, {.algorithm =
+//       gossip::core::Algorithm::kCluster2});
+//
+// For the Delta-bounded variant (kCluster3PushPull) the call builds the
+// Delta-clustering with Cluster3 and then broadcasts with ClusterPushPull;
+// the returned report covers the combined execution (Theorem 4's end-to-end
+// accounting). Baseline algorithms live in gossip::baselines and return the
+// same BroadcastReport type.
+#pragma once
+
+#include <cstdint>
+
+#include "core/options.hpp"
+#include "core/phase_observer.hpp"
+#include "core/report.hpp"
+#include "sim/network.hpp"
+
+namespace gossip::core {
+
+enum class Algorithm {
+  kCluster1,          ///< Algorithm 1: round-optimal
+  kCluster2,          ///< Algorithm 2: round-, message- and bit-optimal
+  kCluster3PushPull,  ///< Algorithms 4+3: Delta-bounded communication
+};
+
+[[nodiscard]] const char* to_string(Algorithm a) noexcept;
+
+struct BroadcastOptions {
+  Algorithm algorithm = Algorithm::kCluster2;
+  std::uint32_t source = 0;
+  /// Communication bound for kCluster3PushPull (>= 16).
+  std::uint64_t delta = 1024;
+  /// Enable the O(n) structural invariant checks (tests/debugging).
+  bool validate = false;
+  Cluster1Options cluster1;
+  Cluster2Options cluster2;
+  Cluster3Options cluster3;
+  ClusterPushPullOptions push_pull;
+  PhaseObserverFn observer;
+};
+
+/// Runs the selected algorithm on a fresh engine over `net`.
+[[nodiscard]] BroadcastReport broadcast(sim::Network& net, const BroadcastOptions& options);
+
+}  // namespace gossip::core

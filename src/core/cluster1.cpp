@@ -1,0 +1,67 @@
+#include "core/cluster1.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/math.hpp"
+
+namespace gossip::core {
+
+Cluster1::Cluster1(sim::Engine& engine, Cluster1Options options,
+                   cluster::DriverOptions driver_opts, PhaseObserverFn observer)
+    : ClusterAlgorithmBase(engine, driver_opts, std::move(observer)), opts_(options) {}
+
+BroadcastReport Cluster1::run(std::uint32_t source) {
+  return run(std::span<const std::uint32_t>(&source, 1));
+}
+
+BroadcastReport Cluster1::run(std::span<const std::uint32_t> sources) {
+  set_sources(sources);
+
+  const std::uint64_t n = net_.n();
+  const double log_n = std::max(2.0, log2d(n));
+
+  // --- GrowInitialClusters (lines 6-10) ----------------------------------
+  // Sample leaders w.p. 1/(C log n); recruit for Theta(log log n) rounds
+  // until ~90% of nodes sit in clusters of size >= C' log n (Lemma 5).
+  const double seed_prob = 1.0 / (opts_.seed_factor_c * log_n);
+  const auto grow_rounds = static_cast<unsigned>(
+      std::ceil(std::log2(opts_.seed_factor_c * log_n)) + opts_.extra_grow_rounds);
+  seed_singletons(seed_prob);
+  grow_simple(grow_rounds);
+  mark_phase("grow");
+
+  // --- SquareClusters (lines 11-20) ----------------------------------------
+  // s starts at C' log n and is squared each iteration until it exceeds
+  // sqrt(n / log n) (Lemma 6).
+  const auto s0 = std::max<std::uint64_t>(
+      4, static_cast<std::uint64_t>(std::llround(opts_.min_size_factor * log_n)));
+  const std::uint64_t target = isqrt(n / static_cast<std::uint64_t>(log_n));
+  const double kappa = opts_.square_kappa;
+  square_clusters(
+      s0, target,
+      [kappa](std::uint64_t s) {
+        const auto squared = static_cast<std::uint64_t>(
+            kappa * static_cast<double>(saturating_mul(s, s)));
+        return std::max(2 * s, squared);
+      },
+      cluster::RelayPolicy::kSmallest, opts_.max_square_iters);
+  mark_phase("square");
+
+  // --- MergeAllClusters (lines 21-24) ----------------------------------------
+  merge_all_clusters(opts_.merge_all_reps, opts_.settle_rounds);
+  mark_phase("merge_all");
+
+  // --- UnclusteredNodesPull (lines 25-26) --------------------------------------
+  unclustered_pull(ceil_loglog2(n) + opts_.extra_pull_rounds);
+  mark_phase("pull");
+
+  // --- ClusterShare(message) (line 5) --------------------------------------------
+  final_share();
+  mark_phase("share");
+
+  return make_report();
+}
+
+}  // namespace gossip::core

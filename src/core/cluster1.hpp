@@ -1,0 +1,40 @@
+// Cluster1 (paper Algorithm 1, Theorem 9): the round-optimal gossip
+// algorithm. Spreads a rumor to all nodes in O(log log n) rounds in the
+// random phone call model with direct addressing. Message- and bit-
+// complexity are deliberately unoptimized (a constant fraction of nodes
+// transmits in most rounds); Cluster2 is the optimized variant.
+//
+// Pipeline: GrowInitialClusters -> SquareClusters -> MergeAllClusters ->
+// UnclusteredNodesPull -> ClusterShare(message).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "cluster/driver.hpp"
+#include "core/cluster_algorithm_base.hpp"
+#include "core/options.hpp"
+#include "core/phase_observer.hpp"
+#include "core/report.hpp"
+
+namespace gossip::core {
+
+class Cluster1 : public ClusterAlgorithmBase {
+ public:
+  explicit Cluster1(sim::Engine& engine, Cluster1Options options = Cluster1Options(),
+                    cluster::DriverOptions driver_opts = cluster::DriverOptions(),
+                    PhaseObserverFn observer = nullptr);
+
+  /// Runs the full algorithm with node `source` holding the rumor.
+  /// One-shot: construct a fresh instance (and engine) per execution.
+  BroadcastReport run(std::uint32_t source);
+
+  /// Multi-source variant (paper Section 2: the rumor may start at one node
+  /// "or multiple nodes"); identical schedule, same guarantees.
+  BroadcastReport run(std::span<const std::uint32_t> sources);
+
+ private:
+  Cluster1Options opts_;
+};
+
+}  // namespace gossip::core

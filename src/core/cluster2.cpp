@@ -1,0 +1,68 @@
+#include "core/cluster2.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/math.hpp"
+#include "core/schedules.hpp"
+
+namespace gossip::core {
+
+Cluster2::Cluster2(sim::Engine& engine, Cluster2Options options,
+                   cluster::DriverOptions driver_opts, PhaseObserverFn observer)
+    : ClusterAlgorithmBase(engine, driver_opts, std::move(observer)), opts_(options) {}
+
+BroadcastReport Cluster2::run(std::uint32_t source) {
+  return run(std::span<const std::uint32_t>(&source, 1));
+}
+
+BroadcastReport Cluster2::run(std::span<const std::uint32_t> sources) {
+  set_sources(sources);
+
+  const std::uint64_t n = net_.n();
+  const double log_n = std::max(2.0, log2d(n));
+  const Cluster2Schedule sched = compute_cluster2_schedule(n, opts_);
+
+  // --- GrowInitialClusters (Algorithm 2 lines 7-17) -----------------------
+  // Only Theta(n / log n) nodes get clustered: seeds * threshold tracks
+  // n / log n and growth-controlled clusters stop/split (Lemma 11).
+  seed_singletons(sched.seed_prob);
+  grow_controlled(sched.threshold, sched.grow_rounds, opts_.growth_stop_factor);
+  mark_phase("grow");
+
+  // --- SquareClusters (lines 18-27): s <- Theta(s^2 / log n), random merge.
+  const double kappa = opts_.square_kappa;
+  square_clusters(
+      sched.s0, sched.s_target,
+      [kappa, log_n](std::uint64_t s) {
+        const auto squared = static_cast<std::uint64_t>(
+            kappa * static_cast<double>(saturating_mul(s, s)) / log_n);
+        return std::max(2 * s, squared);
+      },
+      cluster::RelayPolicy::kRandom, opts_.max_square_iters);
+  mark_phase("square");
+
+  // --- MergeAllClusters (line 3, "as in Algorithm 1") ------------------------
+  merge_all_clusters(opts_.merge_all_reps, opts_.settle_rounds);
+  mark_phase("merge_all");
+
+  // --- BoundedClusterPush (lines 28-35): expand the single cluster to
+  // Theta(n) nodes so the final PULL costs O(1) messages per straggler
+  // (Lemma 13).
+  bounded_cluster_push(opts_.bounded_push_stop, sched.bounded_push_iters,
+                       /*resize_target=*/std::nullopt);
+  mark_phase("bounded_push");
+
+  // --- UnclusteredNodesPull (line 5) ------------------------------------------
+  unclustered_pull(sched.pull_rounds);
+  mark_phase("pull");
+
+  // --- ClusterShare(message) (line 6) --------------------------------------------
+  final_share();
+  mark_phase("share");
+
+  return make_report();
+}
+
+}  // namespace gossip::core

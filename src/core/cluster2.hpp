@@ -1,0 +1,42 @@
+// Cluster2 (paper Algorithm 2, Theorem 2): the main result. Spreads a
+// b-bit rumor in O(log log n) rounds using O(1) messages per node on
+// average and O(nb) total bits - simultaneously optimal round-, message-
+// and bit-complexity in the random phone call model with direct addressing.
+//
+// The message optimality comes from working with only Theta(n / log n)
+// clustered nodes through the grow and square phases (growth-controlled
+// recruiting), then expanding the single merged cluster to Theta(n) nodes
+// with BoundedClusterPush before the final PULL phase, so each straggler
+// expects to pull O(1) times.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "cluster/driver.hpp"
+#include "core/cluster_algorithm_base.hpp"
+#include "core/options.hpp"
+#include "core/phase_observer.hpp"
+#include "core/report.hpp"
+
+namespace gossip::core {
+
+class Cluster2 : public ClusterAlgorithmBase {
+ public:
+  explicit Cluster2(sim::Engine& engine, Cluster2Options options = Cluster2Options(),
+                    cluster::DriverOptions driver_opts = cluster::DriverOptions(),
+                    PhaseObserverFn observer = nullptr);
+
+  /// Runs the full algorithm with node `source` holding the rumor.
+  /// One-shot: construct a fresh instance (and engine) per execution.
+  BroadcastReport run(std::uint32_t source);
+
+  /// Multi-source variant (paper Section 2: the rumor may start at one node
+  /// "or multiple nodes"); identical schedule, same guarantees.
+  BroadcastReport run(std::span<const std::uint32_t> sources);
+
+ private:
+  Cluster2Options opts_;
+};
+
+}  // namespace gossip::core

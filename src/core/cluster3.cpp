@@ -1,0 +1,85 @@
+#include "core/cluster3.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/math.hpp"
+#include "core/schedules.hpp"
+
+namespace gossip::core {
+
+Cluster3::Cluster3(sim::Engine& engine, std::uint64_t delta, Cluster3Options options,
+                   cluster::DriverOptions driver_opts, PhaseObserverFn observer)
+    : ClusterAlgorithmBase(engine, driver_opts, std::move(observer)),
+      delta_(delta),
+      opts_(options) {}
+
+BroadcastReport Cluster3::run() {
+  const std::uint64_t n = net_.n();
+  const double log_n = std::max(2.0, log2d(n));
+  const Cluster3Schedule sched = compute_cluster3_schedule(n, delta_, opts_);
+  cluster_target_ = sched.cluster_target;
+  const std::uint64_t D = sched.cluster_target;
+
+  // --- GrowInitialClusters + SquareClusters (Algorithm 4 lines 1-2): as in
+  // Cluster2, but stopped at s ~ sqrt(Delta log n)/C'' so clusters stay well
+  // below the Delta scale.
+  seed_singletons(sched.grow.seed_prob);
+  grow_controlled(sched.grow.threshold, sched.grow.grow_rounds,
+                  opts_.grow.growth_stop_factor);
+  mark_phase("grow");
+
+  const double kappa = opts_.grow.square_kappa;
+  const std::uint64_t last_s = square_clusters(
+      sched.grow.s0, sched.grow.s_target,
+      [kappa, log_n](std::uint64_t s) {
+        const auto squared = static_cast<std::uint64_t>(
+            kappa * static_cast<double>(saturating_mul(s, s)) / log_n);
+        return std::max(2 * s, squared);
+      },
+      cluster::RelayPolicy::kRandom, opts_.grow.max_square_iters);
+  // The loop exits right after its merge repetitions, so clusters sit at the
+  // merged (squared) size with no trailing resize; trim them back to the
+  // schedule scale now, or the MergeClusters/settle pulls that follow would
+  // load the big leaders beyond Delta.
+  driver_.resize(std::clamp<std::uint64_t>(2 * last_s, 4, std::max<std::uint64_t>(4, D / 2)),
+                 /*only_active=*/false);
+  mark_phase("square");
+
+  // --- MergeClusters (lines 7-10): activate w.p. ~ 10 s / (Delta/C''); each
+  // active cluster absorbs ~D/(10 s) inactive ones chosen uniformly, giving
+  // clusters of size Theta(D).
+  const double p = std::clamp(opts_.merge_activation_scale * static_cast<double>(last_s) /
+                                  static_cast<double>(D),
+                              0.05, 0.95);
+  driver_.activate(p);
+  driver_.clear_candidates();
+  driver_.push_cluster_id(/*only_active=*/true, /*recruit_unclustered=*/false,
+                          cluster::RelayPolicy::kRandom);
+  driver_.relay_candidates(cluster::RelayPolicy::kRandom, /*only_inactive_relayers=*/true);
+  driver_.merge_from_inbox(cluster::RelayPolicy::kRandom, /*only_inactive=*/true);
+  driver_.settle(opts_.settle_rounds);
+  mark_phase("merge");
+
+  // --- BoundedClusterPush (lines 11-19): recruit the unclustered while a
+  // continuous ClusterResize(D) keeps every leader's load below Delta.
+  bounded_cluster_push(opts_.bounded_push_stop, sched.bounded_push_iters,
+                       /*resize_target=*/D);
+  mark_phase("bounded_push");
+
+  // --- UnclusteredNodesPull (line 5) + final ClusterResize (line 6) -----------
+  // Resize first: the last BoundedClusterPush iteration recruits after its
+  // resize, so clusters can sit above 2D here; trimming them now keeps every
+  // leader's load through the pull phase and the final resize below Delta.
+  driver_.resize(D, /*only_active=*/false);
+  // Dissolve undersized strays so every PULL joins a healthy cluster.
+  driver_.dissolve_below(std::max<std::uint64_t>(2, D / 8));
+  unclustered_pull(sched.pull_rounds);
+  driver_.resize(D, /*only_active=*/false);
+  mark_phase("pull_resize");
+
+  return make_report();
+}
+
+}  // namespace gossip::core

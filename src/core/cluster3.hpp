@@ -1,0 +1,42 @@
+// Cluster3(Delta) (paper Algorithm 4, Theorem 18): computes a
+// Theta(Delta)-clustering - every node clustered, cluster sizes within a
+// constant factor of Delta/C'' - in O(log log n) rounds with O(n) messages,
+// while no node is involved in more than Delta communications in any round.
+//
+// Together with ClusterPushPull (Algorithm 3) this realizes every point of
+// the Section 7 trade-off curve: broadcast in Theta(log n / log Delta)
+// rounds under a Delta communication bound (Lemma 16's floor).
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/driver.hpp"
+#include "core/cluster_algorithm_base.hpp"
+#include "core/options.hpp"
+#include "core/phase_observer.hpp"
+#include "core/report.hpp"
+
+namespace gossip::core {
+
+class Cluster3 : public ClusterAlgorithmBase {
+ public:
+  Cluster3(sim::Engine& engine, std::uint64_t delta,
+           Cluster3Options options = Cluster3Options(),
+           cluster::DriverOptions driver_opts = cluster::DriverOptions(),
+           PhaseObserverFn observer = nullptr);
+
+  /// Computes the Delta-clustering. The result lives in driver().clustering();
+  /// run a ClusterPushPull over the same driver to broadcast.
+  /// The report's informed counters are zero - this builds structure only.
+  BroadcastReport run();
+
+  /// The realized per-cluster size target D = Delta / C''.
+  [[nodiscard]] std::uint64_t cluster_target() const noexcept { return cluster_target_; }
+
+ private:
+  std::uint64_t delta_;
+  std::uint64_t cluster_target_ = 0;
+  Cluster3Options opts_;
+};
+
+}  // namespace gossip::core

@@ -1,0 +1,246 @@
+#include "core/cluster_algorithm_base.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/math.hpp"
+
+namespace gossip::core {
+
+using cluster::RelayPolicy;
+
+ClusterAlgorithmBase::ClusterAlgorithmBase(sim::Engine& engine,
+                                           cluster::DriverOptions driver_opts,
+                                           PhaseObserverFn observer)
+    : engine_(engine),
+      net_(engine.network()),
+      driver_(engine, driver_opts),
+      informed_(engine.network().n(), 0),
+      observer_(std::move(observer)) {}
+
+void ClusterAlgorithmBase::set_sources(std::span<const std::uint32_t> sources) {
+  bool any_alive = false;
+  for (const std::uint32_t s : sources) {
+    GOSSIP_CHECK_MSG(s < net_.n(), "source index out of range");
+    informed_[s] = 1;
+    any_alive |= net_.alive(s);
+  }
+  GOSSIP_CHECK_MSG(any_alive, "need at least one alive source");
+}
+
+void ClusterAlgorithmBase::mark_phase(std::string name) {
+  const auto& total = engine_.metrics().run().total;
+  phase_marks_.push_back(PhaseMark{std::move(name), engine_.rounds(),
+                                   total.payload_messages, total.connections, total.bits});
+}
+
+void ClusterAlgorithmBase::observe(std::string_view phase, std::uint64_t step,
+                                   std::uint64_t schedule_s) {
+  if (!observer_) return;
+  PhaseSnapshot snap;
+  snap.phase = phase;
+  snap.step = step;
+  snap.round = engine_.rounds();
+  snap.schedule_s = schedule_s;
+  snap.informed = count_informed();
+  snap.clustering = driver_.clustering().stats();
+  observer_(snap);
+}
+
+std::uint64_t ClusterAlgorithmBase::count_informed() const {
+  std::uint64_t informed = 0;
+  for (std::uint32_t v = 0; v < net_.n(); ++v) {
+    if (net_.alive(v) && informed_[v]) ++informed;
+  }
+  return informed;
+}
+
+BroadcastReport ClusterAlgorithmBase::make_report() const {
+  BroadcastReport r;
+  r.n = net_.n();
+  r.alive = net_.alive_count();
+  r.informed = count_informed();
+  r.all_informed = r.informed == r.alive;
+  r.rounds = engine_.rounds();
+  r.stats = engine_.metrics().run();
+  PhaseMark prev{"", 0, 0, 0, 0};
+  for (const auto& mark : phase_marks_) {
+    PhaseBreakdown pb;
+    pb.name = mark.name;
+    pb.rounds = mark.rounds - prev.rounds;
+    pb.payload_messages = mark.payload_messages - prev.payload_messages;
+    pb.connections = mark.connections - prev.connections;
+    pb.bits = mark.bits - prev.bits;
+    r.phases.push_back(std::move(pb));
+    prev = mark;
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Seeding (Algorithm 1 line 7 / Algorithm 2 lines 8-9)
+// ---------------------------------------------------------------------------
+void ClusterAlgorithmBase::seed_singletons(double prob) {
+  auto& cl = driver_.clustering();
+  for (std::uint32_t v = 0; v < net_.n(); ++v) {
+    if (!net_.alive(v)) continue;
+    Rng coin = net_.node_rng(v, /*salt=*/0x5eed0);
+    if (coin.bernoulli(prob)) {
+      cl.make_leader(v);
+      cl.set_active(v, true);
+      cl.set_size_estimate(v, 1);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GrowInitialClusters, Cluster1 flavour (Algorithm 1 lines 8-10)
+// ---------------------------------------------------------------------------
+void ClusterAlgorithmBase::grow_simple(unsigned rounds) {
+  for (unsigned t = 0; t < rounds; ++t) {
+    driver_.push_cluster_id(/*only_active=*/false, /*recruit_unclustered=*/true,
+                            RelayPolicy::kSmallest);
+    observe("grow", t, 0);
+  }
+  driver_.clear_candidates();  // discard stray relay candidates from recruiting
+}
+
+// ---------------------------------------------------------------------------
+// GrowInitialClusters, Cluster2/3 flavour (Algorithm 2 lines 10-17)
+// ---------------------------------------------------------------------------
+void ClusterAlgorithmBase::grow_controlled(std::uint64_t threshold, unsigned rounds,
+                                           double stop_factor) {
+  auto& cl = driver_.clustering();
+  for (unsigned t = 0; t < rounds; ++t) {
+    driver_.push_cluster_id(/*only_active=*/true, /*recruit_unclustered=*/true,
+                            RelayPolicy::kRandom);
+    driver_.collect_and_verdict(
+        /*only_active=*/true, /*with_ids=*/true,
+        [&](std::uint32_t leader, std::uint64_t size, std::vector<NodeId>& members) {
+          cluster::Driver::Verdict v;
+          v.size_hint = size;
+          if (size < threshold) return v;  // below the gate: keep recruiting
+          // Paper lines 13-15: the slow-growth (crowding) stop applies only
+          // to clusters at or above the size gate, where the measured growth
+          // factor is statistically meaningful (Lemma 10/11).
+          const double prev =
+              static_cast<double>(std::max<std::uint64_t>(1, cl.size_estimate(leader)));
+          if (static_cast<double>(size) / prev < stop_factor) {
+            v.active = false;
+            return v;
+          }
+          // Size threshold reached: stop recruiting. In the paper's
+          // asymptotic regime the crowding stop alone bounds the clustered
+          // mass; at simulable n the crowding signal (2 - 1/log n) is below
+          // measurement noise, so the size cap is what enforces the
+          // calibrated mass  seeds * threshold ~ n / log n  (Lemma 11).
+          v.active = false;
+          // Paper line 17: ClusterResize(threshold) - split an overshooting
+          // cluster into ~threshold-sized groups so no cluster gets too big.
+          const std::uint64_t groups = std::max<std::uint64_t>(1, size / threshold);
+          if (groups > 1) {
+            const std::uint64_t base = size / groups;
+            const std::uint64_t extra = size % groups;
+            std::size_t idx = 0;
+            for (std::uint64_t g = 0; g < groups; ++g) {
+              idx += base + (g < extra ? 1 : 0);
+              v.new_leaders.push_back(members[idx - 1]);
+            }
+            v.size_hint = base;
+          }
+          return v;
+        });
+    observe("grow", t, threshold);
+  }
+  driver_.clear_candidates();
+}
+
+// ---------------------------------------------------------------------------
+// SquareClusters (Algorithm 1 lines 11-20 / Algorithm 2 lines 18-27)
+// ---------------------------------------------------------------------------
+std::uint64_t ClusterAlgorithmBase::square_clusters(
+    std::uint64_t s0, std::uint64_t target,
+    const std::function<std::uint64_t(std::uint64_t)>& next_s, RelayPolicy policy,
+    unsigned max_iters) {
+  driver_.dissolve_below(s0);
+  std::uint64_t s = s0;
+  std::uint64_t last_used = s0;
+  unsigned iters = 0;
+  while (s <= target && iters < max_iters) {
+    driver_.clear_candidates();
+    driver_.resize(s, /*only_active=*/false);
+    driver_.activate(1.0 / static_cast<double>(s));
+    for (int rep = 0; rep < 2; ++rep) {
+      driver_.push_cluster_id(/*only_active=*/true, /*recruit_unclustered=*/false, policy);
+      driver_.relay_candidates(policy, /*only_inactive_relayers=*/true);
+      driver_.merge_from_inbox(policy, /*only_inactive=*/true);
+    }
+    last_used = s;
+    s = next_s(s);
+    GOSSIP_CHECK_MSG(s > last_used, "square schedule must grow s");
+    ++iters;
+    observe("square", iters, s);
+  }
+  return last_used;
+}
+
+// ---------------------------------------------------------------------------
+// MergeAllClusters (Algorithm 1 lines 21-24)
+// ---------------------------------------------------------------------------
+void ClusterAlgorithmBase::merge_all_clusters(unsigned reps, unsigned settle_rounds) {
+  for (unsigned rep = 0; rep < reps; ++rep) {
+    driver_.clear_candidates();
+    driver_.push_cluster_id(/*only_active=*/false, /*recruit_unclustered=*/false,
+                            RelayPolicy::kSmallest);
+    driver_.relay_candidates(RelayPolicy::kSmallest, /*only_inactive_relayers=*/false);
+    driver_.merge_from_inbox(RelayPolicy::kSmallest, /*only_inactive=*/false);
+    observe("merge_all", rep, 0);
+  }
+  driver_.settle(settle_rounds);
+}
+
+// ---------------------------------------------------------------------------
+// BoundedClusterPush (Algorithm 2 lines 28-35 / Algorithm 4 lines 11-19)
+// ---------------------------------------------------------------------------
+void ClusterAlgorithmBase::bounded_cluster_push(double stop_factor, unsigned iterations,
+                                                std::optional<std::uint64_t> resize_target) {
+  driver_.set_all_active(true);  // paper: ClusterActivate(1)
+  auto& cl = driver_.clustering();
+  for (unsigned t = 0; t < iterations; ++t) {
+    if (resize_target) driver_.resize(*resize_target, /*only_active=*/true);
+    driver_.push_cluster_id(/*only_active=*/true, /*recruit_unclustered=*/true,
+                            RelayPolicy::kRandom);
+    driver_.collect_and_verdict(
+        /*only_active=*/true, /*with_ids=*/false,
+        [&](std::uint32_t leader, std::uint64_t size, std::vector<NodeId>&) {
+          cluster::Driver::Verdict v;
+          v.size_hint = size;
+          const double prev = static_cast<double>(std::max<std::uint64_t>(
+              1, cl.size_estimate(leader)));
+          v.active = static_cast<double>(size) / prev >= stop_factor;
+          return v;
+        });
+    observe("bounded_push", t, resize_target.value_or(0));
+  }
+  driver_.clear_candidates();
+}
+
+// ---------------------------------------------------------------------------
+// UnclusteredNodesPull (Algorithm 1 line 26)
+// ---------------------------------------------------------------------------
+void ClusterAlgorithmBase::unclustered_pull(unsigned rounds) {
+  for (unsigned t = 0; t < rounds; ++t) {
+    driver_.unclustered_pull_round();
+    observe("pull", t, 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ClusterShare(message) (Algorithm 1 line 5)
+// ---------------------------------------------------------------------------
+void ClusterAlgorithmBase::final_share() {
+  driver_.share_rumor(informed_, /*collect_first=*/true);
+  observe("share", 0, 0);
+}
+
+}  // namespace gossip::core

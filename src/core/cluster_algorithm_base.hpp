@@ -1,0 +1,106 @@
+// Shared phase machinery for Cluster1 / Cluster2 / Cluster3.
+//
+// The three algorithms are assembled from the same phases (paper Sections 4,
+// 5, 7): seeding singleton clusters, recruiting growth (plain or
+// growth-controlled), the cluster-size squaring loop, merging all clusters,
+// bounded cluster push, the unclustered PULL phase and the final
+// ClusterShare. Each phase method documents the exact pseudocode lines it
+// implements.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/driver.hpp"
+#include "core/phase_observer.hpp"
+#include "core/report.hpp"
+
+namespace gossip::core {
+
+class ClusterAlgorithmBase {
+ public:
+  [[nodiscard]] cluster::Driver& driver() noexcept { return driver_; }
+  [[nodiscard]] const cluster::Driver& driver() const noexcept { return driver_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& informed() const noexcept { return informed_; }
+
+ protected:
+  ClusterAlgorithmBase(sim::Engine& engine, cluster::DriverOptions driver_opts,
+                       PhaseObserverFn observer);
+
+  /// Marks the initially informed nodes (the broadcast task allows one or
+  /// several sources - paper Section 2). Contract: at least one alive source.
+  void set_sources(std::span<const std::uint32_t> sources);
+
+  // --- phase bookkeeping ---------------------------------------------------
+  /// Records that the named phase just finished (at the current round count).
+  void mark_phase(std::string name);
+  /// Emits a snapshot to the observer (no-op when none installed).
+  void observe(std::string_view phase, std::uint64_t step, std::uint64_t schedule_s);
+  [[nodiscard]] std::uint64_t count_informed() const;
+  [[nodiscard]] BroadcastReport make_report() const;
+
+  // --- phases ---------------------------------------------------------------
+  /// Samples every node independently as an active singleton-cluster leader.
+  /// (Algorithm 1 line 7 / Algorithm 2 lines 8-9.)
+  void seed_singletons(double prob);
+
+  /// Cluster1's GrowInitialClusters loop (Algorithm 1 lines 8-10): `rounds`
+  /// recruiting pushes by all clustered nodes; unclustered receivers adopt.
+  void grow_simple(unsigned rounds);
+
+  /// Cluster2/3's growth-controlled GrowInitialClusters (Algorithm 2 lines
+  /// 10-17): recruiting push + size measurement per iteration; clusters at or
+  /// above `threshold` deactivate when growth falls below `stop_factor`, and
+  /// are split back to ~threshold otherwise (the continuous ClusterResize).
+  void grow_controlled(std::uint64_t threshold, unsigned rounds, double stop_factor);
+
+  /// SquareClusters (Algorithm 1 lines 11-20 / Algorithm 2 lines 18-27):
+  /// dissolve below s0, then iterate resize(s) / activate(1/s) / two
+  /// ClusterPUSH+ClusterMerge repetitions, advancing s via `next_s`, while
+  /// s <= target. Returns the last s actually used for a resize (s0 if the
+  /// loop never ran - the simulable-regime case discussed in DESIGN.md).
+  std::uint64_t square_clusters(std::uint64_t s0, std::uint64_t target,
+                                const std::function<std::uint64_t(std::uint64_t)>& next_s,
+                                cluster::RelayPolicy policy, unsigned max_iters);
+
+  /// MergeAllClusters (Algorithm 1 lines 21-24): `reps` repetitions of
+  /// all-cluster ClusterPUSH + merge-to-smallest, then settle rounds.
+  void merge_all_clusters(unsigned reps, unsigned settle_rounds);
+
+  /// BoundedClusterPush (Algorithm 2 lines 28-35 / Algorithm 4 lines 11-19):
+  /// recruiting pushes with growth measurement; clusters deactivate when
+  /// growth < stop_factor. With `resize_target`, every iteration starts with
+  /// ClusterResize(resize_target) (the Cluster3 variant keeping leader load
+  /// below Delta).
+  void bounded_cluster_push(double stop_factor, unsigned iterations,
+                            std::optional<std::uint64_t> resize_target);
+
+  /// UnclusteredNodesPull (Algorithm 1 line 26).
+  void unclustered_pull(unsigned rounds);
+
+  /// Final ClusterShare(message) (Algorithm 1 line 5).
+  void final_share();
+
+  sim::Engine& engine_;
+  sim::Network& net_;
+  cluster::Driver driver_;
+  std::vector<std::uint8_t> informed_;
+  PhaseObserverFn observer_;
+
+ private:
+  struct PhaseMark {
+    std::string name;
+    std::uint64_t rounds;
+    std::uint64_t payload_messages;
+    std::uint64_t connections;
+    std::uint64_t bits;
+  };
+  std::vector<PhaseMark> phase_marks_;
+};
+
+}  // namespace gossip::core

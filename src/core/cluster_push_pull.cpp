@@ -1,0 +1,133 @@
+#include "core/cluster_push_pull.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/math.hpp"
+
+namespace gossip::core {
+
+using sim::Contact;
+using sim::Message;
+using sim::RoundHooks;
+
+ClusterPushPull::ClusterPushPull(cluster::Driver& driver, ClusterPushPullOptions options)
+    : driver_(driver),
+      engine_(driver.engine()),
+      net_(driver.network()),
+      opts_(options),
+      informed_(net_.n(), 0),
+      pushed_(net_.n(), 0),
+      need_relay_(net_.n(), 0) {}
+
+// Members of newly informed clusters push the rumor to a uniformly random
+// node - each node pushes exactly once over the whole execution, which is
+// what keeps the total message count linear.
+void ClusterPushPull::push_round() {
+  RoundHooks hooks;
+  hooks.initiate = [&](std::uint32_t v) -> std::optional<Contact> {
+    if (!informed_[v] || pushed_[v]) return std::nullopt;
+    pushed_[v] = 1;
+    return Contact::push_random(Message::rumor());
+  };
+  hooks.on_push = [&](std::uint32_t r, const Message& m) {
+    if (m.has_rumor() && !informed_[r]) {
+      informed_[r] = 1;
+      need_relay_[r] = 1;
+    }
+  };
+  engine_.run_round(hooks);
+}
+
+// First-time receivers relay the rumor to their own leader ("all messages
+// received ... get then relayed to their cluster leader").
+void ClusterPushPull::relay_round() {
+  auto& cl = driver_.clustering();
+  RoundHooks hooks;
+  hooks.initiate = [&](std::uint32_t v) -> std::optional<Contact> {
+    if (!need_relay_[v] || !cl.is_follower(v)) {
+      need_relay_[v] = 0;
+      return std::nullopt;
+    }
+    need_relay_[v] = 0;
+    return Contact::push_direct(cl.follow(v), Message::rumor());
+  };
+  hooks.on_push = [&](std::uint32_t r, const Message& m) {
+    if (m.has_rumor()) informed_[r] = 1;
+  };
+  engine_.run_round(hooks);
+}
+
+// Uninformed followers poll their leader; uninformed leaders (and, in the
+// final phase, every uninformed node) pull a uniformly random node.
+void ClusterPushPull::poll_round(bool uninformed_pull_random) {
+  auto& cl = driver_.clustering();
+  RoundHooks hooks;
+  hooks.initiate = [&](std::uint32_t v) -> std::optional<Contact> {
+    if (informed_[v]) return std::nullopt;
+    if (uninformed_pull_random || !cl.is_follower(v)) return Contact::pull_random();
+    return Contact::pull_direct(cl.follow(v));
+  };
+  hooks.respond = [&](std::uint32_t v) {
+    return informed_[v] ? Message::rumor() : Message::empty();
+  };
+  hooks.on_pull_reply = [&](std::uint32_t q, const Message& m) {
+    if (m.has_rumor() && !informed_[q]) {
+      informed_[q] = 1;
+      // A pull from a random node may inform a follower whose own leader is
+      // still uninformed: relay next round. Pulls from the own leader make
+      // the flag a no-op (the leader already has the rumor).
+      need_relay_[q] = 1;
+    }
+  };
+  engine_.run_round(hooks);
+}
+
+BroadcastReport ClusterPushPull::run(std::uint32_t source, std::uint64_t cluster_size_hint,
+                                     bool reset_metrics) {
+  GOSSIP_CHECK(source < net_.n());
+  if (reset_metrics) engine_.metrics().reset();
+  const std::uint64_t start_rounds = engine_.rounds();
+  informed_[source] = 1;
+
+  // Line 2: ClusterShare(message) - the source's cluster gets informed.
+  driver_.share_rumor(informed_, /*collect_first=*/true);
+
+  // Line 3-4: Theta(log n / log Delta) spread iterations of
+  // ClusterPUSH + relay + ClusterShare-poll (3 rounds each).
+  const double d = std::max(2.0, static_cast<double>(cluster_size_hint));
+  const auto spread_iters =
+      static_cast<unsigned>(std::ceil(log2d(net_.n()) / std::log2(d))) +
+      opts_.extra_spread_iters;
+  for (unsigned t = 0; t < spread_iters; ++t) {
+    push_round();
+    relay_round();
+    poll_round(/*uninformed_pull_random=*/false);
+  }
+
+  // Lines 5-6: remaining uninformed nodes PULL from random nodes, then the
+  // rumor is shared within each cluster (relay + poll).
+  for (unsigned rep = 0; rep < std::max(1u, opts_.final_pull_reps); ++rep) {
+    poll_round(/*uninformed_pull_random=*/true);
+    relay_round();
+    poll_round(/*uninformed_pull_random=*/false);
+  }
+
+  BroadcastReport r;
+  r.n = net_.n();
+  r.alive = net_.alive_count();
+  for (std::uint32_t v = 0; v < net_.n(); ++v) {
+    if (net_.alive(v) && informed_[v]) ++r.informed;
+  }
+  r.all_informed = r.informed == r.alive;
+  r.rounds = engine_.rounds() - (reset_metrics ? 0 : start_rounds);
+  r.stats = engine_.metrics().run();
+  PhaseBreakdown pb;
+  pb.name = "cluster_push_pull";
+  pb.rounds = engine_.rounds() - start_rounds;
+  r.phases.push_back(std::move(pb));
+  return r;
+}
+
+}  // namespace gossip::core

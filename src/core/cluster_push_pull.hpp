@@ -1,0 +1,58 @@
+// ClusterPushPull(Delta) (paper Algorithm 3, Lemma 17): broadcast over an
+// existing Delta-clustering in O(log n / log Delta) rounds with O(n)
+// payload messages.
+//
+// Iteration structure (3 rounds, matching the Lemma 17 proof): members of
+// newly informed clusters push the rumor to uniformly random nodes exactly
+// once; first-time receivers relay it to their leader; uninformed followers
+// poll their leader (uninformed leaders poll a random node). After the
+// Theta(log n / log Delta) growth iterations, the paper's lines 5-6 run: all
+// remaining uninformed nodes PULL from random nodes, then a final
+// ClusterShare sweeps each cluster. Polling pulls are connections; payload
+// traffic stays O(1) per node (see the metering convention in
+// sim/metrics.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/driver.hpp"
+#include "core/options.hpp"
+#include "core/report.hpp"
+
+namespace gossip::core {
+
+class ClusterPushPull {
+ public:
+  /// Runs over the clustering held by `driver` (typically produced by
+  /// Cluster3). The driver's engine keeps accumulating metrics; pass
+  /// `reset_metrics` to measure this broadcast in isolation (Lemma 17's
+  /// "once the Delta-clustering is computed" accounting).
+  explicit ClusterPushPull(cluster::Driver& driver,
+                           ClusterPushPullOptions options = ClusterPushPullOptions());
+
+  /// Broadcasts from `source`. `cluster_size_hint` is the clustering's size
+  /// parameter D (a program constant of the Delta-clustering), which sizes
+  /// the spread loop as ceil(log n / log D) + extra.
+  BroadcastReport run(std::uint32_t source, std::uint64_t cluster_size_hint,
+                      bool reset_metrics = false);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& informed() const noexcept {
+    return informed_;
+  }
+
+ private:
+  cluster::Driver& driver_;
+  sim::Engine& engine_;
+  sim::Network& net_;
+  ClusterPushPullOptions opts_;
+  std::vector<std::uint8_t> informed_;
+  std::vector<std::uint8_t> pushed_;
+  std::vector<std::uint8_t> need_relay_;
+
+  void push_round();
+  void relay_round();
+  void poll_round(bool uninformed_pull_random);
+};
+
+}  // namespace gossip::core

@@ -1,0 +1,171 @@
+#include "core/estimate_n.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/math.hpp"
+#include "core/cluster1.hpp"
+#include "sim/engine.hpp"
+
+namespace gossip::core {
+
+namespace {
+
+/// One verification pass: nodes probe random peers with their cluster ID and
+/// aggregate conflict flags within each cluster (2 + 2 + 2 rounds). Returns
+/// true if no alive node holds evidence against the guess. Two kinds of
+/// evidence exist: (a) structural - an unclustered node, or two nodes in
+/// different clusters (the clustering is not a single cluster); (b) scale -
+/// a leader counting more than 2 * guess members (the network is provably
+/// larger than the guess, so the schedule cannot be trusted even if this
+/// run happened to converge).
+bool verify_single_cluster(cluster::Driver& driver, unsigned probes,
+                           std::uint64_t guess) {
+  sim::Engine& engine = driver.engine();
+  sim::Network& net = engine.network();
+  auto& cl = driver.clustering();
+  std::vector<std::uint8_t> conflict(net.n(), 0);
+
+  // Scale check: a ClusterSize exchange; oversize clusters reject the guess.
+  driver.compute_sizes(/*only_active=*/false);
+  for (std::uint32_t v = 0; v < net.n(); ++v) {
+    if (net.alive(v) && cl.is_clustered(v) && cl.size_estimate(v) > 2 * guess) {
+      conflict[v] = 1;
+    }
+  }
+
+  // Probe rounds: everyone pushes its cluster ID (or a deliberate conflict
+  // marker if unclustered - an unclustered node is itself proof of failure).
+  for (unsigned p = 0; p < probes; ++p) {
+    sim::RoundHooks hooks;
+    hooks.initiate = [&](std::uint32_t v) -> std::optional<sim::Contact> {
+      if (cl.is_unclustered(v)) {
+        conflict[v] = 1;
+        return std::nullopt;
+      }
+      return sim::Contact::push_random(sim::Message::single_id(driver.cluster_id_of(v)));
+    };
+    hooks.on_push = [&](std::uint32_t r, const sim::Message& m) {
+      if (m.ids().empty()) return;
+      if (cl.is_unclustered(r) || m.ids().front() != driver.cluster_id_of(r)) {
+        conflict[r] = 1;
+      }
+    };
+    engine.run_round(hooks);
+  }
+
+  // Aggregate within clusters: conflicted followers push the flag to their
+  // leader; everyone pulls the aggregated verdict.
+  sim::RoundHooks collect;
+  collect.initiate = [&](std::uint32_t v) -> std::optional<sim::Contact> {
+    if (!conflict[v] || !cl.is_follower(v)) return std::nullopt;
+    return sim::Contact::push_direct(cl.follow(v), sim::Message::count(1));
+  };
+  collect.on_push = [&](std::uint32_t leader, const sim::Message& m) {
+    if (m.has_count() && m.count_value()) conflict[leader] = 1;
+  };
+  engine.run_round(collect);
+
+  sim::RoundHooks distribute;
+  distribute.initiate = [&](std::uint32_t v) -> std::optional<sim::Contact> {
+    if (!cl.is_follower(v)) return std::nullopt;
+    return sim::Contact::pull_direct(cl.follow(v));
+  };
+  distribute.respond = [&](std::uint32_t v) { return sim::Message::count(conflict[v]); };
+  distribute.on_pull_reply = [&](std::uint32_t q, const sim::Message& m) {
+    if (m.has_count() && m.count_value()) conflict[q] = 1;
+  };
+  engine.run_round(distribute);
+
+  for (std::uint32_t v = 0; v < net.n(); ++v) {
+    if (net.alive(v) && conflict[v]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+EstimateNResult estimate_network_size(sim::Network& net, EstimateNOptions options) {
+  GOSSIP_CHECK(options.first_tower_exponent <= options.max_tower_exponent);
+  EstimateNResult result;
+  sim::Engine engine(net);
+
+  for (unsigned k = options.first_tower_exponent; k <= options.max_tower_exponent; ++k) {
+    // N_k = 2^(2^k), saturated to keep the schedule arithmetic finite.
+    const unsigned bits = std::min(62u, 1u << k);
+    const std::uint64_t guess = 1ULL << bits;
+    ++result.attempts;
+
+    // Fresh clustering attempt parameterized by the guess. The schedule
+    // derives everything from `guess`, not from net.n().
+    cluster::Driver driver(engine);
+    Cluster1Options c1 = options.cluster1;
+    {
+      // Run the Cluster1 pipeline against the guessed size by constructing
+      // the phases manually on this driver (Cluster1 itself derives its
+      // schedule from a size parameter; we reuse its option set).
+      const double log_guess = std::max(2.0, static_cast<double>(bits));
+      const double seed_prob = 1.0 / (c1.seed_factor_c * log_guess);
+      auto& cl = driver.clustering();
+      for (std::uint32_t v = 0; v < net.n(); ++v) {
+        if (!net.alive(v)) continue;
+        Rng coin = net.node_rng(v, 0xe571u + k);
+        if (coin.bernoulli(seed_prob)) {
+          cl.make_leader(v);
+          cl.set_active(v, true);
+          cl.set_size_estimate(v, 1);
+        }
+      }
+      const auto grow_rounds = static_cast<unsigned>(
+          std::ceil(std::log2(c1.seed_factor_c * log_guess)) + c1.extra_grow_rounds);
+      for (unsigned t = 0; t < grow_rounds; ++t) {
+        driver.push_cluster_id(false, true, cluster::RelayPolicy::kSmallest);
+      }
+      driver.clear_candidates();
+      const auto s0 = std::max<std::uint64_t>(
+          4, static_cast<std::uint64_t>(std::llround(c1.min_size_factor * log_guess)));
+      driver.dissolve_below(s0);
+      std::uint64_t s = s0;
+      const std::uint64_t target = isqrt(guess / std::max<std::uint64_t>(2, bits));
+      unsigned iters = 0;
+      while (s <= target && iters < c1.max_square_iters) {
+        driver.clear_candidates();
+        driver.resize(s, false);
+        driver.activate(1.0 / static_cast<double>(s));
+        for (int rep = 0; rep < 2; ++rep) {
+          driver.push_cluster_id(true, false, cluster::RelayPolicy::kSmallest);
+          driver.relay_candidates(cluster::RelayPolicy::kSmallest, true);
+          driver.merge_from_inbox(cluster::RelayPolicy::kSmallest, true);
+        }
+        s = std::max(2 * s, static_cast<std::uint64_t>(
+                                c1.square_kappa *
+                                static_cast<double>(saturating_mul(s, s))));
+        ++iters;
+      }
+      for (unsigned rep = 0; rep < c1.merge_all_reps; ++rep) {
+        driver.clear_candidates();
+        driver.push_cluster_id(false, false, cluster::RelayPolicy::kSmallest);
+        driver.relay_candidates(cluster::RelayPolicy::kSmallest, false);
+        driver.merge_from_inbox(cluster::RelayPolicy::kSmallest, false);
+      }
+      driver.settle(c1.settle_rounds);
+      const unsigned pull_rounds =
+          std::max(2u, static_cast<unsigned>(std::ceil(std::log2(log_guess)))) +
+          c1.extra_pull_rounds;
+      for (unsigned t = 0; t < pull_rounds; ++t) driver.unclustered_pull_round();
+    }
+
+    if (verify_single_cluster(driver, options.verification_pushes, guess)) {
+      result.estimate = guess;
+      result.success = true;
+      break;
+    }
+  }
+
+  result.rounds = engine.rounds();
+  result.stats = engine.metrics().run();
+  return result;
+}
+
+}  // namespace gossip::core

@@ -1,0 +1,49 @@
+// Unknown network size: the guess-test-and-double strategy (paper Section
+// 2). The model assumes nodes know n "without loss of generality", because
+// a node can run the algorithm with a guess N, test success with high
+// probability, and retry with a larger guess.
+//
+// This module makes that reduction executable:
+//   * guesses follow the tower schedule N_k = 2^(2^k). Since each Cluster1
+//     attempt costs Theta(log log N_k) = Theta(2^k) rounds, the total cost
+//     telescopes to O(log log n_true) - the constant-factor overhead the
+//     paper asserts (plain doubling would cost an extra log n factor);
+//   * the success test is decentralized: after the clustering attempt, every
+//     node pushes its cluster ID to a few random nodes; any receiver whose
+//     own cluster ID differs (or who is unclustered) has *proof* that the
+//     guess failed. Verdicts are aggregated within each cluster, so all
+//     nodes of a consistent clustering agree. If the guess was large enough,
+//     Cluster1 built one cluster over everyone and no conflict exists; if it
+//     was too small, conflicting cluster IDs circulate w.h.p.
+#pragma once
+
+#include <cstdint>
+
+#include "core/options.hpp"
+#include "core/report.hpp"
+#include "sim/network.hpp"
+
+namespace gossip::core {
+
+struct EstimateNOptions {
+  unsigned first_tower_exponent = 2;  ///< first guess N = 2^(2^2) = 16
+  unsigned max_tower_exponent = 6;    ///< last guess N = 2^64 (saturated)
+  unsigned verification_pushes = 3;   ///< conflict probes per node per attempt
+  Cluster1Options cluster1;           ///< knobs for the per-guess attempts
+};
+
+struct EstimateNResult {
+  std::uint64_t estimate = 0;     ///< the accepted guess N (>= n/agreement scale)
+  unsigned attempts = 0;          ///< guesses consumed
+  bool success = false;           ///< a guess passed verification
+  std::uint64_t rounds = 0;       ///< total rounds across all attempts
+  sim::RunStats stats;            ///< cumulative metering
+};
+
+/// Runs guess-test-and-double on a network whose size the algorithm does
+/// not consult (only the returned estimate is derived from communication).
+[[nodiscard]] EstimateNResult estimate_network_size(sim::Network& net,
+                                                    EstimateNOptions options =
+                                                        EstimateNOptions());
+
+}  // namespace gossip::core

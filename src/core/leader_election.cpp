@@ -1,0 +1,45 @@
+#include "core/leader_election.hpp"
+
+#include <unordered_map>
+
+#include "common/assert.hpp"
+#include "core/cluster2.hpp"
+#include "sim/engine.hpp"
+
+namespace gossip::core {
+
+LeaderElectionResult elect_leader(sim::Network& net, Cluster2Options options) {
+  sim::Engine engine(net);
+  Cluster2 algo(engine, options);
+  // The rumor is irrelevant for the election; any alive source works.
+  std::uint32_t source = 0;
+  while (source < net.n() && !net.alive(source)) ++source;
+  GOSSIP_CHECK_MSG(source < net.n(), "no alive nodes");
+  LeaderElectionResult result;
+  result.report = algo.run(source);
+
+  // Every node's local view of its leader is its follow variable (its own
+  // ID if it leads). Tally agreement.
+  const auto& cl = algo.driver().clustering();
+  std::unordered_map<std::uint64_t, std::uint64_t> votes;
+  for (std::uint32_t v = 0; v < net.n(); ++v) {
+    if (!net.alive(v) || cl.is_unclustered(v)) continue;
+    ++votes[(cl.is_leader(v) ? net.id_of(v) : cl.follow(v)).raw()];
+  }
+  GOSSIP_CHECK_MSG(!votes.empty(), "election produced no clustering");
+  std::uint64_t best_raw = 0;
+  std::uint64_t best_count = 0;
+  for (const auto& [raw, count] : votes) {
+    if (count > best_count) {
+      best_raw = raw;
+      best_count = count;
+    }
+  }
+  result.leader = NodeId(best_raw);
+  result.leader_index = net.index_of(result.leader);
+  result.agreeing = best_count;
+  result.unanimous = best_count == net.alive_count();
+  return result;
+}
+
+}  // namespace gossip::core

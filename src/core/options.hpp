@@ -1,0 +1,96 @@
+// Tuning knobs for the paper's algorithms.
+//
+// The paper leaves all constants (C, C', C'', the Theta(.) loop counts and
+// the squaring constants) free. The defaults here are *simulation-
+// calibrated*: they preserve every mechanism and every asymptotic
+// relationship the proofs use, but scale the polylog exponents so the
+// algorithms are exercised meaningfully at laptop-simulable n (2^8..2^22).
+// The paper's asymptotic regime (seed probability 1/log^4 n with cluster
+// thresholds log^3 n) only becomes non-degenerate around n >= 2^40; see
+// DESIGN.md section 4.3 for the calibration rationale. Paper-exact exponents
+// can be restored per-field for asymptotic studies.
+#pragma once
+
+#include <cstdint>
+
+namespace gossip::core {
+
+/// Options for Cluster1 (Algorithm 1, Theorem 9): round-optimal, message-
+/// unoptimized.
+struct Cluster1Options {
+  /// GrowInitialClusters seeds leaders with probability 1/(C log2 n).
+  double seed_factor_c = 4.0;
+  /// Minimum initial cluster size C' log2 n enforced by ClusterDissolve.
+  double min_size_factor = 1.0;
+  /// Recruiting rounds beyond ceil(log2(C log2 n)) (saturation slack).
+  unsigned extra_grow_rounds = 3;
+  /// SquareClusters schedule: s <- max(2s, kappa * s^2).
+  double square_kappa = 0.25;
+  /// MergeAllClusters push+merge repetitions. The paper uses 2, which is
+  /// w.h.p.-sufficient only asymptotically; at simulable n the merge phase
+  /// handles O(log n) thin clusters, and each extra O(1)-round repetition
+  /// drives the split-brain probability down geometrically.
+  unsigned merge_all_reps = 5;
+  /// Path-compression rounds after simultaneous merges.
+  unsigned settle_rounds = 2;
+  /// PULL rounds beyond ceil(log log n) for the unclustered stragglers.
+  unsigned extra_pull_rounds = 5;
+  /// Hard bound on squaring iterations (loop safety; never binds in practice).
+  unsigned max_square_iters = 64;
+};
+
+/// Options for Cluster2 (Algorithm 2, Theorem 2): round-, message- and
+/// bit-optimal.
+struct Cluster2Options {
+  /// Grow-phase cluster size threshold: max(8, size_factor * log2^2(n) / 4).
+  /// (Paper: C' log^3 n; exponent scaled to the simulable regime.)
+  double grow_size_factor = 1.0;
+  /// Seed count is derived from the paper's mass relationship
+  /// (#seeds * threshold = n / log n): m = max(4, mass_factor * n /
+  /// (threshold * log2 n)). This is what keeps only Theta(n / log n) nodes
+  /// clustered and the message complexity linear.
+  double mass_factor = 1.0;
+  /// Deactivate a threshold-sized cluster whose measured growth fell below
+  /// this factor (paper: 2 - 1/log n; sim-calibrated to tolerate the
+  /// measurement noise of smaller clusters).
+  double growth_stop_factor = 1.5;
+  /// Grow iterations beyond ceil(log2(threshold)).
+  unsigned extra_grow_rounds = 2;
+  /// SquareClusters schedule: s <- max(2s, kappa * s^2 / log2 n).
+  double square_kappa = 1.0;
+  /// MergeAllClusters repetitions (>= 2; the paper's 2 is asymptotic - see
+  /// Cluster1Options::merge_all_reps).
+  unsigned merge_all_reps = 5;
+  unsigned settle_rounds = 2;
+  /// BoundedClusterPush growth-stop factor (paper: 1.1).
+  double bounded_push_stop = 1.1;
+  /// BoundedClusterPush iterations beyond ceil(log2 log2 n).
+  unsigned extra_bounded_push_rounds = 3;
+  unsigned extra_pull_rounds = 5;
+  unsigned max_square_iters = 64;
+};
+
+/// Options for Cluster3(Delta) (Algorithm 4, Theorem 18): Delta-clustering.
+struct Cluster3Options {
+  /// The paper's C'': target cluster size is Delta / delta_slack, which
+  /// bounds every leader's per-round load strictly below Delta.
+  double delta_slack = 4.0;
+  /// MergeClusters activation: p = merge_activation_scale * s / (Delta/C'').
+  double merge_activation_scale = 10.0;
+  Cluster2Options grow;  ///< grow/square phases are Cluster2's (paper line 1-2)
+  double bounded_push_stop = 1.1;
+  unsigned extra_bounded_push_rounds = 3;
+  unsigned extra_pull_rounds = 5;
+  unsigned settle_rounds = 2;
+};
+
+/// Options for ClusterPushPull(Delta) (Algorithm 3, Lemma 17).
+struct ClusterPushPullOptions {
+  /// Spread iterations beyond ceil(log(n/D) / log D) where D is the realized
+  /// cluster size floor.
+  unsigned extra_spread_iters = 2;
+  /// Final random-PULL + ClusterShare repetitions (paper lines 5-6; >= 1).
+  unsigned final_pull_reps = 3;
+};
+
+}  // namespace gossip::core

@@ -1,0 +1,29 @@
+// Phase instrumentation hooks.
+//
+// The algorithms emit a snapshot after every phase step when an observer is
+// installed; bench_growth_dynamics uses this to reproduce the paper's phase
+// dynamics (Lemmas 5, 6, 10-13): exponential initial growth, cluster-size
+// squaring, and the squaring of the uninformed fraction in the pull phase.
+// Snapshots are computed only when an observer is present - they cost O(n).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "cluster/clustering.hpp"
+
+namespace gossip::core {
+
+struct PhaseSnapshot {
+  std::string_view phase;             ///< e.g. "grow", "square", "merge_all", "pull"
+  std::uint64_t step = 0;             ///< iteration index within the phase
+  std::uint64_t round = 0;            ///< global round count so far
+  std::uint64_t schedule_s = 0;       ///< current target cluster size s (0 if n/a)
+  std::uint64_t informed = 0;         ///< informed alive nodes
+  cluster::ClusteringStats clustering;
+};
+
+using PhaseObserverFn = std::function<void(const PhaseSnapshot&)>;
+
+}  // namespace gossip::core

@@ -1,0 +1,51 @@
+// Result of a broadcast (or clustering) execution: what every benchmark and
+// test consumes. Collects the model-level complexity measures the paper is
+// about - rounds, messages (payload and connection counts), bits, maximum
+// per-round involvement (Delta) - plus per-phase round attribution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/metrics.hpp"
+
+namespace gossip::core {
+
+/// Per-phase slice of the run metrics (deltas between phase marks).
+struct PhaseBreakdown {
+  std::string name;
+  std::uint64_t rounds = 0;
+  std::uint64_t payload_messages = 0;
+  std::uint64_t connections = 0;
+  std::uint64_t bits = 0;
+};
+
+struct BroadcastReport {
+  std::uint64_t n = 0;            ///< network size (including failed nodes)
+  std::uint64_t alive = 0;        ///< surviving nodes
+  std::uint64_t informed = 0;     ///< informed alive nodes at termination
+  bool all_informed = false;      ///< informed == alive
+  std::uint64_t rounds = 0;
+  sim::RunStats stats;            ///< full metering (see sim/metrics.hpp)
+  /// Per-phase attribution, in execution order.
+  std::vector<PhaseBreakdown> phases;
+
+  [[nodiscard]] double informed_fraction() const noexcept {
+    return alive ? static_cast<double>(informed) / static_cast<double>(alive) : 0.0;
+  }
+  [[nodiscard]] std::uint64_t uninformed() const noexcept { return alive - informed; }
+  [[nodiscard]] double payload_messages_per_node() const noexcept {
+    return stats.payload_messages_per_node(n);
+  }
+  [[nodiscard]] double connections_per_node() const noexcept {
+    return stats.connections_per_node(n);
+  }
+  [[nodiscard]] double bits_per_node() const noexcept { return stats.bits_per_node(n); }
+  [[nodiscard]] std::uint32_t max_delta() const noexcept {
+    return stats.total.max_involvement;
+  }
+};
+
+}  // namespace gossip::core

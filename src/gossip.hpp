@@ -1,0 +1,36 @@
+// Umbrella header: the full public API of the optimal-gossip library.
+//
+//   #include "gossip.hpp"
+//   gossip::sim::Network net({.n = 1 << 20, .seed = 7});
+//   auto report = gossip::core::broadcast(net, {});
+//
+// See README.md for the architecture overview and DESIGN.md for the mapping
+// from the paper (Haeupler & Malkhi, PODC 2014) to the modules.
+#pragma once
+
+#include "analysis/experiment.hpp"
+#include "analysis/graph.hpp"
+#include "analysis/knowledge_graph.hpp"
+#include "baselines/avin_elsasser.hpp"
+#include "baselines/name_dropper.hpp"
+#include "baselines/rrs.hpp"
+#include "baselines/uniform.hpp"
+#include "cluster/clustering.hpp"
+#include "cluster/driver.hpp"
+#include "common/ids.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/broadcast.hpp"
+#include "core/cluster1.hpp"
+#include "core/cluster2.hpp"
+#include "core/cluster3.hpp"
+#include "core/cluster_push_pull.hpp"
+#include "core/estimate_n.hpp"
+#include "core/leader_election.hpp"
+#include "core/options.hpp"
+#include "core/schedules.hpp"
+#include "sim/engine.hpp"
+#include "sim/fault.hpp"
+#include "sim/network.hpp"

@@ -1,0 +1,131 @@
+// Synchronous round executor for the random phone call model with direct
+// addressing (paper Section 2).
+//
+// Per round, each alive node may initiate at most ONE communication - a PUSH
+// (deliver a message) or a PULL (request a message) - addressed either to a
+// uniformly random node or directly to a node whose ID the initiator has
+// learned. The engine:
+//   * resolves targets (uniform random excludes self; contacts to failed
+//     nodes are lost: pushes vanish, pulls stay unanswered);
+//   * enforces address-obliviousness structurally: the pull-response
+//     callback is evaluated AT MOST ONCE per contacted node per round and
+//     that single message answers every requester;
+//   * with knowledge tracking enabled, rejects direct contacts to unlearned
+//     IDs and applies Lemma 14's learning rules (communication reveals the
+//     partner's ID both ways; received IDs become known);
+//   * meters rounds, payload messages, connections, bits and per-node
+//     involvement (Delta) through MetricsCollector.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "sim/metrics.hpp"
+#include "sim/network.hpp"
+
+namespace gossip::sim {
+
+enum class ContactKind : std::uint8_t {
+  kPush,
+  kPull,
+  /// One phone call transferring content both ways (PUSH the payload, get
+  /// the partner's address-oblivious response back). This is the classical
+  /// Karp et al. [10] exchange used by the RRS and Name-Dropper baselines;
+  /// the paper's own algorithms use only kPush/kPull.
+  kExchange,
+};
+
+/// One initiated communication.
+struct Contact {
+  ContactKind kind = ContactKind::kPush;
+  bool to_random = true;            ///< uniform random target vs. direct addressing
+  NodeId target;                    ///< used when !to_random
+  Message payload;                  ///< carried content for kPush / kExchange
+
+  [[nodiscard]] static Contact push_random(Message msg) {
+    return Contact{ContactKind::kPush, true, NodeId::unclustered(), std::move(msg)};
+  }
+  [[nodiscard]] static Contact push_direct(NodeId to, Message msg) {
+    return Contact{ContactKind::kPush, false, to, std::move(msg)};
+  }
+  [[nodiscard]] static Contact pull_random() {
+    return Contact{ContactKind::kPull, true, NodeId::unclustered(), Message::empty()};
+  }
+  [[nodiscard]] static Contact pull_direct(NodeId from) {
+    return Contact{ContactKind::kPull, false, from, Message::empty()};
+  }
+  [[nodiscard]] static Contact exchange_random(Message msg) {
+    return Contact{ContactKind::kExchange, true, NodeId::unclustered(), std::move(msg)};
+  }
+  [[nodiscard]] static Contact exchange_direct(NodeId with, Message msg) {
+    return Contact{ContactKind::kExchange, false, with, std::move(msg)};
+  }
+};
+
+/// Behaviour of one synchronous round. All callbacks receive node *indices*;
+/// implementations must only consult that node's local state - the engine
+/// cannot enforce locality, but the knowledge tracker enforces the
+/// addressing consequences.
+struct RoundHooks {
+  /// Called once per (alive) initiator; return std::nullopt to stay silent.
+  std::function<std::optional<Contact>(std::uint32_t node)> initiate;
+  /// Address-oblivious pull response; called at most once per node per
+  /// round, only if someone pulled it. Null => all pulls answered Empty.
+  std::function<Message(std::uint32_t node)> respond;
+  /// Delivery of a pushed message (receiver is alive). Null => drop.
+  std::function<void(std::uint32_t receiver, const Message& msg)> on_push;
+  /// Delivery of a pull response (requester is alive; responder was alive).
+  /// Pulls to failed nodes produce no callback. Null => drop.
+  std::function<void(std::uint32_t requester, const Message& msg)> on_pull_reply;
+};
+
+class Engine {
+ public:
+  /// `keep_history` retains per-round stats (used by the dynamics bench).
+  explicit Engine(Network& net, bool keep_history = false);
+
+  /// Runs one round with every node as a potential initiator.
+  void run_round(const RoundHooks& hooks);
+
+  /// Runs one round where only `initiators` are offered the chance to act
+  /// (everyone can still receive). This is a pure performance device for
+  /// rounds in which whole classes of nodes are known to be silent; it never
+  /// changes semantics, because hooks.initiate can always return nullopt.
+  void run_round(const RoundHooks& hooks, std::span<const std::uint32_t> initiators);
+
+  [[nodiscard]] std::uint64_t rounds() const noexcept { return metrics_.run().rounds; }
+  [[nodiscard]] const MetricsCollector& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] MetricsCollector& metrics() noexcept { return metrics_; }
+  [[nodiscard]] Network& network() noexcept { return net_; }
+  [[nodiscard]] const Network& network() const noexcept { return net_; }
+
+  /// Draws a uniformly random node index different from `self`.
+  [[nodiscard]] std::uint32_t random_other(std::uint32_t self);
+
+ private:
+  struct PendingPush {
+    std::uint32_t to;
+    std::uint32_t from;
+    Message msg;
+  };
+  struct PendingPull {
+    std::uint32_t from;
+    std::uint32_t responder;
+  };
+
+  void learn_from_message(std::uint32_t receiver, const Message& msg);
+  void learn_contact(std::uint32_t a, std::uint32_t b);
+
+  Network& net_;
+  MetricsCollector metrics_;
+  // Scratch buffers reused across rounds.
+  std::vector<PendingPush> pushes_;
+  std::vector<PendingPull> pulls_;
+  std::vector<std::uint32_t> all_nodes_;
+};
+
+}  // namespace gossip::sim

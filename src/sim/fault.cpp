@@ -1,0 +1,61 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.hpp"
+#include "sim/network.hpp"
+
+namespace gossip::sim {
+
+const char* to_string(FaultStrategy s) noexcept {
+  switch (s) {
+    case FaultStrategy::kRandomSubset: return "random";
+    case FaultStrategy::kSmallestIds: return "smallest-ids";
+    case FaultStrategy::kIndexStride: return "stride";
+  }
+  return "?";
+}
+
+std::vector<std::uint32_t> choose_failures(const Network& net, std::uint32_t f,
+                                           FaultStrategy strategy, Rng& rng) {
+  const std::uint32_t n = net.n();
+  GOSSIP_CHECK_MSG(f < n, "cannot fail all nodes");
+  std::vector<std::uint32_t> out;
+  out.reserve(f);
+  switch (strategy) {
+    case FaultStrategy::kRandomSubset: {
+      // Partial Fisher-Yates over the index range.
+      std::vector<std::uint32_t> perm(n);
+      std::iota(perm.begin(), perm.end(), 0u);
+      for (std::uint32_t i = 0; i < f; ++i) {
+        const auto j = static_cast<std::uint32_t>(rng.uniform_range(i, n - 1));
+        std::swap(perm[i], perm[j]);
+        out.push_back(perm[i]);
+      }
+      break;
+    }
+    case FaultStrategy::kSmallestIds: {
+      std::vector<std::uint32_t> order(n);
+      std::iota(order.begin(), order.end(), 0u);
+      std::nth_element(order.begin(), order.begin() + f, order.end(),
+                       [&](std::uint32_t a, std::uint32_t b) {
+                         return net.id_of(a) < net.id_of(b);
+                       });
+      out.assign(order.begin(), order.begin() + f);
+      break;
+    }
+    case FaultStrategy::kIndexStride: {
+      const std::uint32_t stride = std::max<std::uint32_t>(1, n / std::max<std::uint32_t>(f, 1));
+      for (std::uint32_t i = 0; out.size() < f && i < n; i += stride) out.push_back(i);
+      // Top up sequentially if rounding left us short.
+      for (std::uint32_t i = 0; out.size() < f; ++i) {
+        if (std::find(out.begin(), out.end(), i) == out.end()) out.push_back(i);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace gossip::sim

@@ -1,0 +1,35 @@
+// Oblivious node-failure adversary (paper Section 8).
+//
+// The adversary fixes a set of F nodes *before* the execution begins,
+// independent of the algorithm's randomness; failed nodes never initiate,
+// respond, relay or get informed. Theorem 19: the algorithms still cluster /
+// inform all but o(F) surviving nodes. Because all algorithms are symmetric
+// in the nodes, any oblivious choice is equivalent to a random one - we
+// nevertheless provide several concrete strategies so the benchmarks can
+// demonstrate that the choice does not matter.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gossip::sim {
+
+enum class FaultStrategy {
+  kRandomSubset,  ///< F nodes uniformly at random
+  kSmallestIds,   ///< the F nodes with the smallest IDs (attacks merge-to-smallest)
+  kIndexStride,   ///< every ceil(n/F)-th node by index (deterministic spread)
+};
+
+[[nodiscard]] const char* to_string(FaultStrategy s) noexcept;
+
+class Network;  // fwd
+
+/// Chooses F distinct node indices to fail according to `strategy`.
+/// Must be invoked before the algorithm under test draws any randomness that
+/// depends on the same seed (obliviousness); callers pass a dedicated RNG.
+[[nodiscard]] std::vector<std::uint32_t> choose_failures(const Network& net, std::uint32_t f,
+                                                         FaultStrategy strategy, Rng& rng);
+
+}  // namespace gossip::sim

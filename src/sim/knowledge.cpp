@@ -1,0 +1,27 @@
+#include "sim/knowledge.hpp"
+
+#include "common/assert.hpp"
+
+namespace gossip::sim {
+
+KnowledgeTracker::KnowledgeTracker(std::uint32_t n) : known_(n) {}
+
+void KnowledgeTracker::learn(std::uint32_t node, NodeId id, NodeId own_id) {
+  GOSSIP_CHECK(node < known_.size());
+  if (id.is_unclustered() || id == own_id) return;
+  if (known_[node].insert(id.raw()).second) ++total_;
+}
+
+bool KnowledgeTracker::knows(std::uint32_t node, NodeId id, NodeId own_id) const {
+  GOSSIP_CHECK(node < known_.size());
+  if (id == own_id) return true;
+  if (id.is_unclustered()) return false;
+  return known_[node].contains(id.raw());
+}
+
+std::size_t KnowledgeTracker::known_count(std::uint32_t node) const {
+  GOSSIP_CHECK(node < known_.size());
+  return known_[node].size();
+}
+
+}  // namespace gossip::sim

@@ -1,0 +1,29 @@
+#include "sim/message.hpp"
+
+#include <algorithm>
+
+#include "common/math.hpp"
+
+namespace gossip::sim {
+
+MessageCosts MessageCosts::for_network(std::uint64_t n, std::uint32_t rumor_bits) {
+  MessageCosts c;
+  const std::uint32_t log_n = std::max(1u, ceil_log2(std::max<std::uint64_t>(n, 2)));
+  // Polynomially (cubically) large ID space => Theta(log n)-bit IDs.
+  c.id_bits = std::max(8u, 3 * log_n);
+  c.count_bits = log_n + 1;
+  // The paper assumes b = Omega(log n); enforce that floor in the accounting.
+  c.rumor_bits = std::max(rumor_bits, log_n);
+  return c;
+}
+
+std::uint64_t Message::bits(const MessageCosts& costs) const noexcept {
+  // 3-bit presence header + payload parts.
+  std::uint64_t total = 3;
+  if (has_rumor_) total += costs.rumor_bits;
+  if (has_count_) total += costs.count_bits;
+  total += static_cast<std::uint64_t>(ids_.size()) * costs.id_bits;
+  return total;
+}
+
+}  // namespace gossip::sim

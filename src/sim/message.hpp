@@ -1,0 +1,107 @@
+// Messages of the random phone call model.
+//
+// Paper, Section 2: "every message carries either the information to be
+// broadcast, a node count, or O(1) node IDs", each of size O(log n) bits
+// (except the b-bit rumor, and except ClusterResize responses which may carry
+// floor(s'/s) IDs - footnote 2). A Message is therefore a combination of
+// three optional payload parts: the rumor bit, a counter, and an ID list.
+// Bit accounting is centralised in Message::bits() so that every benchmark
+// meters identically.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "common/ids.hpp"
+#include "common/inline_vec.hpp"
+
+namespace gossip::sim {
+
+/// Bit costs of the model's message parts, derived from n and the rumor
+/// size b (paper: b = Omega(log n)).
+struct MessageCosts {
+  std::uint32_t id_bits = 64;     ///< bits per node ID (Theta(log n), poly ID space)
+  std::uint32_t count_bits = 32;  ///< bits for a node count (log n + O(1))
+  std::uint32_t rumor_bits = 256; ///< b, the broadcast payload size
+
+  /// Canonical costs for an n-node network: IDs from a cubically large space.
+  [[nodiscard]] static MessageCosts for_network(std::uint64_t n, std::uint32_t rumor_bits);
+};
+
+/// Message payload: any combination of {rumor, count, id list}.
+/// An empty message (none of the three) models a content-free pull response.
+class Message {
+ public:
+  using IdList = InlineVec<NodeId, 3>;
+
+  Message() = default;
+
+  [[nodiscard]] static Message empty() { return Message(); }
+
+  [[nodiscard]] static Message rumor() {
+    Message m;
+    m.has_rumor_ = true;
+    return m;
+  }
+
+  [[nodiscard]] static Message count(std::uint64_t value) {
+    Message m;
+    m.has_count_ = true;
+    m.count_ = value;
+    return m;
+  }
+
+  [[nodiscard]] static Message single_id(NodeId id) {
+    Message m;
+    m.ids_.push_back(id);
+    return m;
+  }
+
+  [[nodiscard]] static Message id_list(IdList ids) {
+    Message m;
+    m.ids_ = std::move(ids);
+    return m;
+  }
+
+  /// Builder-style composition, e.g. Message::rumor().and_id(leader).
+  [[nodiscard]] Message and_rumor() const {
+    Message m = *this;
+    m.has_rumor_ = true;
+    return m;
+  }
+  [[nodiscard]] Message and_count(std::uint64_t value) const {
+    Message m = *this;
+    m.has_count_ = true;
+    m.count_ = value;
+    return m;
+  }
+  [[nodiscard]] Message and_id(NodeId id) const {
+    Message m = *this;
+    m.ids_.push_back(id);
+    return m;
+  }
+
+  [[nodiscard]] bool has_rumor() const noexcept { return has_rumor_; }
+  [[nodiscard]] bool has_count() const noexcept { return has_count_; }
+  [[nodiscard]] std::uint64_t count_value() const noexcept { return count_; }
+  [[nodiscard]] const IdList& ids() const noexcept { return ids_; }
+  [[nodiscard]] bool is_empty() const noexcept {
+    return !has_rumor_ && !has_count_ && ids_.empty();
+  }
+
+  /// First ID carried, or the unclustered sentinel if none.
+  [[nodiscard]] NodeId first_id() const {
+    return ids_.empty() ? NodeId::unclustered() : ids_.front();
+  }
+
+  /// Size of this message under the model's accounting.
+  [[nodiscard]] std::uint64_t bits(const MessageCosts& costs) const noexcept;
+
+ private:
+  bool has_rumor_ = false;
+  bool has_count_ = false;
+  std::uint64_t count_ = 0;
+  IdList ids_;
+};
+
+}  // namespace gossip::sim

@@ -1,0 +1,82 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace gossip::sim {
+
+void RoundStats::accumulate(const RoundStats& r) noexcept {
+  pushes += r.pushes;
+  pull_requests += r.pull_requests;
+  pull_responses += r.pull_responses;
+  payload_messages += r.payload_messages;
+  connections += r.connections;
+  bits += r.bits;
+  initiators += r.initiators;
+  max_involvement = std::max(max_involvement, r.max_involvement);
+}
+
+MetricsCollector::MetricsCollector(std::uint32_t n, bool keep_history)
+    : n_(n), keep_history_(keep_history), involvement_(n, 0) {}
+
+void MetricsCollector::begin_round() {
+  GOSSIP_CHECK_MSG(!in_round_, "begin_round called twice");
+  in_round_ = true;
+  round_ = RoundStats{};
+}
+
+void MetricsCollector::end_round() {
+  GOSSIP_CHECK_MSG(in_round_, "end_round without begin_round");
+  in_round_ = false;
+  ++run_.rounds;
+  run_.total.accumulate(round_);
+  if (keep_history_) run_.per_round.push_back(round_);
+  for (std::uint32_t node : touched_) involvement_[node] = 0;
+  touched_.clear();
+}
+
+void MetricsCollector::bump_involvement(std::uint32_t node) {
+  GOSSIP_CHECK(node < n_);
+  if (involvement_[node] == 0) touched_.push_back(node);
+  ++involvement_[node];
+  round_.max_involvement = std::max(round_.max_involvement, involvement_[node]);
+}
+
+void MetricsCollector::record_initiator() { ++round_.initiators; }
+
+void MetricsCollector::record_push(std::uint32_t initiator, std::uint32_t target,
+                                   std::uint64_t bits, bool has_payload) {
+  ++round_.pushes;
+  ++round_.connections;
+  if (has_payload) {
+    ++round_.payload_messages;
+    round_.bits += bits;
+  }
+  bump_involvement(initiator);
+  bump_involvement(target);
+}
+
+void MetricsCollector::record_pull_request(std::uint32_t initiator, std::uint32_t target) {
+  ++round_.pull_requests;
+  ++round_.connections;
+  bump_involvement(initiator);
+  bump_involvement(target);
+}
+
+void MetricsCollector::record_pull_response(std::uint64_t bits, bool has_payload) {
+  if (has_payload) {
+    ++round_.pull_responses;
+    ++round_.payload_messages;
+    round_.bits += bits;
+  }
+}
+
+void MetricsCollector::reset() {
+  GOSSIP_CHECK(!in_round_);
+  run_ = RunStats{};
+  for (std::uint32_t node : touched_) involvement_[node] = 0;
+  touched_.clear();
+}
+
+}  // namespace gossip::sim

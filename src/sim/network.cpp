@@ -1,0 +1,59 @@
+#include "sim/network.hpp"
+
+#include "common/assert.hpp"
+
+namespace gossip::sim {
+
+Network::Network(const NetworkOptions& options)
+    : options_(options),
+      n_(options.n),
+      costs_(MessageCosts::for_network(options.n, options.rumor_bits)),
+      master_rng_(mix64(options.seed ^ 0x6f7e1c2d3b4a5968ULL)),
+      node_stream_base_(mix64(options.seed + 0x51ed2701a4c8f3b7ULL)),
+      alive_(options.n, 1),
+      alive_count_(options.n) {
+  GOSSIP_CHECK_MSG(n_ >= 2, "network needs at least two nodes");
+  Rng id_rng(mix64(options.seed ^ 0x1db3a7c95e8f6420ULL));
+  ids_ = generate_unique_ids(n_, id_rng);
+  index_by_id_.reserve(n_ * 2);
+  for (std::uint32_t i = 0; i < n_; ++i) index_by_id_.emplace(ids_[i].raw(), i);
+  if (options.track_knowledge) knowledge_ = std::make_unique<KnowledgeTracker>(n_);
+}
+
+NodeId Network::id_of(std::uint32_t index) const {
+  GOSSIP_CHECK(index < n_);
+  return ids_[index];
+}
+
+std::uint32_t Network::index_of(NodeId id) const {
+  const auto it = index_by_id_.find(id.raw());
+  GOSSIP_CHECK_MSG(it != index_by_id_.end(), "unknown node ID " << id.to_string());
+  return it->second;
+}
+
+std::optional<std::uint32_t> Network::find(NodeId id) const {
+  const auto it = index_by_id_.find(id.raw());
+  if (it == index_by_id_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Network::fail(std::uint32_t index) {
+  GOSSIP_CHECK(index < n_);
+  if (alive_[index]) {
+    alive_[index] = 0;
+    --alive_count_;
+  }
+}
+
+bool Network::alive(std::uint32_t index) const {
+  GOSSIP_CHECK(index < n_);
+  return alive_[index] != 0;
+}
+
+Rng Network::node_rng(std::uint32_t index, std::uint64_t salt) const {
+  // Deterministic in (seed, index, salt); distinct triples give independent
+  // streams (see Rng::fork).
+  return Rng(node_stream_base_).fork(mix64(static_cast<std::uint64_t>(index) * 0x9e3779b97f4a7c15ULL + salt));
+}
+
+}  // namespace gossip::sim

@@ -1,0 +1,79 @@
+// The complete n-node network of the random phone call model (Section 2).
+//
+// Owns node identity (index <-> random unique ID maps), the alive set under
+// oblivious failures, the master RNG and derived per-node random streams,
+// message bit costs, and (optionally) the knowledge tracker. The Engine
+// executes rounds against this state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "sim/knowledge.hpp"
+#include "sim/message.hpp"
+
+namespace gossip::sim {
+
+struct NetworkOptions {
+  std::uint32_t n = 1024;         ///< number of nodes
+  std::uint64_t seed = 1;         ///< master seed; everything derives from it
+  std::uint32_t rumor_bits = 256; ///< b, size of the broadcast payload
+  bool track_knowledge = false;   ///< enforce direct-addressing honesty
+};
+
+class Network {
+ public:
+  explicit Network(const NetworkOptions& options);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] std::uint32_t n() const noexcept { return n_; }
+  [[nodiscard]] const NetworkOptions& options() const noexcept { return options_; }
+  [[nodiscard]] const MessageCosts& costs() const noexcept { return costs_; }
+
+  [[nodiscard]] NodeId id_of(std::uint32_t index) const;
+  /// Index of an existing node ID; contract violation if unknown.
+  [[nodiscard]] std::uint32_t index_of(NodeId id) const;
+  /// Index lookup that tolerates non-existent IDs.
+  [[nodiscard]] std::optional<std::uint32_t> find(NodeId id) const;
+
+  // --- failures (oblivious adversary, Section 8) -----------------------
+  /// Marks a node failed. Must happen before the algorithm runs.
+  void fail(std::uint32_t index);
+  [[nodiscard]] bool alive(std::uint32_t index) const;
+  [[nodiscard]] std::uint32_t alive_count() const noexcept { return alive_count_; }
+  [[nodiscard]] std::uint32_t failed_count() const noexcept { return n_ - alive_count_; }
+
+  // --- randomness --------------------------------------------------------
+  /// Master RNG (engine-level choices, e.g. uniform random contacts).
+  [[nodiscard]] Rng& rng() noexcept { return master_rng_; }
+  /// Fresh independent RNG for node `index`, salted (e.g. by round or phase)
+  /// so repeated calls yield fresh independent coins. Deterministic in
+  /// (seed, index, salt).
+  [[nodiscard]] Rng node_rng(std::uint32_t index, std::uint64_t salt) const;
+
+  // --- knowledge ----------------------------------------------------------
+  /// Null when tracking is disabled.
+  [[nodiscard]] KnowledgeTracker* knowledge() noexcept { return knowledge_.get(); }
+  [[nodiscard]] const KnowledgeTracker* knowledge() const noexcept { return knowledge_.get(); }
+
+ private:
+  NetworkOptions options_;
+  std::uint32_t n_;
+  MessageCosts costs_;
+  Rng master_rng_;
+  std::uint64_t node_stream_base_;
+  std::vector<NodeId> ids_;
+  std::unordered_map<std::uint64_t, std::uint32_t> index_by_id_;
+  std::vector<std::uint8_t> alive_;
+  std::uint32_t alive_count_;
+  std::unique_ptr<KnowledgeTracker> knowledge_;
+};
+
+}  // namespace gossip::sim

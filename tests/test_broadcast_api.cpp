@@ -1,0 +1,111 @@
+// Tests for the one-call public API (core/broadcast.hpp).
+#include "core/broadcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace gossip::core {
+namespace {
+
+sim::NetworkOptions opts(std::uint32_t n, std::uint64_t seed = 1) {
+  sim::NetworkOptions o;
+  o.n = n;
+  o.seed = seed;
+  return o;
+}
+
+class BroadcastAlgorithms : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(BroadcastAlgorithms, EndToEnd) {
+  sim::Network net(opts(4096, 3));
+  BroadcastOptions o;
+  o.algorithm = GetParam();
+  o.delta = 128;
+  o.source = 17;
+  const auto report = broadcast(net, o);
+  EXPECT_TRUE(report.all_informed);
+  EXPECT_GT(report.rounds, 0u);
+  EXPECT_FALSE(report.phases.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(All, BroadcastAlgorithms,
+                         ::testing::Values(Algorithm::kCluster1, Algorithm::kCluster2,
+                                           Algorithm::kCluster3PushPull),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Algorithm::kCluster1: return "Cluster1";
+                             case Algorithm::kCluster2: return "Cluster2";
+                             case Algorithm::kCluster3PushPull: return "Cluster3PushPull";
+                           }
+                           return "unknown";
+                         });
+
+TEST(Broadcast, ToStringNames) {
+  EXPECT_STREQ(to_string(Algorithm::kCluster1), "Cluster1");
+  EXPECT_STREQ(to_string(Algorithm::kCluster2), "Cluster2");
+  EXPECT_STREQ(to_string(Algorithm::kCluster3PushPull), "Cluster3+PushPull");
+}
+
+TEST(Broadcast, ValidateFlagRunsCleanly) {
+  sim::Network net(opts(1024, 5));
+  BroadcastOptions o;
+  o.validate = true;
+  EXPECT_TRUE(broadcast(net, o).all_informed);
+}
+
+TEST(Broadcast, CombinedReportForDeltaVariant) {
+  sim::Network net(opts(4096, 7));
+  BroadcastOptions o;
+  o.algorithm = Algorithm::kCluster3PushPull;
+  o.delta = 256;
+  const auto report = broadcast(net, o);
+  EXPECT_TRUE(report.all_informed);
+  // Phases from both stages present, rounds covering the whole execution.
+  std::uint64_t sum = 0;
+  bool saw_grow = false, saw_spread = false;
+  for (const auto& p : report.phases) {
+    sum += p.rounds;
+    saw_grow |= p.name == "grow";
+    saw_spread |= p.name == "cluster_push_pull";
+  }
+  EXPECT_TRUE(saw_grow);
+  EXPECT_TRUE(saw_spread);
+  EXPECT_EQ(sum, report.rounds);
+  EXPECT_LE(report.max_delta(), o.delta);
+}
+
+TEST(Broadcast, DeltaTooSmallThrows) {
+  sim::Network net(opts(1024));
+  BroadcastOptions o;
+  o.algorithm = Algorithm::kCluster3PushPull;
+  o.delta = 4;
+  EXPECT_THROW((void)broadcast(net, o), ContractViolation);
+}
+
+TEST(Broadcast, CustomOptionsArePassedThrough) {
+  sim::Network net(opts(1024, 9));
+  BroadcastOptions o;
+  o.algorithm = Algorithm::kCluster1;
+  o.cluster1.extra_pull_rounds = 12;  // more pull rounds => more total rounds
+  const auto more = broadcast(net, o);
+  sim::Network net2(opts(1024, 9));
+  BroadcastOptions o2;
+  o2.algorithm = Algorithm::kCluster1;
+  o2.cluster1.extra_pull_rounds = 2;
+  const auto fewer = broadcast(net2, o2);
+  EXPECT_GT(more.rounds, fewer.rounds);
+}
+
+TEST(Broadcast, ReportDerivedAccessors) {
+  sim::Network net(opts(1024, 11));
+  const auto report = broadcast(net, BroadcastOptions{});
+  EXPECT_DOUBLE_EQ(report.informed_fraction(), 1.0);
+  EXPECT_EQ(report.uninformed(), 0u);
+  EXPECT_GT(report.payload_messages_per_node(), 0.0);
+  EXPECT_GE(report.connections_per_node(), report.payload_messages_per_node());
+  EXPECT_GT(report.bits_per_node(), 0.0);
+}
+
+}  // namespace
+}  // namespace gossip::core

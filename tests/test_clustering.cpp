@@ -1,0 +1,128 @@
+// Unit tests for the clustering state and views (cluster/clustering.hpp).
+#include "cluster/clustering.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gossip::cluster {
+namespace {
+
+sim::NetworkOptions opts(std::uint32_t n) {
+  sim::NetworkOptions o;
+  o.n = n;
+  o.seed = 3;
+  return o;
+}
+
+TEST(Clustering, InitiallyAllUnclustered) {
+  sim::Network net(opts(8));
+  Clustering cl(net);
+  for (std::uint32_t v = 0; v < 8; ++v) {
+    EXPECT_TRUE(cl.is_unclustered(v));
+    EXPECT_FALSE(cl.is_leader(v));
+    EXPECT_FALSE(cl.is_follower(v));
+    EXPECT_FALSE(cl.active(v));
+  }
+  const auto s = cl.stats();
+  EXPECT_EQ(s.clusters, 0u);
+  EXPECT_EQ(s.unclustered_nodes, 8u);
+}
+
+TEST(Clustering, RolesFollowTheFollowVariable) {
+  sim::Network net(opts(8));
+  Clustering cl(net);
+  cl.make_leader(0);
+  cl.set_follow(1, net.id_of(0));
+  cl.set_follow(2, net.id_of(0));
+  EXPECT_TRUE(cl.is_leader(0));
+  EXPECT_FALSE(cl.is_follower(0));
+  EXPECT_TRUE(cl.is_follower(1));
+  EXPECT_TRUE(cl.is_clustered(2));
+  EXPECT_TRUE(cl.is_unclustered(3));
+}
+
+TEST(Clustering, StatsCountClustersAndSizes) {
+  sim::Network net(opts(10));
+  Clustering cl(net);
+  cl.make_leader(0);
+  cl.set_follow(1, net.id_of(0));
+  cl.set_follow(2, net.id_of(0));
+  cl.make_leader(5);
+  cl.set_follow(6, net.id_of(5));
+  const auto s = cl.stats();
+  EXPECT_EQ(s.clusters, 2u);
+  EXPECT_EQ(s.clustered_nodes, 5u);
+  EXPECT_EQ(s.unclustered_nodes, 5u);
+  EXPECT_EQ(s.min_size, 2u);
+  EXPECT_EQ(s.max_size, 3u);
+  EXPECT_DOUBLE_EQ(s.mean_size, 2.5);
+}
+
+TEST(Clustering, FlatnessDetectsChains) {
+  sim::Network net(opts(6));
+  Clustering cl(net);
+  cl.make_leader(0);
+  cl.set_follow(1, net.id_of(0));
+  EXPECT_TRUE(cl.is_flat());
+  // Chain: 2 follows 1, but 1 is itself a follower.
+  cl.set_follow(2, net.id_of(1));
+  EXPECT_FALSE(cl.is_flat());
+}
+
+TEST(Clustering, MembersOf) {
+  sim::Network net(opts(6));
+  Clustering cl(net);
+  cl.make_leader(3);
+  cl.set_follow(0, net.id_of(3));
+  cl.set_follow(5, net.id_of(3));
+  const auto members = cl.members_of(net.id_of(3));
+  EXPECT_EQ(members.size(), 3u);  // leader + 2 followers
+}
+
+TEST(Clustering, FailedNodesExcludedFromStats) {
+  sim::Network net(opts(6));
+  Clustering cl(net);
+  cl.make_leader(0);
+  cl.set_follow(1, net.id_of(0));
+  cl.set_follow(2, net.id_of(0));
+  net.fail(2);
+  const auto s = cl.stats();
+  EXPECT_EQ(s.clustered_nodes, 2u);
+  EXPECT_EQ(s.max_size, 2u);
+}
+
+TEST(Clustering, MakeUnclusteredClearsState) {
+  sim::Network net(opts(4));
+  Clustering cl(net);
+  cl.make_leader(0);
+  cl.set_active(0, true);
+  cl.set_size_estimate(0, 5);
+  cl.make_unclustered(0);
+  EXPECT_TRUE(cl.is_unclustered(0));
+  EXPECT_FALSE(cl.active(0));
+  EXPECT_EQ(cl.size_estimate(0), 0u);
+}
+
+TEST(Clustering, ResetRestoresInitialState) {
+  sim::Network net(opts(4));
+  Clustering cl(net);
+  cl.make_leader(0);
+  cl.set_follow(1, net.id_of(0));
+  cl.set_active(1, true);
+  cl.reset();
+  for (std::uint32_t v = 0; v < 4; ++v) {
+    EXPECT_TRUE(cl.is_unclustered(v));
+    EXPECT_FALSE(cl.active(v));
+  }
+}
+
+TEST(Clustering, SizeEstimates) {
+  sim::Network net(opts(4));
+  Clustering cl(net);
+  cl.set_size_estimate(2, 17);
+  cl.set_prev_size_estimate(2, 8);
+  EXPECT_EQ(cl.size_estimate(2), 17u);
+  EXPECT_EQ(cl.prev_size_estimate(2), 8u);
+}
+
+}  // namespace
+}  // namespace gossip::cluster

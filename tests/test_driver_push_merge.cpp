@@ -1,0 +1,270 @@
+// Unit tests for the push / relay / merge / settle / pull primitives
+// (cluster/driver.hpp) - the recruiting and merging machinery of paper
+// Section 3.2 - including an organic-formation test with direct-addressing
+// honesty enforcement enabled.
+#include <gtest/gtest.h>
+
+#include "cluster/driver.hpp"
+
+namespace gossip::cluster {
+namespace {
+
+struct Fixture {
+  explicit Fixture(std::uint32_t n, std::uint64_t seed = 1, bool knowledge = false)
+      : net(make_opts(n, seed, knowledge)), engine(net), driver(engine, make_driver_opts()) {}
+
+  static sim::NetworkOptions make_opts(std::uint32_t n, std::uint64_t seed, bool knowledge) {
+    sim::NetworkOptions o;
+    o.n = n;
+    o.seed = seed;
+    o.track_knowledge = knowledge;
+    return o;
+  }
+  static DriverOptions make_driver_opts() {
+    DriverOptions d;
+    d.validate = true;
+    return d;
+  }
+
+  void stage_cluster(std::uint32_t leader, std::vector<std::uint32_t> followers) {
+    auto& cl = driver.clustering();
+    cl.make_leader(leader);
+    for (std::uint32_t f : followers) cl.set_follow(f, net.id_of(leader));
+  }
+
+  sim::Network net;
+  sim::Engine engine;
+  Driver driver;
+};
+
+TEST(DriverPush, RecruitsUnclusteredNodes) {
+  Fixture fx(64);
+  // 8 singleton leaders pushing for a few rounds must recruit most nodes.
+  for (std::uint32_t v = 0; v < 64; v += 8) fx.driver.clustering().make_leader(v);
+  std::uint64_t recruited = 0;
+  for (int round = 0; round < 8; ++round) {
+    recruited +=
+        fx.driver.push_cluster_id(false, /*recruit=*/true, RelayPolicy::kSmallest).recruited;
+  }
+  const auto stats = fx.driver.clustering().stats();
+  EXPECT_EQ(stats.clustered_nodes, 8 + recruited);
+  EXPECT_GT(stats.clustered_nodes, 48u);
+  EXPECT_TRUE(fx.driver.clustering().is_flat());
+}
+
+TEST(DriverPush, RecruitsBecomeActive) {
+  Fixture fx(32);
+  fx.driver.clustering().make_leader(0);
+  fx.driver.clustering().set_active(0, true);
+  std::uint64_t recruited = 0;
+  for (int round = 0; round < 6 && recruited == 0; ++round) {
+    recruited += fx.driver.push_cluster_id(true, true, RelayPolicy::kRandom).recruited;
+  }
+  ASSERT_GT(recruited, 0u);
+  const auto& cl = fx.driver.clustering();
+  for (std::uint32_t v = 1; v < 32; ++v) {
+    if (cl.is_clustered(v)) EXPECT_TRUE(cl.active(v)) << v;
+  }
+}
+
+TEST(DriverPush, NoRecruitingWhenDisabled) {
+  Fixture fx(32);
+  fx.driver.clustering().make_leader(0);
+  for (int round = 0; round < 5; ++round) {
+    const auto out = fx.driver.push_cluster_id(false, /*recruit=*/false, RelayPolicy::kSmallest);
+    EXPECT_EQ(out.recruited, 0u);
+  }
+  EXPECT_EQ(fx.driver.clustering().stats().clustered_nodes, 1u);
+}
+
+TEST(DriverPush, OnlyActiveClustersPush) {
+  Fixture fx(32);
+  fx.driver.clustering().make_leader(0);  // inactive
+  for (int round = 0; round < 5; ++round) {
+    fx.driver.push_cluster_id(/*only_active=*/true, true, RelayPolicy::kSmallest);
+  }
+  // The inactive singleton never pushed: nothing recruited, no messages.
+  EXPECT_EQ(fx.driver.clustering().stats().clustered_nodes, 1u);
+  EXPECT_EQ(fx.engine.metrics().run().total.payload_messages, 0u);
+}
+
+TEST(DriverMerge, InactiveClustersJoinActiveOnes) {
+  Fixture fx(128, /*seed=*/5);
+  // 4 active clusters of 8, 12 inactive clusters of 8.
+  for (std::uint32_t c = 0; c < 16; ++c) {
+    const std::uint32_t base = c * 8;
+    std::vector<std::uint32_t> followers;
+    for (std::uint32_t i = 1; i < 8; ++i) followers.push_back(base + i);
+    fx.stage_cluster(base, followers);
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      fx.driver.clustering().set_active(base + i, c < 4);
+    }
+  }
+  // ClusterPUSH + ClusterMerge repetitions, as in SquareClusters (three of
+  // them: with only 32 active pushers per repetition, one of the 12 inactive
+  // clusters stays unhit after two repetitions with noticeable probability).
+  for (int rep = 0; rep < 3; ++rep) {
+    fx.driver.push_cluster_id(true, false, RelayPolicy::kSmallest);
+    fx.driver.relay_candidates(RelayPolicy::kSmallest, true);
+    fx.driver.merge_from_inbox(RelayPolicy::kSmallest, true);
+  }
+  fx.driver.settle(2);
+  const auto& cl = fx.driver.clustering();
+  EXPECT_TRUE(cl.is_flat());
+  // Every surviving cluster is led by one of the 4 active leaders.
+  const auto sizes = cl.cluster_sizes();
+  EXPECT_LE(sizes.size(), 4u);
+  for (const auto& [leader, size] : sizes) {
+    EXPECT_LT(leader, 32u);  // leaders of the 4 active clusters are nodes 0,8,16,24
+  }
+  // All 128 nodes remain clustered.
+  EXPECT_EQ(cl.stats().clustered_nodes, 128u);
+}
+
+TEST(DriverMerge, MergeToSmallestUnifiesEverything) {
+  Fixture fx(64, /*seed=*/7);
+  // 8 clusters of 8; everyone pushes; merge-to-smallest, twice + settle
+  // (MergeAllClusters).
+  for (std::uint32_t c = 0; c < 8; ++c) {
+    const std::uint32_t base = c * 8;
+    std::vector<std::uint32_t> followers;
+    for (std::uint32_t i = 1; i < 8; ++i) followers.push_back(base + i);
+    fx.stage_cluster(base, followers);
+  }
+  NodeId smallest = fx.net.id_of(0);
+  for (std::uint32_t c = 1; c < 8; ++c) smallest = std::min(smallest, fx.net.id_of(c * 8));
+
+  for (int rep = 0; rep < 2; ++rep) {
+    fx.driver.push_cluster_id(false, false, RelayPolicy::kSmallest);
+    fx.driver.relay_candidates(RelayPolicy::kSmallest, false);
+    fx.driver.merge_from_inbox(RelayPolicy::kSmallest, false);
+  }
+  fx.driver.settle(3);
+  const auto& cl = fx.driver.clustering();
+  EXPECT_TRUE(cl.is_flat());
+  const auto sizes = cl.cluster_sizes();
+  ASSERT_EQ(sizes.size(), 1u);
+  EXPECT_EQ(sizes.begin()->second, 64u);
+  EXPECT_EQ(fx.net.id_of(sizes.begin()->first), smallest);
+}
+
+TEST(DriverMerge, EmptyInboxKeepsCluster) {
+  Fixture fx(16);
+  fx.stage_cluster(0, {1, 2});
+  fx.driver.merge_from_inbox(RelayPolicy::kSmallest, false);
+  EXPECT_TRUE(fx.driver.clustering().is_leader(0));
+  EXPECT_EQ(fx.driver.clustering().cluster_sizes().size(), 1u);
+}
+
+TEST(DriverSettle, CompressesChains) {
+  Fixture fx(8);
+  auto& cl = fx.driver.clustering();
+  // Build an artificial 3-chain: 3 -> 2 -> 1 -> 0 (0 is the leader).
+  cl.make_leader(0);
+  cl.set_follow(1, fx.net.id_of(0));
+  cl.set_follow(2, fx.net.id_of(1));
+  cl.set_follow(3, fx.net.id_of(2));
+  EXPECT_FALSE(cl.is_flat());
+  fx.driver.settle(2);
+  EXPECT_TRUE(cl.is_flat());
+  for (std::uint32_t v : {1u, 2u, 3u}) EXPECT_EQ(cl.follow(v), fx.net.id_of(0)) << v;
+}
+
+TEST(DriverPull, UnclusteredJoinClusters) {
+  Fixture fx(64, /*seed=*/3);
+  std::vector<std::uint32_t> followers;
+  for (std::uint32_t v = 1; v < 48; ++v) followers.push_back(v);
+  fx.stage_cluster(0, followers);  // 48 clustered, 16 unclustered
+  std::uint64_t joined = 0;
+  for (int round = 0; round < 10; ++round) joined += fx.driver.unclustered_pull_round();
+  const auto stats = fx.driver.clustering().stats();
+  EXPECT_EQ(stats.clustered_nodes, 48 + joined);
+  EXPECT_EQ(stats.unclustered_nodes, 16 - joined);
+  EXPECT_GE(joined, 14u);  // 10 rounds at >= 75% hit rate miss w.p. < 1e-6 each
+  EXPECT_TRUE(fx.driver.clustering().is_flat());
+}
+
+TEST(DriverPull, NoClustersMeansNoJoins) {
+  Fixture fx(16);
+  EXPECT_EQ(fx.driver.unclustered_pull_round(), 0u);
+  EXPECT_EQ(fx.driver.clustering().stats().clustered_nodes, 0u);
+}
+
+TEST(DriverOrganic, FullPipelineUnderKnowledgeEnforcement) {
+  // Seeds -> recruiting pushes -> merge-all -> pull -> share, with the
+  // engine rejecting any direct contact to an unlearned ID. This proves the
+  // primitives only ever use honestly learned addresses.
+  Fixture fx(256, /*seed=*/11, /*knowledge=*/true);
+  auto& cl = fx.driver.clustering();
+  for (std::uint32_t v = 0; v < 256; v += 32) cl.make_leader(v);
+  for (int round = 0; round < 8; ++round) {
+    fx.driver.push_cluster_id(false, true, RelayPolicy::kSmallest);
+  }
+  fx.driver.clear_candidates();
+  for (int rep = 0; rep < 2; ++rep) {
+    fx.driver.push_cluster_id(false, false, RelayPolicy::kSmallest);
+    fx.driver.relay_candidates(RelayPolicy::kSmallest, false);
+    fx.driver.merge_from_inbox(RelayPolicy::kSmallest, false);
+  }
+  fx.driver.settle(3);
+  for (int round = 0; round < 8; ++round) fx.driver.unclustered_pull_round();
+  std::vector<std::uint8_t> informed(256, 0);
+  informed[17] = 1;
+  fx.driver.share_rumor(informed, true);
+
+  EXPECT_TRUE(cl.is_flat());
+  const auto stats = cl.stats();
+  EXPECT_EQ(stats.unclustered_nodes, 0u);
+  EXPECT_EQ(stats.clusters, 1u);
+  std::uint64_t informed_count = 0;
+  for (auto b : informed) informed_count += b;
+  EXPECT_EQ(informed_count, 256u);
+}
+
+TEST(DriverRelay, SmallestPolicyDeliversMinimum) {
+  Fixture fx(64, /*seed=*/13);
+  // One inactive cluster receives pushes from several active singletons;
+  // after relay+merge it must follow the smallest pushing cluster ID it saw.
+  std::vector<std::uint32_t> followers;
+  for (std::uint32_t v = 1; v < 32; ++v) followers.push_back(v);
+  fx.stage_cluster(0, followers);
+  NodeId smallest_active = NodeId::unclustered();
+  for (std::uint32_t v = 32; v < 64; ++v) {
+    fx.driver.clustering().make_leader(v);
+    fx.driver.clustering().set_active(v, true);
+    smallest_active = std::min(smallest_active, fx.net.id_of(v));
+  }
+  fx.driver.push_cluster_id(true, false, RelayPolicy::kSmallest);
+  fx.driver.relay_candidates(RelayPolicy::kSmallest, true);
+  fx.driver.merge_from_inbox(RelayPolicy::kSmallest, true);
+  // With 32 active singletons pushing into a 32-node cluster, the smallest
+  // active ID reaches the leader with overwhelming probability only if it
+  // hit the cluster; we assert the weaker, deterministic property: the
+  // new leader is one of the active singletons (or unchanged if none hit).
+  const NodeId target = fx.driver.clustering().follow(0);
+  if (target != fx.net.id_of(0)) {
+    bool is_active_singleton = false;
+    for (std::uint32_t v = 32; v < 64; ++v) {
+      if (fx.net.id_of(v) == target) is_active_singleton = true;
+    }
+    EXPECT_TRUE(is_active_singleton);
+  }
+}
+
+TEST(DriverClearCandidates, DropsStaleState) {
+  Fixture fx(32);
+  fx.stage_cluster(0, {1, 2, 3});
+  for (std::uint32_t v = 16; v < 32; ++v) {
+    fx.driver.clustering().make_leader(v);
+    fx.driver.clustering().set_active(v, true);
+  }
+  fx.driver.push_cluster_id(true, false, RelayPolicy::kSmallest);
+  fx.driver.clear_candidates();
+  fx.driver.relay_candidates(RelayPolicy::kSmallest, true);
+  fx.driver.merge_from_inbox(RelayPolicy::kSmallest, true);
+  // All candidates were wiped, so no merge happened.
+  EXPECT_TRUE(fx.driver.clustering().is_leader(0));
+}
+
+}  // namespace
+}  // namespace gossip::cluster

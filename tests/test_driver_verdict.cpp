@@ -1,0 +1,274 @@
+// Unit tests for the collect+verdict family of cluster primitives
+// (cluster/driver.hpp): ClusterActivate, ClusterSize, ClusterDissolve,
+// ClusterResize and ClusterShare (paper Section 3.2).
+//
+// Clusters are staged directly through the Clustering state; knowledge
+// tracking is off here (the organic-formation honesty tests live in
+// test_driver_push_merge.cpp).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cluster/driver.hpp"
+
+namespace gossip::cluster {
+namespace {
+
+struct Fixture {
+  explicit Fixture(std::uint32_t n, std::uint64_t seed = 1)
+      : net(make_opts(n, seed)), engine(net), driver(engine, make_driver_opts()) {}
+
+  static sim::NetworkOptions make_opts(std::uint32_t n, std::uint64_t seed) {
+    sim::NetworkOptions o;
+    o.n = n;
+    o.seed = seed;
+    return o;
+  }
+  static DriverOptions make_driver_opts() {
+    DriverOptions d;
+    d.validate = true;
+    return d;
+  }
+
+  /// Stages a flat cluster led by `leader` with the given followers.
+  void stage_cluster(std::uint32_t leader, std::initializer_list<std::uint32_t> followers) {
+    auto& cl = driver.clustering();
+    cl.make_leader(leader);
+    for (std::uint32_t f : followers) cl.set_follow(f, net.id_of(leader));
+  }
+
+  sim::Network net;
+  sim::Engine engine;
+  Driver driver;
+};
+
+TEST(DriverActivate, AllOrNothingProbabilities) {
+  Fixture fx(16);
+  fx.stage_cluster(0, {1, 2, 3});
+  fx.stage_cluster(4, {5, 6});
+  fx.driver.activate(1.0);
+  for (std::uint32_t v : {0u, 1u, 2u, 3u, 4u, 5u, 6u}) {
+    EXPECT_TRUE(fx.driver.clustering().active(v)) << v;
+  }
+  fx.driver.activate(0.0);
+  for (std::uint32_t v : {0u, 1u, 2u, 3u, 4u, 5u, 6u}) {
+    EXPECT_FALSE(fx.driver.clustering().active(v)) << v;
+  }
+}
+
+TEST(DriverActivate, FollowersAgreeWithTheirLeader) {
+  Fixture fx(64);
+  for (std::uint32_t leader = 0; leader < 64; leader += 4) {
+    fx.stage_cluster(leader, {leader + 1, leader + 2, leader + 3});
+  }
+  fx.driver.activate(0.5);
+  const auto& cl = fx.driver.clustering();
+  for (std::uint32_t leader = 0; leader < 64; leader += 4) {
+    for (std::uint32_t off = 1; off <= 3; ++off) {
+      EXPECT_EQ(cl.active(leader + off), cl.active(leader)) << leader + off;
+    }
+  }
+}
+
+TEST(DriverActivate, ProbabilityIsRoughlyRespected) {
+  // 256 singleton clusters, p = 0.25: expect ~64 active.
+  Fixture fx(256);
+  for (std::uint32_t v = 0; v < 256; ++v) fx.driver.clustering().make_leader(v);
+  fx.driver.activate(0.25);
+  int active = 0;
+  for (std::uint32_t v = 0; v < 256; ++v) active += fx.driver.clustering().active(v);
+  EXPECT_GT(active, 30);
+  EXPECT_LT(active, 110);
+}
+
+TEST(DriverActivate, TakesTwoRoundsOfBudgetAtMostOne) {
+  Fixture fx(8);
+  fx.stage_cluster(0, {1});
+  const auto before = fx.engine.rounds();
+  fx.driver.activate(1.0);
+  EXPECT_EQ(fx.engine.rounds() - before, 1u);
+}
+
+TEST(DriverSizes, MeasuresExactClusterSizes) {
+  Fixture fx(16);
+  fx.stage_cluster(0, {1, 2, 3, 4});
+  fx.stage_cluster(8, {9});
+  fx.driver.set_all_active(true);
+  fx.driver.compute_sizes(false);
+  const auto& cl = fx.driver.clustering();
+  for (std::uint32_t v : {0u, 1u, 2u, 3u, 4u}) EXPECT_EQ(cl.size_estimate(v), 5u) << v;
+  for (std::uint32_t v : {8u, 9u}) EXPECT_EQ(cl.size_estimate(v), 2u) << v;
+  EXPECT_EQ(fx.engine.rounds(), 2u);
+}
+
+TEST(DriverSizes, PrevSizeShifted) {
+  Fixture fx(8);
+  fx.stage_cluster(0, {1, 2});
+  fx.driver.compute_sizes(false);
+  EXPECT_EQ(fx.driver.clustering().size_estimate(0), 3u);
+  // Shrink the cluster and re-measure.
+  fx.driver.clustering().make_unclustered(2);
+  fx.driver.compute_sizes(false);
+  EXPECT_EQ(fx.driver.clustering().size_estimate(0), 2u);
+  EXPECT_EQ(fx.driver.clustering().prev_size_estimate(0), 3u);
+}
+
+TEST(DriverSizes, OnlyActiveFilterSkipsInactive) {
+  Fixture fx(16);
+  fx.stage_cluster(0, {1, 2});
+  fx.stage_cluster(4, {5, 6});
+  fx.driver.clustering().set_active(0, true);
+  fx.driver.clustering().set_active(1, true);
+  fx.driver.clustering().set_active(2, true);
+  fx.driver.compute_sizes(/*only_active=*/true);
+  EXPECT_EQ(fx.driver.clustering().size_estimate(0), 3u);
+  EXPECT_EQ(fx.driver.clustering().size_estimate(4), 0u);  // untouched
+}
+
+TEST(DriverDissolve, BelowThresholdDisbands) {
+  Fixture fx(16);
+  fx.stage_cluster(0, {1, 2, 3, 4});  // size 5
+  fx.stage_cluster(8, {9});           // size 2
+  fx.driver.dissolve_below(4);
+  const auto& cl = fx.driver.clustering();
+  for (std::uint32_t v : {0u, 1u, 2u, 3u, 4u}) EXPECT_TRUE(cl.is_clustered(v)) << v;
+  for (std::uint32_t v : {8u, 9u}) EXPECT_TRUE(cl.is_unclustered(v)) << v;
+}
+
+TEST(DriverDissolve, ExactThresholdSurvives) {
+  Fixture fx(8);
+  fx.stage_cluster(0, {1, 2});  // size 3
+  fx.driver.dissolve_below(3);
+  EXPECT_TRUE(fx.driver.clustering().is_clustered(0));
+  fx.driver.dissolve_below(4);
+  EXPECT_TRUE(fx.driver.clustering().is_unclustered(0));
+}
+
+TEST(DriverResize, SplitsIntoContiguousGroups) {
+  Fixture fx(32);
+  fx.stage_cluster(0, {1,  2,  3,  4,  5,  6,  7,  8,  9, 10, 11});  // size 12
+  fx.driver.resize(4, false);
+  const auto& cl = fx.driver.clustering();
+  const auto sizes = cl.cluster_sizes();
+  EXPECT_EQ(sizes.size(), 3u);  // floor(12/4) groups
+  std::map<NodeId, std::vector<NodeId>> groups;
+  for (std::uint32_t v = 0; v <= 11; ++v) {
+    ASSERT_TRUE(cl.is_clustered(v)) << v;
+    groups[cl.is_leader(v) ? fx.net.id_of(v) : cl.follow(v)].push_back(fx.net.id_of(v));
+  }
+  for (auto& [leader, members] : groups) {
+    EXPECT_EQ(members.size(), 4u);
+    // Leader is the largest ID of its (contiguous) group.
+    for (NodeId m : members) EXPECT_LE(m, leader);
+  }
+  // Groups are contiguous in ID space: the max of one group is below the min
+  // of the next.
+  std::vector<std::pair<NodeId, NodeId>> ranges;  // (min, max=leader)
+  for (auto& [leader, members] : groups) {
+    NodeId mn = members[0];
+    for (NodeId m : members) mn = std::min(mn, m);
+    ranges.emplace_back(mn, leader);
+  }
+  std::sort(ranges.begin(), ranges.end());
+  for (std::size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_LT(ranges[i - 1].second, ranges[i].first);
+  }
+  EXPECT_TRUE(cl.is_flat());
+}
+
+TEST(DriverResize, SmallClusterKeptWhole) {
+  Fixture fx(8);
+  fx.stage_cluster(0, {1, 2});  // size 3 < target 8
+  fx.driver.resize(8, false);
+  EXPECT_EQ(fx.driver.clustering().cluster_sizes().size(), 1u);
+  EXPECT_TRUE(fx.driver.clustering().is_clustered(1));
+}
+
+TEST(DriverResize, ResultingSizesBelowTwiceTarget) {
+  Fixture fx(64);
+  std::initializer_list<std::uint32_t> followers{1,  2,  3,  4,  5,  6,  7,  8,  9,  10,
+                                                 11, 12, 13, 14, 15, 16, 17, 18, 19, 20};
+  fx.stage_cluster(0, followers);  // size 21
+  fx.driver.resize(6, false);      // floor(21/6) = 3 groups of 7
+  for (const auto& [leader, size] : fx.driver.clustering().cluster_sizes()) {
+    EXPECT_GE(size, 6u);
+    EXPECT_LT(size, 12u);  // "after a cluster resizing step all clusters have size at most 2s-1"
+  }
+}
+
+TEST(DriverShare, SpreadsRumorWithinEveryCluster) {
+  Fixture fx(16);
+  fx.stage_cluster(0, {1, 2, 3});
+  fx.stage_cluster(8, {9, 10});
+  std::vector<std::uint8_t> informed(16, 0);
+  informed[2] = 1;  // a follower of cluster 0 knows the rumor
+  fx.driver.share_rumor(informed, /*collect_first=*/true);
+  for (std::uint32_t v : {0u, 1u, 2u, 3u}) EXPECT_TRUE(informed[v]) << v;
+  for (std::uint32_t v : {8u, 9u, 10u}) EXPECT_FALSE(informed[v]) << v;
+  // Unclustered nodes never get it from a share.
+  EXPECT_FALSE(informed[5]);
+}
+
+TEST(DriverShare, WithoutCollectOnlyLeaderKnowledgeSpreads) {
+  Fixture fx(8);
+  fx.stage_cluster(0, {1, 2});
+  std::vector<std::uint8_t> informed(8, 0);
+  informed[1] = 1;  // follower holds the rumor but nobody collects it
+  fx.driver.share_rumor(informed, /*collect_first=*/false);
+  EXPECT_FALSE(informed[0]);
+  EXPECT_FALSE(informed[2]);
+  // Now with the leader informed the distribute round works.
+  informed[0] = 1;
+  fx.driver.share_rumor(informed, /*collect_first=*/false);
+  EXPECT_TRUE(informed[2]);
+}
+
+TEST(DriverVerdict, CustomDecideSeesSortedMemberIds) {
+  Fixture fx(8);
+  fx.stage_cluster(3, {0, 1, 6});
+  bool called = false;
+  fx.driver.collect_and_verdict(
+      false, /*with_ids=*/true,
+      [&](std::uint32_t leader, std::uint64_t size, std::vector<NodeId>& members) {
+        called = true;
+        EXPECT_EQ(leader, 3u);
+        EXPECT_EQ(size, 4u);
+        EXPECT_EQ(members.size(), 4u);
+        EXPECT_TRUE(std::is_sorted(members.begin(), members.end()));
+        return Driver::Verdict{};
+      });
+  EXPECT_TRUE(called);
+}
+
+TEST(DriverVerdict, DissolveVerdictAppliesToEveryMember) {
+  Fixture fx(8);
+  fx.stage_cluster(0, {1, 2, 3});
+  fx.driver.collect_and_verdict(false, false,
+                                [](std::uint32_t, std::uint64_t, std::vector<NodeId>&) {
+                                  Driver::Verdict v;
+                                  v.dissolve = true;
+                                  return v;
+                                });
+  for (std::uint32_t v = 0; v < 4; ++v) {
+    EXPECT_TRUE(fx.driver.clustering().is_unclustered(v)) << v;
+  }
+}
+
+TEST(DriverVerdict, ActivationFlagDistributed) {
+  Fixture fx(8);
+  fx.stage_cluster(0, {1, 2});
+  fx.driver.collect_and_verdict(false, false,
+                                [](std::uint32_t, std::uint64_t, std::vector<NodeId>&) {
+                                  Driver::Verdict v;
+                                  v.active = false;
+                                  v.size_hint = 3;
+                                  return v;
+                                });
+  for (std::uint32_t v = 0; v < 3; ++v) {
+    EXPECT_FALSE(fx.driver.clustering().active(v)) << v;
+    EXPECT_EQ(fx.driver.clustering().size_estimate(v), 3u) << v;
+  }
+}
+
+}  // namespace
+}  // namespace gossip::cluster

@@ -1,0 +1,291 @@
+// Unit tests for the round engine (sim/engine.hpp): delivery semantics,
+// address-obliviousness enforcement, direct-addressing honesty, failure
+// behaviour and metering integration.
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace gossip::sim {
+namespace {
+
+NetworkOptions opts(std::uint32_t n, bool knowledge = false, std::uint64_t seed = 1) {
+  NetworkOptions o;
+  o.n = n;
+  o.seed = seed;
+  o.track_knowledge = knowledge;
+  return o;
+}
+
+TEST(Engine, PushDelivery) {
+  Network net(opts(4));
+  Engine eng(net);
+  std::vector<int> got(4, 0);
+  RoundHooks hooks;
+  hooks.initiate = [&](std::uint32_t v) -> std::optional<Contact> {
+    if (v != 0) return std::nullopt;
+    return Contact::push_direct(net.id_of(2), Message::count(77));
+  };
+  hooks.on_push = [&](std::uint32_t r, const Message& m) {
+    got[r] = static_cast<int>(m.count_value());
+  };
+  // Direct addressing without knowledge tracking is allowed (tracking off).
+  eng.run_round(hooks);
+  EXPECT_EQ(got[2], 77);
+  EXPECT_EQ(got[0], 0);
+  EXPECT_EQ(eng.rounds(), 1u);
+}
+
+TEST(Engine, PullRequestAndReply) {
+  Network net(opts(4));
+  Engine eng(net);
+  int replies = 0;
+  RoundHooks hooks;
+  hooks.initiate = [&](std::uint32_t v) -> std::optional<Contact> {
+    if (v == 0) return Contact::pull_direct(net.id_of(1));
+    return std::nullopt;
+  };
+  hooks.respond = [&](std::uint32_t v) { return Message::count(v + 100); };
+  hooks.on_pull_reply = [&](std::uint32_t q, const Message& m) {
+    EXPECT_EQ(q, 0u);
+    EXPECT_EQ(m.count_value(), 101u);
+    ++replies;
+  };
+  eng.run_round(hooks);
+  EXPECT_EQ(replies, 1);
+}
+
+TEST(Engine, AddressObliviousSingleResponsePerRound) {
+  // Three nodes pull node 3; respond() must run exactly once and all three
+  // must receive the identical message.
+  Network net(opts(5));
+  Engine eng(net);
+  int respond_calls = 0;
+  std::vector<std::uint64_t> received;
+  RoundHooks hooks;
+  hooks.initiate = [&](std::uint32_t v) -> std::optional<Contact> {
+    if (v < 3) return Contact::pull_direct(net.id_of(3));
+    return std::nullopt;
+  };
+  hooks.respond = [&](std::uint32_t v) {
+    EXPECT_EQ(v, 3u);
+    ++respond_calls;
+    return Message::count(42);
+  };
+  hooks.on_pull_reply = [&](std::uint32_t, const Message& m) {
+    received.push_back(m.count_value());
+  };
+  eng.run_round(hooks);
+  EXPECT_EQ(respond_calls, 1);
+  ASSERT_EQ(received.size(), 3u);
+  for (auto v : received) EXPECT_EQ(v, 42u);
+}
+
+TEST(Engine, ExchangeDeliversBothWays) {
+  Network net(opts(4));
+  Engine eng(net);
+  std::uint64_t pushed_to = 99, reply_to = 99;
+  RoundHooks hooks;
+  hooks.initiate = [&](std::uint32_t v) -> std::optional<Contact> {
+    if (v == 0) return Contact::exchange_direct(net.id_of(1), Message::count(5));
+    return std::nullopt;
+  };
+  hooks.respond = [&](std::uint32_t) { return Message::count(6); };
+  hooks.on_push = [&](std::uint32_t r, const Message& m) {
+    pushed_to = r;
+    EXPECT_EQ(m.count_value(), 5u);
+  };
+  hooks.on_pull_reply = [&](std::uint32_t q, const Message& m) {
+    reply_to = q;
+    EXPECT_EQ(m.count_value(), 6u);
+  };
+  eng.run_round(hooks);
+  EXPECT_EQ(pushed_to, 1u);
+  EXPECT_EQ(reply_to, 0u);
+}
+
+TEST(Engine, RandomTargetNeverSelf) {
+  Network net(opts(2));  // only one possible partner
+  Engine eng(net);
+  RoundHooks hooks;
+  std::vector<int> hits(2, 0);
+  hooks.initiate = [&](std::uint32_t) -> std::optional<Contact> {
+    return Contact::push_random(Message::count(1));
+  };
+  hooks.on_push = [&](std::uint32_t r, const Message&) { ++hits[r]; };
+  for (int i = 0; i < 50; ++i) eng.run_round(hooks);
+  // With n=2 every push must land on the other node: both get exactly 50.
+  EXPECT_EQ(hits[0], 50);
+  EXPECT_EQ(hits[1], 50);
+}
+
+TEST(Engine, RandomTargetsRoughlyUniform) {
+  Network net(opts(8));
+  Engine eng(net);
+  std::vector<int> hits(8, 0);
+  RoundHooks hooks;
+  hooks.initiate = [&](std::uint32_t v) -> std::optional<Contact> {
+    if (v != 0) return std::nullopt;
+    return Contact::push_random(Message::count(1));
+  };
+  hooks.on_push = [&](std::uint32_t r, const Message&) { ++hits[r]; };
+  for (int i = 0; i < 7000; ++i) eng.run_round(hooks);
+  EXPECT_EQ(hits[0], 0);  // never self
+  for (std::uint32_t v = 1; v < 8; ++v) {
+    EXPECT_GT(hits[v], 700);
+    EXPECT_LT(hits[v], 1300);
+  }
+}
+
+TEST(Engine, DirectContactToUnknownIdRejectedWithKnowledge) {
+  Network net(opts(4, /*knowledge=*/true));
+  Engine eng(net);
+  RoundHooks hooks;
+  hooks.initiate = [&](std::uint32_t v) -> std::optional<Contact> {
+    if (v == 0) return Contact::push_direct(net.id_of(2), Message::count(1));
+    return std::nullopt;
+  };
+  EXPECT_THROW(eng.run_round(hooks), ContractViolation);
+}
+
+TEST(Engine, DirectContactAllowedAfterLearning) {
+  Network net(opts(4, /*knowledge=*/true));
+  Engine eng(net);
+  // A random push teaches both endpoints each other's IDs (the
+  // unknown-target rejection itself is covered by
+  // DirectContactToUnknownIdRejectedWithKnowledge; a rejected round poisons
+  // the engine, so this test only exercises the legal flow).
+  RoundHooks random_push;
+  random_push.initiate = [&](std::uint32_t v) -> std::optional<Contact> {
+    if (v == 2) return Contact::push_random(Message::single_id(net.id_of(2)));
+    return std::nullopt;
+  };
+  std::uint32_t receiver = 0;
+  random_push.on_push = [&](std::uint32_t r, const Message&) { receiver = r; };
+  eng.run_round(random_push);
+  // Now the receiver knows node 2's ID and may direct-address it.
+  RoundHooks direct;
+  direct.initiate = [&](std::uint32_t v) -> std::optional<Contact> {
+    if (v == receiver) return Contact::pull_direct(net.id_of(2));
+    return std::nullopt;
+  };
+  int replies = 0;
+  direct.respond = [](std::uint32_t) { return Message::count(1); };
+  direct.on_pull_reply = [&](std::uint32_t, const Message&) { ++replies; };
+  EXPECT_NO_THROW(eng.run_round(direct));
+  EXPECT_EQ(replies, 1);
+}
+
+TEST(Engine, MessageIdsExtendKnowledge) {
+  Network net(opts(4, /*knowledge=*/true));
+  Engine eng(net);
+  // Node 1 learns node 3's ID because a received message carried it.
+  RoundHooks hooks;
+  hooks.initiate = [&](std::uint32_t v) -> std::optional<Contact> {
+    if (v == 0) return Contact::push_random(Message::single_id(net.id_of(3)));
+    return std::nullopt;
+  };
+  std::uint32_t receiver = 99;
+  hooks.on_push = [&](std::uint32_t r, const Message&) { receiver = r; };
+  eng.run_round(hooks);
+  ASSERT_NE(receiver, 99u);
+  EXPECT_TRUE(net.knowledge()->knows(receiver, net.id_of(3), net.id_of(receiver)));
+  // And the phone call itself revealed the caller's ID.
+  EXPECT_TRUE(net.knowledge()->knows(receiver, net.id_of(0), net.id_of(receiver)));
+  EXPECT_TRUE(net.knowledge()->knows(0, net.id_of(receiver), net.id_of(0)));
+}
+
+TEST(Engine, ContactsToFailedNodesAreLost) {
+  Network net(opts(4));
+  net.fail(1);
+  Engine eng(net);
+  int deliveries = 0, replies = 0;
+  RoundHooks hooks;
+  hooks.initiate = [&](std::uint32_t v) -> std::optional<Contact> {
+    if (v == 0) return Contact::push_direct(net.id_of(1), Message::count(1));
+    if (v == 2) return Contact::pull_direct(net.id_of(1));
+    return std::nullopt;
+  };
+  hooks.respond = [](std::uint32_t) { return Message::count(9); };
+  hooks.on_push = [&](std::uint32_t, const Message&) { ++deliveries; };
+  hooks.on_pull_reply = [&](std::uint32_t, const Message&) { ++replies; };
+  eng.run_round(hooks);
+  EXPECT_EQ(deliveries, 0);
+  EXPECT_EQ(replies, 0);
+  // The attempts still count as connections (the caller cannot know).
+  EXPECT_EQ(eng.metrics().run().total.connections, 2u);
+}
+
+TEST(Engine, FailedNodesDoNotInitiate) {
+  Network net(opts(4));
+  net.fail(0);
+  Engine eng(net);
+  int initiated = 0;
+  RoundHooks hooks;
+  hooks.initiate = [&](std::uint32_t) -> std::optional<Contact> {
+    ++initiated;
+    return std::nullopt;
+  };
+  eng.run_round(hooks);
+  EXPECT_EQ(initiated, 3);  // nodes 1..3 only
+}
+
+TEST(Engine, InitiatorSubsetRestrictsWhoActs) {
+  Network net(opts(8));
+  Engine eng(net);
+  std::vector<std::uint32_t> asked;
+  RoundHooks hooks;
+  hooks.initiate = [&](std::uint32_t v) -> std::optional<Contact> {
+    asked.push_back(v);
+    return std::nullopt;
+  };
+  const std::vector<std::uint32_t> subset{1, 5, 6};
+  eng.run_round(hooks, subset);
+  EXPECT_EQ(asked, subset);
+}
+
+TEST(Engine, SelfContactRejected) {
+  Network net(opts(4));
+  Engine eng(net);
+  RoundHooks hooks;
+  hooks.initiate = [&](std::uint32_t v) -> std::optional<Contact> {
+    if (v == 2) return Contact::push_direct(net.id_of(2), Message::count(1));
+    return std::nullopt;
+  };
+  EXPECT_THROW(eng.run_round(hooks), ContractViolation);
+}
+
+TEST(Engine, MissingInitiateHookThrows) {
+  Network net(opts(4));
+  Engine eng(net);
+  RoundHooks hooks;  // no initiate
+  EXPECT_THROW(eng.run_round(hooks), ContractViolation);
+}
+
+TEST(Engine, MeteringIntegration) {
+  Network net(opts(4));
+  Engine eng(net);
+  RoundHooks hooks;
+  hooks.initiate = [&](std::uint32_t v) -> std::optional<Contact> {
+    if (v == 0) return Contact::push_direct(net.id_of(1), Message::rumor());
+    if (v == 2) return Contact::pull_direct(net.id_of(1));
+    return std::nullopt;
+  };
+  hooks.respond = [](std::uint32_t) { return Message::empty(); };
+  eng.run_round(hooks);
+  const auto& t = eng.metrics().run().total;
+  EXPECT_EQ(t.pushes, 1u);
+  EXPECT_EQ(t.pull_requests, 1u);
+  EXPECT_EQ(t.payload_messages, 1u);  // rumor push; the empty reply is free
+  EXPECT_EQ(t.connections, 2u);
+  EXPECT_EQ(t.initiators, 2u);
+  // Node 1 was involved in both communications.
+  EXPECT_EQ(t.max_involvement, 2u);
+}
+
+}  // namespace
+}  // namespace gossip::sim

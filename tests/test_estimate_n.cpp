@@ -1,0 +1,80 @@
+// Tests for guess-test-and-double network size estimation
+// (core/estimate_n.hpp, paper Section 2's model justification).
+#include "core/estimate_n.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/math.hpp"
+
+namespace gossip::core {
+namespace {
+
+sim::NetworkOptions opts(std::uint32_t n, std::uint64_t seed = 1) {
+  sim::NetworkOptions o;
+  o.n = n;
+  o.seed = seed;
+  return o;
+}
+
+class EstimateNSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(EstimateNSweep, AcceptedGuessCoversN) {
+  const std::uint32_t n = GetParam();
+  for (std::uint64_t seed : {1ull, 2ull}) {
+    sim::Network net(opts(n, seed));
+    const auto result = estimate_network_size(net);
+    ASSERT_TRUE(result.success) << "n=" << n << " seed=" << seed;
+    // The accepted guess must be large enough that the Cluster1 schedule
+    // derived from it handles n nodes: log(guess) >= log(n) up to the tower
+    // rounding. (Tower guesses: 16, 2^4=16, 2^16, 2^64...)
+    EXPECT_GE(loglog2d(result.estimate) + 1.0, loglog2d(n)) << "n=" << n;
+    EXPECT_GE(result.attempts, 1u);
+    EXPECT_GT(result.rounds, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EstimateNSweep, ::testing::Values(64, 1024, 16384),
+                         [](const auto& info) { return "n" + std::to_string(info.param); });
+
+TEST(EstimateN, TowerScheduleKeepsTotalRoundsSmall) {
+  // The whole point of tower-doubling: total rounds across all attempts must
+  // stay O(log log n)-shaped, not O(log n).
+  sim::Network net(opts(16384, 3));
+  const auto result = estimate_network_size(net);
+  ASSERT_TRUE(result.success);
+  EXPECT_LE(result.rounds, 60.0 * loglog2d(16384));
+}
+
+TEST(EstimateN, SmallGuessesAreRejected) {
+  // At n = 16384 the first tower guess (16) parameterizes schedules far too
+  // weak to unify the network; the verifier must reject at least one guess.
+  sim::Network net(opts(16384, 5));
+  const auto result = estimate_network_size(net);
+  ASSERT_TRUE(result.success);
+  EXPECT_GE(result.attempts, 2u);
+}
+
+TEST(EstimateN, FirstGuessCanSucceedOnTinyNetworks) {
+  sim::Network net(opts(16, 7));
+  const auto result = estimate_network_size(net);
+  EXPECT_TRUE(result.success);
+}
+
+TEST(EstimateN, InvalidOptionsThrow) {
+  sim::Network net(opts(64));
+  EstimateNOptions o;
+  o.first_tower_exponent = 5;
+  o.max_tower_exponent = 3;
+  EXPECT_THROW((void)estimate_network_size(net, o), ContractViolation);
+}
+
+TEST(EstimateN, DeterministicInSeed) {
+  sim::Network a(opts(1024, 9)), b(opts(1024, 9));
+  const auto ra = estimate_network_size(a);
+  const auto rb = estimate_network_size(b);
+  EXPECT_EQ(ra.estimate, rb.estimate);
+  EXPECT_EQ(ra.rounds, rb.rounds);
+}
+
+}  // namespace
+}  // namespace gossip::core

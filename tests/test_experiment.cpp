@@ -1,0 +1,55 @@
+// Tests for the experiment aggregation helper (analysis/experiment.hpp).
+#include "analysis/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gossip::analysis {
+namespace {
+
+core::BroadcastReport make_report(std::uint64_t n, std::uint64_t informed,
+                                  std::uint64_t rounds, std::uint64_t msgs,
+                                  std::uint64_t bits, std::uint32_t delta) {
+  core::BroadcastReport r;
+  r.n = n;
+  r.alive = n;
+  r.informed = informed;
+  r.all_informed = informed == n;
+  r.rounds = rounds;
+  r.stats.total.payload_messages = msgs;
+  r.stats.total.connections = msgs;
+  r.stats.total.bits = bits;
+  r.stats.total.max_involvement = delta;
+  return r;
+}
+
+TEST(ReportAggregate, CollectsMeans) {
+  ReportAggregate agg;
+  agg.add(make_report(100, 100, 10, 200, 1000, 5));
+  agg.add(make_report(100, 100, 20, 400, 3000, 7));
+  EXPECT_EQ(agg.runs, 2u);
+  EXPECT_EQ(agg.failures, 0u);
+  EXPECT_DOUBLE_EQ(agg.rounds.mean(), 15.0);
+  EXPECT_DOUBLE_EQ(agg.payload_per_node.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(agg.bits_per_node.mean(), 20.0);
+  EXPECT_DOUBLE_EQ(agg.max_delta.max(), 7.0);
+  EXPECT_DOUBLE_EQ(agg.rounds.min(), 10.0);
+  EXPECT_DOUBLE_EQ(agg.rounds.max(), 20.0);
+}
+
+TEST(ReportAggregate, CountsFailures) {
+  ReportAggregate agg;
+  agg.add(make_report(100, 100, 1, 1, 1, 1));
+  agg.add(make_report(100, 97, 1, 1, 1, 1));
+  EXPECT_EQ(agg.failures, 1u);
+  EXPECT_DOUBLE_EQ(agg.uninformed.max(), 3.0);
+  EXPECT_NEAR(agg.informed_fraction.mean(), 0.985, 1e-9);
+}
+
+TEST(ReportAggregate, EmptyIsSafe) {
+  ReportAggregate agg;
+  EXPECT_EQ(agg.runs, 0u);
+  EXPECT_DOUBLE_EQ(agg.rounds.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace gossip::analysis

@@ -1,0 +1,91 @@
+// Unit tests for the oblivious failure adversary (sim/fault.hpp).
+#include "sim/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/assert.hpp"
+#include "sim/network.hpp"
+
+namespace gossip::sim {
+namespace {
+
+Network make_net(std::uint32_t n, std::uint64_t seed = 1) {
+  NetworkOptions o;
+  o.n = n;
+  o.seed = seed;
+  return Network(o);
+}
+
+class FaultStrategyTest : public ::testing::TestWithParam<FaultStrategy> {};
+
+TEST_P(FaultStrategyTest, ProducesExactlyFDistinctNodes) {
+  Network net = make_net(100);
+  Rng rng(7);
+  for (std::uint32_t f : {0u, 1u, 10u, 50u, 99u}) {
+    const auto failures = choose_failures(net, f, GetParam(), rng);
+    EXPECT_EQ(failures.size(), f);
+    std::set<std::uint32_t> unique(failures.begin(), failures.end());
+    EXPECT_EQ(unique.size(), f) << "duplicates in failure set";
+    for (std::uint32_t v : failures) EXPECT_LT(v, net.n());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, FaultStrategyTest,
+                         ::testing::Values(FaultStrategy::kRandomSubset,
+                                           FaultStrategy::kSmallestIds,
+                                           FaultStrategy::kIndexStride),
+                         [](const auto& info) {
+                           std::string name = to_string(info.param);
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+TEST(Fault, CannotFailAllNodes) {
+  Network net = make_net(10);
+  Rng rng(1);
+  EXPECT_THROW((void)choose_failures(net, 10, FaultStrategy::kRandomSubset, rng),
+               ContractViolation);
+}
+
+TEST(Fault, SmallestIdsReallyAreSmallest) {
+  Network net = make_net(50);
+  Rng rng(1);
+  const auto failures = choose_failures(net, 10, FaultStrategy::kSmallestIds, rng);
+  NodeId max_failed(0);
+  for (std::uint32_t v : failures) max_failed = std::max(max_failed, net.id_of(v));
+  std::set<std::uint32_t> failed(failures.begin(), failures.end());
+  for (std::uint32_t v = 0; v < net.n(); ++v) {
+    if (!failed.contains(v)) EXPECT_GT(net.id_of(v), max_failed);
+  }
+}
+
+TEST(Fault, RandomSubsetVariesWithRng) {
+  Network net = make_net(1000);
+  Rng a(1), b(2);
+  const auto fa = choose_failures(net, 100, FaultStrategy::kRandomSubset, a);
+  const auto fb = choose_failures(net, 100, FaultStrategy::kRandomSubset, b);
+  EXPECT_NE(fa, fb);
+}
+
+TEST(Fault, StrideSpreadsAcrossIndexRange) {
+  Network net = make_net(100);
+  Rng rng(1);
+  const auto failures = choose_failures(net, 10, FaultStrategy::kIndexStride, rng);
+  ASSERT_EQ(failures.size(), 10u);
+  // Stride of 10: expect one failure per decade of the index range.
+  std::set<std::uint32_t> deciles;
+  for (std::uint32_t v : failures) deciles.insert(v / 10);
+  EXPECT_GE(deciles.size(), 9u);
+}
+
+TEST(Fault, StringNames) {
+  EXPECT_STREQ(to_string(FaultStrategy::kRandomSubset), "random");
+  EXPECT_STREQ(to_string(FaultStrategy::kSmallestIds), "smallest-ids");
+  EXPECT_STREQ(to_string(FaultStrategy::kIndexStride), "stride");
+}
+
+}  // namespace
+}  // namespace gossip::sim

@@ -1,0 +1,115 @@
+// Tests for the graph utilities (analysis/graph.hpp).
+#include "analysis/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gossip::analysis {
+namespace {
+
+Graph path_graph(std::uint32_t n) {
+  Graph g(n);
+  for (std::uint32_t v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+Graph cycle_graph(std::uint32_t n) {
+  Graph g = path_graph(n);
+  g.add_edge(n - 1, 0);
+  return g;
+}
+
+Graph star_graph(std::uint32_t n) {
+  Graph g(n);
+  for (std::uint32_t v = 1; v < n; ++v) g.add_edge(0, v);
+  return g;
+}
+
+TEST(Graph, EdgesAndDegrees) {
+  Graph g = star_graph(10);
+  EXPECT_EQ(g.num_edges(), 9u);
+  EXPECT_EQ(g.max_degree(), 9u);
+  EXPECT_EQ(g.neighbors(0).size(), 9u);
+  EXPECT_EQ(g.neighbors(3).size(), 1u);
+}
+
+TEST(Graph, SelfLoopsIgnored) {
+  Graph g(4);
+  g.add_edge(1, 1);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, BfsDistancesOnPath) {
+  Graph g = path_graph(6);
+  const auto d = g.bfs_distances(0);
+  for (std::uint32_t v = 0; v < 6; ++v) EXPECT_EQ(d[v], v);
+}
+
+TEST(Graph, BfsUnreachable) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  const auto d = g.bfs_distances(0);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], kUnreachable);
+  EXPECT_FALSE(g.connected());
+}
+
+TEST(Graph, Connectivity) {
+  EXPECT_TRUE(path_graph(8).connected());
+  EXPECT_TRUE(cycle_graph(8).connected());
+  Graph g(3);
+  EXPECT_FALSE(g.connected());
+}
+
+TEST(Graph, EccentricityAndDiameter) {
+  EXPECT_EQ(path_graph(7).eccentricity(0), 6u);
+  EXPECT_EQ(path_graph(7).eccentricity(3), 3u);
+  EXPECT_EQ(path_graph(7).diameter_exact(), 6u);
+  EXPECT_EQ(cycle_graph(8).diameter_exact(), 4u);
+  EXPECT_EQ(star_graph(9).diameter_exact(), 2u);
+}
+
+TEST(Graph, DiameterOfDisconnectedIsUnreachable) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_EQ(g.diameter_exact(), kUnreachable);
+  EXPECT_EQ(g.eccentricity(0), kUnreachable);
+}
+
+TEST(Graph, DiameterBoundsBracketTruth) {
+  Rng rng(5);
+  for (std::uint32_t n : {16u, 64u, 128u}) {
+    Graph g = cycle_graph(n);
+    const auto exact = g.diameter_exact();
+    const auto b = g.diameter_bounds(4, rng);
+    EXPECT_LE(b.lower, exact);
+    EXPECT_GE(b.upper, exact);
+  }
+}
+
+TEST(Graph, DiameterBoundsTightOnPath) {
+  // Double-sweep from any vertex of a path finds an endpoint, so the lower
+  // bound is exact after the second sweep.
+  Rng rng(7);
+  Graph g = path_graph(50);
+  const auto b = g.diameter_bounds(3, rng);
+  EXPECT_EQ(b.lower, 49u);
+}
+
+TEST(Graph, DiameterBoundsDisconnected) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  Rng rng(9);
+  const auto b = g.diameter_bounds(2, rng);
+  EXPECT_EQ(b.lower, kUnreachable);
+  EXPECT_EQ(b.upper, kUnreachable);
+}
+
+TEST(Graph, SingleVertex) {
+  Graph g(1);
+  EXPECT_TRUE(g.connected());
+  EXPECT_EQ(g.diameter_exact(), 0u);
+}
+
+}  // namespace
+}  // namespace gossip::analysis

@@ -1,0 +1,93 @@
+// Unit tests for node IDs and the random ID space (common/ids.hpp).
+#include "common/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace gossip {
+namespace {
+
+TEST(NodeId, DefaultIsUnclustered) {
+  NodeId id;
+  EXPECT_TRUE(id.is_unclustered());
+  EXPECT_FALSE(id.is_node());
+  EXPECT_EQ(id, NodeId::unclustered());
+}
+
+TEST(NodeId, ExplicitValueIsNode) {
+  NodeId id(12345);
+  EXPECT_FALSE(id.is_unclustered());
+  EXPECT_TRUE(id.is_node());
+  EXPECT_EQ(id.raw(), 12345u);
+}
+
+TEST(NodeId, UnclusteredComparesGreaterThanAnyNode) {
+  // The paper's follow = infinity semantics: infinity beats every real ID in
+  // smallest-ID merges.
+  EXPECT_LT(NodeId(0), NodeId::unclustered());
+  EXPECT_LT(NodeId(~0ULL - 1), NodeId::unclustered());
+}
+
+TEST(NodeId, TotalOrder) {
+  NodeId a(1), b(2), c(2);
+  EXPECT_LT(a, b);
+  EXPECT_LE(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_GE(b, c);
+  EXPECT_EQ(b, c);
+  EXPECT_NE(a, b);
+}
+
+TEST(NodeId, ToString) {
+  EXPECT_EQ(NodeId(77).to_string(), "77");
+  EXPECT_EQ(NodeId::unclustered().to_string(), "<unclustered>");
+}
+
+TEST(NodeId, Hashable) {
+  std::unordered_set<NodeId> set;
+  set.insert(NodeId(1));
+  set.insert(NodeId(2));
+  set.insert(NodeId(1));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(NodeId(1)));
+  EXPECT_FALSE(set.contains(NodeId(3)));
+}
+
+TEST(GenerateUniqueIds, ProducesDistinctNodeIds) {
+  Rng rng(1);
+  const auto ids = generate_unique_ids(10000, rng);
+  ASSERT_EQ(ids.size(), 10000u);
+  std::unordered_set<std::uint64_t> raw;
+  for (NodeId id : ids) {
+    EXPECT_TRUE(id.is_node());
+    EXPECT_TRUE(raw.insert(id.raw()).second) << "duplicate ID";
+  }
+}
+
+TEST(GenerateUniqueIds, DeterministicInRng) {
+  Rng a(5), b(5);
+  EXPECT_EQ(generate_unique_ids(100, a), generate_unique_ids(100, b));
+}
+
+TEST(GenerateUniqueIds, DifferentSeedsDiffer) {
+  Rng a(5), b(6);
+  EXPECT_NE(generate_unique_ids(100, a), generate_unique_ids(100, b));
+}
+
+TEST(GenerateUniqueIds, IdsLookUniform) {
+  // IDs must not be dense/sequential: the algorithms are only allowed to
+  // rely on a total order, not on index-like structure.
+  Rng rng(7);
+  const auto ids = generate_unique_ids(1000, rng);
+  std::uint64_t above_half = 0;
+  for (NodeId id : ids) {
+    if (id.raw() > (~0ULL) / 2) ++above_half;
+  }
+  EXPECT_GT(above_half, 400u);
+  EXPECT_LT(above_half, 600u);
+}
+
+}  // namespace
+}  // namespace gossip

@@ -1,0 +1,104 @@
+// Unit tests for the small-buffer vector (common/inline_vec.hpp).
+#include "common/inline_vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "common/ids.hpp"
+
+namespace gossip {
+namespace {
+
+using Vec = InlineVec<int, 3>;
+
+TEST(InlineVec, StartsEmpty) {
+  Vec v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+}
+
+TEST(InlineVec, InlineStorage) {
+  Vec v{1, 2, 3};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 2);
+  EXPECT_EQ(v[2], 3);
+  EXPECT_EQ(v.front(), 1);
+  EXPECT_EQ(v.back(), 3);
+}
+
+TEST(InlineVec, SpillsToOverflow) {
+  Vec v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[i], i);
+  EXPECT_EQ(v.back(), 99);
+}
+
+TEST(InlineVec, OutOfBoundsThrows) {
+  Vec v{1};
+  EXPECT_THROW((void)v[1], ContractViolation);
+  EXPECT_THROW((void)v[100], ContractViolation);
+}
+
+TEST(InlineVec, ClearResetsEverything) {
+  Vec v;
+  for (int i = 0; i < 10; ++i) v.push_back(i);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.push_back(42);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 42);
+}
+
+TEST(InlineVec, Contains) {
+  Vec v{1, 2, 3};
+  v.push_back(50);  // spilled
+  EXPECT_TRUE(v.contains(2));
+  EXPECT_TRUE(v.contains(50));
+  EXPECT_FALSE(v.contains(7));
+}
+
+TEST(InlineVec, ToVector) {
+  Vec v;
+  for (int i = 0; i < 7; ++i) v.push_back(i * i);
+  const auto out = v.to_vector();
+  ASSERT_EQ(out.size(), 7u);
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(InlineVec, ForEachVisitsAllInOrder) {
+  Vec v;
+  for (int i = 0; i < 6; ++i) v.push_back(i);
+  int expected = 0;
+  v.for_each([&](int x) { EXPECT_EQ(x, expected++); });
+  EXPECT_EQ(expected, 6);
+}
+
+TEST(InlineVec, Equality) {
+  Vec a{1, 2}, b{1, 2}, c{1, 3}, d{1, 2, 3};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+}
+
+TEST(InlineVec, WorksWithNodeId) {
+  InlineVec<NodeId, 3> v;
+  v.push_back(NodeId(5));
+  v.push_back(NodeId::unclustered());
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], NodeId(5));
+  EXPECT_TRUE(v[1].is_unclustered());
+}
+
+TEST(InlineVec, MutableIndexing) {
+  Vec v{1, 2, 3};
+  v.push_back(4);
+  v[0] = 10;
+  v[3] = 40;
+  EXPECT_EQ(v[0], 10);
+  EXPECT_EQ(v[3], 40);
+}
+
+}  // namespace
+}  // namespace gossip

@@ -1,0 +1,155 @@
+// Cross-algorithm integration and metering-invariant tests: every algorithm
+// (paper's and baselines) across a (n, seed) grid must complete and satisfy
+// the structural relationships between the metered quantities.
+#include <gtest/gtest.h>
+
+#include "baselines/avin_elsasser.hpp"
+#include "baselines/rrs.hpp"
+#include "baselines/uniform.hpp"
+#include "core/broadcast.hpp"
+#include "sim/engine.hpp"
+
+namespace gossip {
+namespace {
+
+enum class Algo { kC1, kC2, kC3, kPush, kPull, kPushPull, kRrs, kAe };
+
+const char* name_of(Algo a) {
+  switch (a) {
+    case Algo::kC1: return "Cluster1";
+    case Algo::kC2: return "Cluster2";
+    case Algo::kC3: return "Cluster3PushPull";
+    case Algo::kPush: return "Push";
+    case Algo::kPull: return "Pull";
+    case Algo::kPushPull: return "PushPull";
+    case Algo::kRrs: return "Rrs";
+    case Algo::kAe: return "AvinElsasser";
+  }
+  return "?";
+}
+
+core::BroadcastReport run_algo(Algo a, sim::Network& net, std::uint32_t source) {
+  switch (a) {
+    case Algo::kC1: {
+      core::BroadcastOptions o;
+      o.algorithm = core::Algorithm::kCluster1;
+      o.source = source;
+      return core::broadcast(net, o);
+    }
+    case Algo::kC2: {
+      core::BroadcastOptions o;
+      o.algorithm = core::Algorithm::kCluster2;
+      o.source = source;
+      return core::broadcast(net, o);
+    }
+    case Algo::kC3: {
+      core::BroadcastOptions o;
+      o.algorithm = core::Algorithm::kCluster3PushPull;
+      o.delta = 128;
+      o.source = source;
+      return core::broadcast(net, o);
+    }
+    case Algo::kPush: return baselines::run_push(net, source, {});
+    case Algo::kPull: return baselines::run_pull(net, source, {});
+    case Algo::kPushPull: return baselines::run_push_pull(net, source, {});
+    case Algo::kRrs: return baselines::run_rrs(net, source, {});
+    case Algo::kAe: {
+      sim::Engine engine(net);
+      baselines::AvinElsasser algo(engine);
+      return algo.run(source);
+    }
+  }
+  return {};
+}
+
+struct Case {
+  Algo algo;
+  std::uint32_t n;
+  std::uint64_t seed;
+};
+
+class AllAlgorithms : public ::testing::TestWithParam<Case> {};
+
+TEST_P(AllAlgorithms, CompletesAndMetersConsistently) {
+  const auto [algo, n, seed] = GetParam();
+  sim::NetworkOptions o;
+  o.n = n;
+  o.seed = seed;
+  sim::Network net(o);
+  const auto r = run_algo(algo, net, seed % n);
+
+  EXPECT_TRUE(r.all_informed) << name_of(algo);
+  EXPECT_EQ(r.n, n);
+  EXPECT_EQ(r.alive, n);
+  EXPECT_EQ(r.informed, n);
+  EXPECT_GT(r.rounds, 0u);
+
+  // Metering invariants that hold for every protocol on this engine:
+  const auto& t = r.stats.total;
+  EXPECT_EQ(t.connections, t.pushes + t.pull_requests);
+  EXPECT_LE(t.payload_messages, t.pushes + t.pull_responses);
+  EXPECT_GE(t.bits, t.payload_messages * 3);  // every payload has a header
+  EXPECT_GE(t.max_involvement, 1u);
+  EXPECT_LE(t.max_involvement, n);
+  EXPECT_EQ(r.stats.rounds, r.rounds);
+  // Everyone must receive the rumor at least once: n-1 payload deliveries
+  // minimum across the run.
+  EXPECT_GE(t.payload_messages, static_cast<std::uint64_t>(n) - 1);
+}
+
+std::vector<Case> make_grid() {
+  std::vector<Case> cases;
+  for (Algo a : {Algo::kC1, Algo::kC2, Algo::kC3, Algo::kPush, Algo::kPull,
+                 Algo::kPushPull, Algo::kRrs, Algo::kAe}) {
+    for (std::uint32_t n : {1024u, 4096u}) {
+      for (std::uint64_t seed : {1ull, 2ull}) cases.push_back({a, n, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, AllAlgorithms, ::testing::ValuesIn(make_grid()),
+                         [](const auto& info) {
+                           return std::string(name_of(info.param.algo)) + "_n" +
+                                  std::to_string(info.param.n) + "_s" +
+                                  std::to_string(info.param.seed);
+                         });
+
+TEST(Integration, RoundShapeOrderingAtScale) {
+  // The paper's headline comparison, as growth ratios across a 256x size
+  // range: Cluster2's rounds grow like log log n (ratio < 1.6), the uniform
+  // baselines like log n (ratio > 1.5).
+  auto rounds_at = [](Algo a, std::uint32_t n) {
+    sim::NetworkOptions o;
+    o.n = n;
+    o.seed = 17;
+    sim::Network net(o);
+    const auto r = run_algo(a, net, 0);
+    EXPECT_TRUE(r.all_informed);
+    return static_cast<double>(r.rounds);
+  };
+  const double c2_ratio = rounds_at(Algo::kC2, 262144) / rounds_at(Algo::kC2, 1024);
+  const double push_ratio = rounds_at(Algo::kPush, 262144) / rounds_at(Algo::kPush, 1024);
+  EXPECT_LT(c2_ratio, 1.6);
+  EXPECT_GT(push_ratio, 1.5);
+  EXPECT_LT(c2_ratio, push_ratio);
+}
+
+TEST(Integration, KnowledgeHonestyAcrossClusterAlgorithms) {
+  // Everything the paper's algorithms do must survive strict direct-
+  // addressing enforcement.
+  for (Algo a : {Algo::kC1, Algo::kC2, Algo::kC3}) {
+    sim::NetworkOptions o;
+    o.n = 1024;
+    o.seed = 23;
+    o.track_knowledge = true;
+    sim::Network net(o);
+    EXPECT_NO_THROW({
+      const auto r = run_algo(a, net, 0);
+      EXPECT_TRUE(r.all_informed) << name_of(a);
+    }) << name_of(a);
+  }
+}
+
+}  // namespace
+}  // namespace gossip

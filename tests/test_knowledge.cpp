@@ -1,0 +1,61 @@
+// Unit tests for knowledge tracking (sim/knowledge.hpp).
+#include "sim/knowledge.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gossip::sim {
+namespace {
+
+TEST(Knowledge, InitiallyKnowsOnlySelf) {
+  KnowledgeTracker k(3);
+  const NodeId own(10);
+  EXPECT_TRUE(k.knows(0, own, own));
+  EXPECT_FALSE(k.knows(0, NodeId(20), own));
+  EXPECT_EQ(k.known_count(0), 0u);
+}
+
+TEST(Knowledge, LearnAndQuery) {
+  KnowledgeTracker k(2);
+  const NodeId own(1);
+  k.learn(0, NodeId(99), own);
+  EXPECT_TRUE(k.knows(0, NodeId(99), own));
+  EXPECT_FALSE(k.knows(1, NodeId(99), NodeId(2)));
+  EXPECT_EQ(k.known_count(0), 1u);
+  EXPECT_EQ(k.total_knowledge(), 1u);
+}
+
+TEST(Knowledge, LearningIsIdempotent) {
+  KnowledgeTracker k(1);
+  const NodeId own(1);
+  k.learn(0, NodeId(5), own);
+  k.learn(0, NodeId(5), own);
+  EXPECT_EQ(k.known_count(0), 1u);
+  EXPECT_EQ(k.total_knowledge(), 1u);
+}
+
+TEST(Knowledge, OwnIdNotStored) {
+  KnowledgeTracker k(1);
+  const NodeId own(7);
+  k.learn(0, own, own);
+  EXPECT_EQ(k.known_count(0), 0u);
+  EXPECT_TRUE(k.knows(0, own, own));  // always implicitly known
+}
+
+TEST(Knowledge, SentinelIgnored) {
+  KnowledgeTracker k(1);
+  const NodeId own(7);
+  k.learn(0, NodeId::unclustered(), own);
+  EXPECT_EQ(k.known_count(0), 0u);
+  EXPECT_FALSE(k.knows(0, NodeId::unclustered(), own));
+}
+
+TEST(Knowledge, TotalAccumulatesAcrossNodes) {
+  KnowledgeTracker k(3);
+  k.learn(0, NodeId(100), NodeId(0));
+  k.learn(1, NodeId(100), NodeId(1));
+  k.learn(2, NodeId(200), NodeId(2));
+  EXPECT_EQ(k.total_knowledge(), 3u);
+}
+
+}  // namespace
+}  // namespace gossip::sim

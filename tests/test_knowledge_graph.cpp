@@ -1,0 +1,90 @@
+// Tests for the Theorem 3 lower-bound machinery
+// (analysis/knowledge_graph.hpp).
+#include "analysis/knowledge_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/math.hpp"
+
+namespace gossip::analysis {
+namespace {
+
+TEST(UnionContactGraphs, EveryNodeDrawsTContacts) {
+  Rng rng(1);
+  const unsigned t = 3;
+  const Graph g = union_contact_graphs(100, t, rng);
+  // n * t draws, each adding one undirected edge (parallel edges counted).
+  EXPECT_EQ(g.num_edges(), 100u * t);
+  for (std::uint32_t v = 0; v < 100; ++v) {
+    EXPECT_GE(g.neighbors(v).size(), t);  // own draws; plus others' draws onto v
+  }
+}
+
+TEST(UnionContactGraphs, NoSelfLoops) {
+  Rng rng(2);
+  const Graph g = union_contact_graphs(10, 5, rng);
+  for (std::uint32_t v = 0; v < 10; ++v) {
+    for (std::uint32_t u : g.neighbors(v)) EXPECT_NE(u, v);
+  }
+}
+
+TEST(Feasibility, ZeroRoundsNeverWork) {
+  // With t = 1 on a non-trivial network the union graph has average degree
+  // 2 and is almost surely disconnected or of large diameter: reach 2^1 = 2
+  // fails for n >= 64.
+  Rng rng(3);
+  const auto res = check_feasibility(256, 1, rng);
+  EXPECT_FALSE(res.feasible);
+}
+
+TEST(Feasibility, ManyRoundsAlwaysWork) {
+  Rng rng(4);
+  const auto res = check_feasibility(256, 8, rng);
+  EXPECT_TRUE(res.connected);
+  EXPECT_TRUE(res.feasible);  // diameter ~ log n / log(16) << 2^8
+  EXPECT_LE(res.diameter_upper, 256u);
+}
+
+TEST(Feasibility, ReportsDegreeStatistics) {
+  Rng rng(5);
+  const auto res = check_feasibility(1024, 4, rng);
+  // Max degree concentrates around t + Theta(log n / log log n) << log^2 n.
+  EXPECT_GE(res.max_degree, 4u);
+  EXPECT_LE(res.max_degree, 60u);
+}
+
+class MinFeasibleRounds : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MinFeasibleRounds, TracksLogLogN) {
+  // Theorem 3: any algorithm needs ~log log n rounds; the empirical minimum
+  // must sit in a narrow band around it (and never below the 0.99 log log n
+  // bound by more than the additive slack of the theorem).
+  const std::uint32_t n = GetParam();
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const unsigned t = min_feasible_rounds(n, seed);
+    const double ll = loglog2d(n);
+    EXPECT_GE(static_cast<double>(t), ll - 2.0) << "n=" << n << " seed=" << seed;
+    EXPECT_LE(static_cast<double>(t), ll + 3.0) << "n=" << n << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MinFeasibleRounds,
+                         ::testing::Values(256, 1024, 4096, 16384, 65536),
+                         [](const auto& info) { return "n" + std::to_string(info.param); });
+
+TEST(MinFeasibleRounds, MonotoneInNOnAverage) {
+  // Averaged over seeds, bigger networks need at least as many rounds.
+  double small = 0, large = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    small += min_feasible_rounds(256, seed);
+    large += min_feasible_rounds(65536, seed);
+  }
+  EXPECT_LE(small, large + 1.0);
+}
+
+TEST(MinFeasibleRounds, DeterministicInSeed) {
+  EXPECT_EQ(min_feasible_rounds(4096, 7), min_feasible_rounds(4096, 7));
+}
+
+}  // namespace
+}  // namespace gossip::analysis

@@ -1,0 +1,93 @@
+// Unit tests for the math helpers (common/math.hpp).
+#include "common/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace gossip {
+namespace {
+
+TEST(FloorLog2, PowersOfTwo) {
+  for (unsigned e = 0; e < 63; ++e) {
+    EXPECT_EQ(floor_log2(1ULL << e), e);
+  }
+}
+
+TEST(FloorLog2, BetweenPowers) {
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(5), 2u);
+  EXPECT_EQ(floor_log2(1023), 9u);
+  EXPECT_EQ(floor_log2(1025), 10u);
+}
+
+TEST(CeilLog2, ExhaustiveSmall) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  for (std::uint64_t x = 2; x <= 4096; ++x) {
+    const auto expected =
+        static_cast<unsigned>(std::ceil(std::log2(static_cast<double>(x))));
+    EXPECT_EQ(ceil_log2(x), expected) << "x=" << x;
+  }
+}
+
+TEST(Log2d, MatchesStd) {
+  EXPECT_DOUBLE_EQ(log2d(1024), 10.0);
+  EXPECT_NEAR(log2d(1000), std::log2(1000.0), 1e-12);
+}
+
+TEST(LogLog2d, KnownValues) {
+  EXPECT_DOUBLE_EQ(loglog2d(1ULL << 16), 4.0);
+  EXPECT_DOUBLE_EQ(loglog2d(1ULL << 32), 5.0);
+  EXPECT_NEAR(loglog2d(1ULL << 20), std::log2(20.0), 1e-12);
+}
+
+TEST(LogLog2d, ClampedForTinyInputs) {
+  EXPECT_GE(loglog2d(2), 1.0);
+  EXPECT_GE(loglog2d(3), 1.0);
+  EXPECT_GE(loglog2d(4), 1.0);
+}
+
+TEST(CeilLogLog2, GrowsVerySlowly) {
+  EXPECT_EQ(ceil_loglog2(1ULL << 16), 4u);
+  EXPECT_EQ(ceil_loglog2(1ULL << 17), 5u);  // ceil(log2(17))
+  EXPECT_LE(ceil_loglog2(1ULL << 62), 6u);
+}
+
+TEST(Isqrt, ExhaustiveSmall) {
+  for (std::uint64_t x = 0; x <= 10000; ++x) {
+    const std::uint64_t r = isqrt(x);
+    EXPECT_LE(r * r, x) << "x=" << x;
+    EXPECT_GT((r + 1) * (r + 1), x) << "x=" << x;
+  }
+}
+
+TEST(Isqrt, PerfectSquares) {
+  for (std::uint64_t r : {1ULL, 7ULL, 1000ULL, 1ULL << 20, (1ULL << 31) - 1}) {
+    EXPECT_EQ(isqrt(r * r), r);
+    EXPECT_EQ(isqrt(r * r + 1), r);
+    if (r > 1) EXPECT_EQ(isqrt(r * r - 1), r - 1);
+  }
+}
+
+TEST(CeilDiv, Basics) {
+  EXPECT_EQ(ceil_div(10, 5), 2u);
+  EXPECT_EQ(ceil_div(11, 5), 3u);
+  EXPECT_EQ(ceil_div(0, 5), 0u);
+  EXPECT_EQ(ceil_div(1, 1), 1u);
+}
+
+TEST(SaturatingMul, NoOverflow) {
+  EXPECT_EQ(saturating_mul(3, 4), 12u);
+  EXPECT_EQ(saturating_mul(1ULL << 31, 1ULL << 31), 1ULL << 62);
+}
+
+TEST(SaturatingMul, SaturatesAtMax) {
+  const auto max = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(saturating_mul(1ULL << 32, 1ULL << 33), max);
+  EXPECT_EQ(saturating_mul(max, 2), max);
+  EXPECT_EQ(saturating_mul(max, max), max);
+}
+
+}  // namespace
+}  // namespace gossip

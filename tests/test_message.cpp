@@ -1,0 +1,100 @@
+// Unit tests for messages and the paper's bit accounting (sim/message.hpp).
+#include "sim/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gossip::sim {
+namespace {
+
+TEST(MessageCosts, ForNetworkScalesWithLogN) {
+  const auto small = MessageCosts::for_network(256, 256);
+  const auto large = MessageCosts::for_network(1 << 20, 256);
+  EXPECT_LT(small.id_bits, large.id_bits);
+  EXPECT_EQ(small.id_bits, 3 * 8u);   // cubic ID space of a 2^8 network
+  EXPECT_EQ(large.id_bits, 3 * 20u);
+  EXPECT_EQ(small.count_bits, 9u);
+  EXPECT_EQ(large.count_bits, 21u);
+}
+
+TEST(MessageCosts, RumorFloorIsLogN) {
+  // The paper assumes b = Omega(log n); tiny rumors are charged log n bits.
+  const auto c = MessageCosts::for_network(1 << 20, 4);
+  EXPECT_EQ(c.rumor_bits, 20u);
+  const auto big = MessageCosts::for_network(1 << 20, 4096);
+  EXPECT_EQ(big.rumor_bits, 4096u);
+}
+
+TEST(Message, EmptyMessage) {
+  const Message m = Message::empty();
+  EXPECT_TRUE(m.is_empty());
+  EXPECT_FALSE(m.has_rumor());
+  EXPECT_FALSE(m.has_count());
+  EXPECT_TRUE(m.ids().empty());
+  EXPECT_TRUE(m.first_id().is_unclustered());
+}
+
+TEST(Message, RumorMessage) {
+  const Message m = Message::rumor();
+  EXPECT_TRUE(m.has_rumor());
+  EXPECT_FALSE(m.is_empty());
+}
+
+TEST(Message, CountMessage) {
+  const Message m = Message::count(42);
+  EXPECT_TRUE(m.has_count());
+  EXPECT_EQ(m.count_value(), 42u);
+  EXPECT_FALSE(m.is_empty());
+}
+
+TEST(Message, SingleIdMessage) {
+  const Message m = Message::single_id(NodeId(7));
+  ASSERT_EQ(m.ids().size(), 1u);
+  EXPECT_EQ(m.first_id(), NodeId(7));
+}
+
+TEST(Message, IdListMessage) {
+  Message::IdList ids;
+  for (std::uint64_t i = 0; i < 10; ++i) ids.push_back(NodeId(i));
+  const Message m = Message::id_list(std::move(ids));
+  EXPECT_EQ(m.ids().size(), 10u);
+  EXPECT_EQ(m.first_id(), NodeId(0));
+}
+
+TEST(Message, BuilderComposition) {
+  const Message m = Message::rumor().and_count(5).and_id(NodeId(9));
+  EXPECT_TRUE(m.has_rumor());
+  EXPECT_TRUE(m.has_count());
+  EXPECT_EQ(m.count_value(), 5u);
+  EXPECT_EQ(m.first_id(), NodeId(9));
+}
+
+TEST(Message, BitAccounting) {
+  MessageCosts c;
+  c.id_bits = 30;
+  c.count_bits = 11;
+  c.rumor_bits = 256;
+  EXPECT_EQ(Message::empty().bits(c), 3u);  // header only
+  EXPECT_EQ(Message::rumor().bits(c), 3u + 256u);
+  EXPECT_EQ(Message::count(1).bits(c), 3u + 11u);
+  EXPECT_EQ(Message::single_id(NodeId(1)).bits(c), 3u + 30u);
+  EXPECT_EQ(Message::rumor().and_count(1).and_id(NodeId(1)).bits(c),
+            3u + 256u + 11u + 30u);
+}
+
+TEST(Message, BitAccountingScalesWithIdCount) {
+  MessageCosts c;
+  c.id_bits = 10;
+  Message::IdList ids;
+  for (std::uint64_t i = 0; i < 7; ++i) ids.push_back(NodeId(i));
+  EXPECT_EQ(Message::id_list(std::move(ids)).bits(c), 3u + 70u);
+}
+
+TEST(Message, CopyIsIndependent) {
+  Message a = Message::single_id(NodeId(1));
+  Message b = a.and_id(NodeId(2));
+  EXPECT_EQ(a.ids().size(), 1u);
+  EXPECT_EQ(b.ids().size(), 2u);
+}
+
+}  // namespace
+}  // namespace gossip::sim

@@ -1,0 +1,92 @@
+// Tests for multi-source broadcast (paper Section 2: the rumor is
+// "initially known to one node (or multiple nodes)").
+#include <gtest/gtest.h>
+
+#include "core/cluster1.hpp"
+#include "core/cluster2.hpp"
+#include "sim/engine.hpp"
+
+namespace gossip::core {
+namespace {
+
+sim::NetworkOptions opts(std::uint32_t n, std::uint64_t seed = 1) {
+  sim::NetworkOptions o;
+  o.n = n;
+  o.seed = seed;
+  return o;
+}
+
+TEST(MultiSource, Cluster1ManySources) {
+  sim::Network net(opts(4096, 1));
+  sim::Engine engine(net);
+  Cluster1 algo(engine);
+  const std::vector<std::uint32_t> sources{0, 17, 900, 4095};
+  const auto report = algo.run(std::span<const std::uint32_t>(sources));
+  EXPECT_TRUE(report.all_informed);
+}
+
+TEST(MultiSource, Cluster2ManySources) {
+  sim::Network net(opts(4096, 2));
+  sim::Engine engine(net);
+  Cluster2 algo(engine);
+  const std::vector<std::uint32_t> sources{1, 2, 3, 4, 5};
+  const auto report = algo.run(std::span<const std::uint32_t>(sources));
+  EXPECT_TRUE(report.all_informed);
+}
+
+TEST(MultiSource, SingleAndMultiAgreeOnSchedule) {
+  // Multiple sources change nothing about the deterministic round schedule.
+  sim::Network a(opts(1024, 3));
+  sim::Engine ea(a);
+  Cluster2 ca(ea);
+  const auto single = ca.run(0u);
+
+  sim::Network b(opts(1024, 3));
+  sim::Engine eb(b);
+  Cluster2 cb(eb);
+  const std::vector<std::uint32_t> sources{0, 512};
+  const auto multi = cb.run(std::span<const std::uint32_t>(sources));
+
+  EXPECT_EQ(single.rounds, multi.rounds);
+  EXPECT_TRUE(multi.all_informed);
+}
+
+TEST(MultiSource, HalfTheNetworkAsSources) {
+  sim::Network net(opts(1024, 5));
+  sim::Engine engine(net);
+  Cluster1 algo(engine);
+  std::vector<std::uint32_t> sources;
+  for (std::uint32_t v = 0; v < 1024; v += 2) sources.push_back(v);
+  const auto report = algo.run(std::span<const std::uint32_t>(sources));
+  EXPECT_TRUE(report.all_informed);
+}
+
+TEST(MultiSource, OutOfRangeSourceThrows) {
+  sim::Network net(opts(64, 7));
+  sim::Engine engine(net);
+  Cluster2 algo(engine);
+  const std::vector<std::uint32_t> sources{0, 64};
+  EXPECT_THROW((void)algo.run(std::span<const std::uint32_t>(sources)), ContractViolation);
+}
+
+TEST(MultiSource, AllSourcesDeadThrows) {
+  sim::Network net(opts(64, 9));
+  net.fail(3);
+  sim::Engine engine(net);
+  Cluster2 algo(engine);
+  const std::vector<std::uint32_t> sources{3};
+  EXPECT_THROW((void)algo.run(std::span<const std::uint32_t>(sources)), ContractViolation);
+}
+
+TEST(MultiSource, DeadSourceAmongAliveOnesIsFine) {
+  sim::Network net(opts(1024, 11));
+  net.fail(5);
+  sim::Engine engine(net);
+  Cluster2 algo(engine);
+  const std::vector<std::uint32_t> sources{5, 6};
+  const auto report = algo.run(std::span<const std::uint32_t>(sources));
+  EXPECT_TRUE(report.all_informed);  // all alive nodes informed
+}
+
+}  // namespace
+}  // namespace gossip::core

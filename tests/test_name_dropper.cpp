@@ -1,0 +1,85 @@
+// Tests for the Name-Dropper baseline (baselines/name_dropper.hpp).
+#include "baselines/name_dropper.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "common/math.hpp"
+
+namespace gossip::baselines {
+namespace {
+
+struct Case {
+  std::uint32_t n;
+  NameDropperStart start;
+  std::uint64_t seed;
+};
+
+class NameDropperSweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(NameDropperSweep, ReachesFullDiscovery) {
+  const auto [n, start, seed] = GetParam();
+  NameDropperOptions o;
+  o.start = start;
+  const auto report = run_name_dropper(n, seed, o);
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.n, n);
+  // Harchol-Balter et al.: O(log^2 n) rounds from any weakly connected start.
+  const double bound = 8.0 * ceil_log2(n) * ceil_log2(n) + 50.0;
+  EXPECT_LE(static_cast<double>(report.rounds), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NameDropperSweep,
+    ::testing::Values(Case{16, NameDropperStart::kRing, 1},
+                      Case{64, NameDropperStart::kRing, 1},
+                      Case{64, NameDropperStart::kRandomTree, 1},
+                      Case{256, NameDropperStart::kRing, 2},
+                      Case{256, NameDropperStart::kRandomTree, 2},
+                      Case{1024, NameDropperStart::kRing, 1},
+                      Case{1024, NameDropperStart::kRandomTree, 1}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) +
+             (info.param.start == NameDropperStart::kRing ? "_ring" : "_tree") + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(NameDropper, MessageCountMatchesRounds) {
+  const auto report = run_name_dropper(128, 3);
+  ASSERT_TRUE(report.complete);
+  // One forward per node per round.
+  EXPECT_EQ(report.messages, report.rounds * 128);
+  EXPECT_GE(report.id_transfers, report.messages);  // every message carries >= 1 ID
+}
+
+TEST(NameDropper, RoundCapRespected) {
+  NameDropperOptions o;
+  o.max_rounds = 2;
+  const auto report = run_name_dropper(1024, 1, o);
+  EXPECT_FALSE(report.complete);
+  EXPECT_EQ(report.rounds, 2u);
+}
+
+TEST(NameDropper, DeterministicInSeed) {
+  const auto a = run_name_dropper(256, 9);
+  const auto b = run_name_dropper(256, 9);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.id_transfers, b.id_transfers);
+}
+
+TEST(NameDropper, SeedsChangeTrajectory) {
+  const auto a = run_name_dropper(256, 1);
+  const auto b = run_name_dropper(256, 2);
+  EXPECT_TRUE(a.complete);
+  EXPECT_TRUE(b.complete);
+  EXPECT_NE(a.id_transfers, b.id_transfers);
+}
+
+TEST(NameDropper, TinyNetworks) {
+  const auto report = run_name_dropper(2, 1);
+  EXPECT_TRUE(report.complete);
+  EXPECT_THROW((void)run_name_dropper(1, 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace gossip::baselines

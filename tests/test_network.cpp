@@ -1,0 +1,111 @@
+// Unit tests for the network substrate (sim/network.hpp).
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/assert.hpp"
+
+namespace gossip::sim {
+namespace {
+
+NetworkOptions opts(std::uint32_t n, std::uint64_t seed = 1) {
+  NetworkOptions o;
+  o.n = n;
+  o.seed = seed;
+  return o;
+}
+
+TEST(Network, IdIndexRoundTrip) {
+  Network net(opts(100));
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint32_t i = 0; i < net.n(); ++i) {
+    const NodeId id = net.id_of(i);
+    EXPECT_TRUE(id.is_node());
+    EXPECT_TRUE(seen.insert(id.raw()).second);
+    EXPECT_EQ(net.index_of(id), i);
+    EXPECT_EQ(net.find(id), std::optional<std::uint32_t>(i));
+  }
+}
+
+TEST(Network, UnknownIdHandling) {
+  Network net(opts(16));
+  // An ID almost surely not in a 16-node network.
+  const NodeId bogus(0x1234567890abcdefULL);
+  if (!net.find(bogus)) {
+    EXPECT_THROW((void)net.index_of(bogus), ContractViolation);
+    EXPECT_EQ(net.find(bogus), std::nullopt);
+  }
+}
+
+TEST(Network, DeterministicInSeed) {
+  Network a(opts(64, 9)), b(opts(64, 9));
+  for (std::uint32_t i = 0; i < 64; ++i) EXPECT_EQ(a.id_of(i), b.id_of(i));
+}
+
+TEST(Network, DifferentSeedsGiveDifferentIds) {
+  Network a(opts(64, 1)), b(opts(64, 2));
+  int same = 0;
+  for (std::uint32_t i = 0; i < 64; ++i) same += a.id_of(i) == b.id_of(i) ? 1 : 0;
+  EXPECT_LE(same, 2);
+}
+
+TEST(Network, TooSmallThrows) {
+  EXPECT_THROW(Network net(opts(1)), ContractViolation);
+}
+
+TEST(Network, FailuresTracked) {
+  Network net(opts(10));
+  EXPECT_EQ(net.alive_count(), 10u);
+  net.fail(3);
+  net.fail(7);
+  net.fail(3);  // idempotent
+  EXPECT_EQ(net.alive_count(), 8u);
+  EXPECT_EQ(net.failed_count(), 2u);
+  EXPECT_FALSE(net.alive(3));
+  EXPECT_FALSE(net.alive(7));
+  EXPECT_TRUE(net.alive(0));
+}
+
+TEST(Network, NodeRngDeterministicPerSaltAndIndex) {
+  Network net(opts(8, 5));
+  Rng a = net.node_rng(3, 100);
+  Rng b = net.node_rng(3, 100);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Network, NodeRngDiffersAcrossNodesAndSalts) {
+  Network net(opts(8, 5));
+  Rng a = net.node_rng(3, 100);
+  Rng b = net.node_rng(4, 100);
+  Rng c = net.node_rng(3, 101);
+  int same_ab = 0, same_ac = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto x = a.next_u64();
+    same_ab += x == b.next_u64() ? 1 : 0;
+    same_ac += x == c.next_u64() ? 1 : 0;
+  }
+  EXPECT_LE(same_ab, 1);
+  EXPECT_LE(same_ac, 1);
+}
+
+TEST(Network, KnowledgeTrackerOptional) {
+  Network without(opts(8));
+  EXPECT_EQ(without.knowledge(), nullptr);
+  NetworkOptions o = opts(8);
+  o.track_knowledge = true;
+  Network with(o);
+  EXPECT_NE(with.knowledge(), nullptr);
+}
+
+TEST(Network, CostsDerivedFromN) {
+  NetworkOptions o = opts(1 << 16);
+  o.rumor_bits = 512;
+  Network net(o);
+  EXPECT_EQ(net.costs().rumor_bits, 512u);
+  EXPECT_EQ(net.costs().id_bits, 48u);  // 3 * log2(2^16)
+}
+
+}  // namespace
+}  // namespace gossip::sim

@@ -1,0 +1,110 @@
+// Unit tests for the deterministic parameter schedules (core/schedules.hpp).
+#include "core/schedules.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/math.hpp"
+
+namespace gossip::core {
+namespace {
+
+class Cluster2ScheduleTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Cluster2ScheduleTest, InternallyConsistent) {
+  const std::uint64_t n = GetParam();
+  const auto s = compute_cluster2_schedule(n, Cluster2Options{});
+  EXPECT_GE(s.threshold, 8u);
+  EXPECT_GE(s.seeds, 4u);
+  EXPECT_GT(s.seed_prob, 0.0);
+  EXPECT_LE(s.seed_prob, 1.0);
+  EXPECT_GE(s.s0, 4u);
+  EXPECT_LE(s.s0, s.threshold);
+  EXPECT_GE(s.s_target, s.threshold);
+  EXPECT_GE(s.grow_rounds, 3u);
+  EXPECT_GE(s.bounded_push_iters, 3u);
+  EXPECT_GE(s.pull_rounds, ceil_loglog2(n));
+}
+
+TEST_P(Cluster2ScheduleTest, MassRelationshipHolds) {
+  // seeds * threshold tracks n / log n within a small constant factor -
+  // the paper's Lemma 11 invariant, which is what bounds the clustered mass
+  // and hence the message complexity.
+  const std::uint64_t n = GetParam();
+  const auto s = compute_cluster2_schedule(n, Cluster2Options{});
+  const double mass = static_cast<double>(s.seeds) * static_cast<double>(s.threshold);
+  const double target = static_cast<double>(n) / log2d(n);
+  if (n >= 4096) {  // below that the seed floor (4) dominates
+    EXPECT_GT(mass, 0.3 * target) << "n=" << n;
+    EXPECT_LT(mass, 4.0 * target) << "n=" << n;
+  }
+}
+
+TEST_P(Cluster2ScheduleTest, GrowRoundsAreThetaLogLogN) {
+  const std::uint64_t n = GetParam();
+  const auto s = compute_cluster2_schedule(n, Cluster2Options{});
+  // threshold ~ log^2 n / 4 => log2(threshold) ~ 2 log log n.
+  EXPECT_LE(s.grow_rounds, 4 * ceil_loglog2(n) + 6u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Cluster2ScheduleTest,
+                         ::testing::Values(64, 256, 1024, 4096, 1 << 14, 1 << 16,
+                                           1 << 18, 1 << 20, 1ULL << 24, 1ULL << 30),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(Cluster2Schedule, RejectsTinyNetworks) {
+  EXPECT_THROW((void)compute_cluster2_schedule(8, Cluster2Options{}), ContractViolation);
+}
+
+TEST(Cluster2Schedule, MonotoneThreshold) {
+  std::uint64_t prev = 0;
+  for (std::uint64_t n = 64; n <= (1ULL << 30); n <<= 2) {
+    const auto s = compute_cluster2_schedule(n, Cluster2Options{});
+    EXPECT_GE(s.threshold, prev) << "n=" << n;
+    prev = s.threshold;
+  }
+}
+
+struct DeltaCase {
+  std::uint64_t n;
+  std::uint64_t delta;
+};
+
+class Cluster3ScheduleTest : public ::testing::TestWithParam<DeltaCase> {};
+
+TEST_P(Cluster3ScheduleTest, TargetsStayBelowDelta) {
+  const auto [n, delta] = GetParam();
+  const auto s = compute_cluster3_schedule(n, delta, Cluster3Options{});
+  EXPECT_GE(s.cluster_target, 4u);
+  // D = Delta / C'' with the default slack 4.
+  EXPECT_LE(s.cluster_target, delta / 2);
+  EXPECT_LE(s.grow.threshold, std::max<std::uint64_t>(4, s.cluster_target / 4) + 1);
+  EXPECT_LE(s.grow.s_target, std::max<std::uint64_t>(s.grow.s0, s.cluster_target / 2));
+  // s_target may fall below s0: the squaring loop then skips entirely (the
+  // active-count floor at simulable scale; see schedules.cpp).
+  EXPECT_GE(s.grow.s_target, 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, Cluster3ScheduleTest,
+    ::testing::Values(DeltaCase{1 << 12, 64}, DeltaCase{1 << 12, 256},
+                      DeltaCase{1 << 16, 64}, DeltaCase{1 << 16, 1024},
+                      DeltaCase{1 << 20, 4096}, DeltaCase{1 << 16, 16},
+                      DeltaCase{1 << 16, 1 << 16}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "_d" + std::to_string(info.param.delta);
+    });
+
+TEST(Cluster3Schedule, RejectsInvalidDelta) {
+  EXPECT_THROW((void)compute_cluster3_schedule(1 << 12, 8, Cluster3Options{}),
+               ContractViolation);
+  EXPECT_THROW((void)compute_cluster3_schedule(1 << 12, 1 << 13, Cluster3Options{}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace gossip::core

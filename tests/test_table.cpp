@@ -1,0 +1,78 @@
+// Unit tests for the table printer (common/table.hpp).
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace gossip {
+namespace {
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(3.14159, 4), "3.1416");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(Table, PrintsTitleHeadersAndRows) {
+  Table t("Demo", {"n", "rounds", "ratio"});
+  t.row().add(std::uint64_t{1024}).add(12).add(1.5, 2);
+  t.row().add(std::uint64_t{2048}).add(13).add(1.62, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== Demo =="), std::string::npos);
+  EXPECT_NE(out.find("rounds"), std::string::npos);
+  EXPECT_NE(out.find("1024"), std::string::npos);
+  EXPECT_NE(out.find("1.62"), std::string::npos);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t("T", {"a", "b"});
+  t.row().add("x").add("yyyy");
+  t.row().add("zzzzzz").add("w");
+  std::ostringstream os;
+  t.print(os);
+  // Both data lines must be the same length (padded columns).
+  std::istringstream is(os.str());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.find("==") == std::string::npos &&
+        line.find("---") == std::string::npos) {
+      lines.push_back(line);
+    }
+  }
+  ASSERT_GE(lines.size(), 3u);  // header + 2 rows
+  EXPECT_EQ(lines[1].size(), lines[2].size());
+}
+
+TEST(Table, AddBeforeRowThrows) {
+  Table t("T", {"a"});
+  EXPECT_THROW(t.add("x"), ContractViolation);
+}
+
+TEST(Table, EmptyHeadersThrow) {
+  EXPECT_THROW(Table("T", {}), ContractViolation);
+}
+
+TEST(Table, NumRows) {
+  Table t("T", {"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.row().add("1");
+  t.row().add("2");
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, HandlesShortRows) {
+  Table t("T", {"a", "b", "c"});
+  t.row().add("only-one");
+  std::ostringstream os;
+  EXPECT_NO_THROW(t.print(os));
+  EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gossip
