@@ -1,0 +1,391 @@
+// Engine dispatch-path throughput: static-dispatch hooks vs. the legacy
+// std::function RoundHooks adapter, measured in the same binary on the same
+// workloads. This is the simulator-scaling experiment behind the hot-path
+// overhaul: the paper's O(log n)-round / O(n)-message separations only show
+// at multi-million n, so rounds-per-second is what bounds reachable n.
+//
+// Workloads (knowledge tracking off, as in large experiment runs):
+//   push       - every node pushes the rumor to a uniform random node
+//   push_pull  - half the nodes push, half pull (exercises the O(m)
+//                responder grouping path)
+//   exchange   - every node exchanges (push + oblivious response)
+//
+// Output: machine-readable JSON on stdout (optionally --out=FILE), one
+// record per (n, workload, path) with contacts/sec, plus the static/legacy
+// speedup per (n, workload). This seeds the BENCH_*.json tracking files:
+//   ./bench_engine_throughput --out=BENCH_engine_throughput.json
+// Options: --rounds=R (default 12), --sizes=1e5,1e6,4e6 (comma list),
+//          --quick (100k only, for CI smoke).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace {
+
+using namespace gossip;
+using Clock = std::chrono::steady_clock;
+
+// The seed's std::function round executor, preserved verbatim as the
+// comparison baseline: one virtual-dispatch hook call per node per round,
+// one Lemire draw per contact (no batching), a full-Message pending-push
+// queue, per-round std::sort pull grouping, and unconditional Delta
+// metering. This is "the std::function path" the hot-path overhaul replaced;
+// keeping it in the bench binary makes the win measurable release over
+// release.
+class ReferenceEngine {
+ public:
+  explicit ReferenceEngine(sim::Network& net) : net_(net), metrics_(net.n(), false) {
+    all_nodes_.resize(net.n());
+    std::iota(all_nodes_.begin(), all_nodes_.end(), 0u);
+  }
+
+  [[nodiscard]] sim::MetricsCollector& metrics() noexcept { return metrics_; }
+
+  std::uint32_t random_other(std::uint32_t self) {
+    const std::uint32_t n = net_.n();
+    std::uint32_t t = static_cast<std::uint32_t>(net_.rng().uniform_below(n - 1));
+    if (t >= self) ++t;
+    return t;
+  }
+
+  void run_round(const sim::RoundHooks& hooks) {
+    metrics_.begin_round();
+    pushes_.clear();
+    pulls_.clear();
+
+    for (const std::uint32_t node : all_nodes_) {
+      if (!net_.alive(node)) continue;
+      std::optional<sim::Contact> contact = hooks.initiate(node);
+      if (!contact) continue;
+      metrics_.record_initiator();
+      const std::uint32_t target =
+          contact->to_random ? random_other(node) : net_.index_of(contact->target);
+      if (contact->kind == sim::ContactKind::kPush ||
+          contact->kind == sim::ContactKind::kExchange) {
+        const sim::Message& msg = contact->payload;
+        metrics_.record_push(node, target, msg.bits(net_.costs()), !msg.is_empty());
+        if (net_.alive(target)) {
+          if (contact->kind == sim::ContactKind::kExchange) {
+            pulls_.push_back(PendingPull{node, target});
+          }
+          pushes_.push_back(PendingPush{target, node, std::move(contact->payload)});
+        }
+      } else {
+        metrics_.record_pull_request(node, target);
+        if (net_.alive(target)) pulls_.push_back(PendingPull{node, target});
+      }
+    }
+
+    if (hooks.on_push) {
+      for (const PendingPush& p : pushes_) hooks.on_push(p.to, p.msg);
+    }
+
+    if (!pulls_.empty()) {
+      std::sort(pulls_.begin(), pulls_.end(),
+                [](const PendingPull& a, const PendingPull& b) {
+                  return a.responder < b.responder;
+                });
+      std::size_t i = 0;
+      while (i < pulls_.size()) {
+        const std::uint32_t responder = pulls_[i].responder;
+        const sim::Message response =
+            hooks.respond ? hooks.respond(responder) : sim::Message::empty();
+        const std::uint64_t bits = response.bits(net_.costs());
+        const bool has_payload = !response.is_empty();
+        for (; i < pulls_.size() && pulls_[i].responder == responder; ++i) {
+          metrics_.record_pull_response(bits, has_payload);
+          if (hooks.on_pull_reply) hooks.on_pull_reply(pulls_[i].from, response);
+        }
+      }
+    }
+
+    metrics_.end_round();
+  }
+
+ private:
+  struct PendingPush {
+    std::uint32_t to;
+    std::uint32_t from;
+    sim::Message msg;
+  };
+  struct PendingPull {
+    std::uint32_t from;
+    std::uint32_t responder;
+  };
+
+  sim::Network& net_;
+  sim::MetricsCollector metrics_;
+  std::vector<PendingPush> pushes_;
+  std::vector<PendingPull> pulls_;
+  std::vector<std::uint32_t> all_nodes_;
+};
+
+struct Result {
+  std::uint64_t n;
+  std::string workload;
+  std::string path;  // "static" | "legacy"
+  std::uint64_t rounds;
+  std::uint64_t contacts;
+  double seconds;
+  [[nodiscard]] double contacts_per_sec() const { return contacts / seconds; }
+};
+
+// The three workloads as static-dispatch hook structs. The legacy runs wrap
+// the same logic in RoundHooks std::functions, so the only difference
+// between the two measurements is the dispatch mechanism.
+struct PushWorkload {
+  std::optional<sim::Contact> initiate(std::uint32_t) const {
+    return sim::Contact::push_random(sim::Message::rumor());
+  }
+  void on_push(std::uint32_t, const sim::Message&) const {}
+};
+
+struct PushPullWorkload {
+  std::optional<sim::Contact> initiate(std::uint32_t v) const {
+    if ((v & 1) == 0) return sim::Contact::push_random(sim::Message::rumor());
+    return sim::Contact::pull_random();
+  }
+  sim::Message respond(std::uint32_t) const { return sim::Message::rumor(); }
+  void on_push(std::uint32_t, const sim::Message&) const {}
+  void on_pull_reply(std::uint32_t, const sim::Message&) const {}
+};
+
+struct ExchangeWorkload {
+  std::optional<sim::Contact> initiate(std::uint32_t) const {
+    return sim::Contact::exchange_random(sim::Message::rumor());
+  }
+  sim::Message respond(std::uint32_t) const { return sim::Message::rumor(); }
+  void on_push(std::uint32_t, const sim::Message&) const {}
+  void on_pull_reply(std::uint32_t, const sim::Message&) const {}
+};
+
+sim::RoundHooks legacy_hooks(const std::string& workload) {
+  sim::RoundHooks h;
+  if (workload == "push") {
+    h.initiate = [](std::uint32_t) -> std::optional<sim::Contact> {
+      return sim::Contact::push_random(sim::Message::rumor());
+    };
+    h.on_push = [](std::uint32_t, const sim::Message&) {};
+  } else if (workload == "push_pull") {
+    h.initiate = [](std::uint32_t v) -> std::optional<sim::Contact> {
+      if ((v & 1) == 0) return sim::Contact::push_random(sim::Message::rumor());
+      return sim::Contact::pull_random();
+    };
+    h.respond = [](std::uint32_t) { return sim::Message::rumor(); };
+    h.on_push = [](std::uint32_t, const sim::Message&) {};
+    h.on_pull_reply = [](std::uint32_t, const sim::Message&) {};
+  } else {
+    h.initiate = [](std::uint32_t) -> std::optional<sim::Contact> {
+      return sim::Contact::exchange_random(sim::Message::rumor());
+    };
+    h.respond = [](std::uint32_t) { return sim::Message::rumor(); };
+    h.on_push = [](std::uint32_t, const sim::Message&) {};
+    h.on_pull_reply = [](std::uint32_t, const sim::Message&) {};
+  }
+  return h;
+}
+
+template <class Metrics, class RunRound>
+Result timed_run(Metrics& metrics, std::uint64_t n, const std::string& workload,
+                 const std::string& path, unsigned rounds, RunRound&& run_round) {
+  // One untimed warm-up round sizes every scratch buffer.
+  run_round();
+  metrics.reset();
+  const auto start = Clock::now();
+  for (unsigned r = 0; r < rounds; ++r) run_round();
+  const auto stop = Clock::now();
+  Result res;
+  res.n = n;
+  res.workload = workload;
+  res.path = path;
+  res.rounds = rounds;
+  res.contacts = metrics.run().total.connections;
+  res.seconds = std::chrono::duration<double>(stop - start).count();
+  return res;
+}
+
+template <class Hooks>
+std::vector<Result> bench_size(std::uint32_t n, const std::string& workload, Hooks hooks,
+                               unsigned rounds, bool delta_metering) {
+  std::vector<Result> out;
+  // Fresh same-seed networks per path: identical workloads, so the
+  // contacts/sec ratio isolates the executor implementations.
+  {
+    // New executor, hooks resolved at compile time.
+    sim::NetworkOptions o;
+    o.n = n;
+    o.seed = 42;
+    sim::Network net(o);
+    sim::Engine engine(net);
+    engine.metrics().set_track_involvement(delta_metering);
+    out.push_back(timed_run(engine.metrics(), n, workload, "static", rounds,
+                            [&] { engine.run_round(hooks); }));
+  }
+  {
+    // New executor behind the RoundHooks std::function adapter.
+    sim::NetworkOptions o;
+    o.n = n;
+    o.seed = 42;
+    sim::Network net(o);
+    sim::Engine engine(net);
+    engine.metrics().set_track_involvement(delta_metering);
+    const sim::RoundHooks hooks_legacy = legacy_hooks(workload);
+    out.push_back(timed_run(engine.metrics(), n, workload, "legacy_adapter", rounds,
+                            [&] { engine.run_round(hooks_legacy); }));
+  }
+  {
+    // The seed's std::function executor (always meters Delta; it had no
+    // opt-out).
+    sim::NetworkOptions o;
+    o.n = n;
+    o.seed = 42;
+    sim::Network net(o);
+    ReferenceEngine engine(net);
+    const sim::RoundHooks hooks_legacy = legacy_hooks(workload);
+    out.push_back(timed_run(engine.metrics(), n, workload, "reference_stdfunction",
+                            rounds, [&] { engine.run_round(hooks_legacy); }));
+  }
+  return out;
+}
+
+void emit_json(std::ostream& os, const std::vector<Result>& results, bool delta_metering) {
+  os << "{\n  \"bench\": \"engine_throughput\",\n  \"unit\": \"contacts_per_sec\",\n"
+     << "  \"knowledge_tracking\": false,\n"
+     << "  \"delta_metering_static_legacy\": " << (delta_metering ? "true" : "false")
+     << ",\n"
+     << "  \"paths\": {\"static\": \"templated executor, compile-time hooks\", "
+     << "\"legacy_adapter\": \"RoundHooks std::functions over the new executor\", "
+     << "\"reference_stdfunction\": \"the seed engine: std::function dispatch, "
+     << "per-contact draws, sort-based pull grouping, unconditional Delta metering\"},\n"
+     << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    os << "    {\"n\": " << r.n << ", \"workload\": \"" << r.workload << "\", \"path\": \""
+       << r.path << "\", \"rounds\": " << r.rounds << ", \"contacts\": " << r.contacts
+       << ", \"seconds\": " << r.seconds << ", \"contacts_per_sec\": "
+       << static_cast<std::uint64_t>(r.contacts_per_sec()) << "}"
+       << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"speedup_static_over_stdfunction_path\": [\n";
+  bool first = true;
+  for (std::size_t i = 0; i + 2 < results.size(); i += 3) {
+    const Result& s = results[i];
+    const Result& a = results[i + 1];
+    const Result& ref = results[i + 2];
+    if (!first) os << ",\n";
+    first = false;
+    os << "    {\"n\": " << s.n << ", \"workload\": \"" << s.workload
+       << "\", \"vs_reference\": " << s.contacts_per_sec() / ref.contacts_per_sec()
+       << ", \"vs_adapter\": " << s.contacts_per_sec() / a.contacts_per_sec() << "}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+std::vector<std::uint32_t> parse_sizes(const std::string& spec) {
+  std::vector<std::uint32_t> sizes;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    try {
+      const double v = std::stod(item);
+      if (v < 2 || v > 4e9) throw std::out_of_range(item);
+      sizes.push_back(static_cast<std::uint32_t>(v));
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "bad --sizes entry: '%s' (want e.g. 1e5,1e6,4e6)\n",
+                   item.c_str());
+      std::exit(2);
+    }
+  }
+  if (sizes.empty()) {
+    std::fprintf(stderr, "--sizes needs at least one network size\n");
+    std::exit(2);
+  }
+  return sizes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned rounds = 12;
+  std::vector<std::uint32_t> sizes{100000, 1000000, 4000000};
+  std::string out_path;
+  bool delta_metering = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--rounds=", 0) == 0) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(arg.c_str() + 9, &end, 10);
+      if (end == arg.c_str() + 9 || *end != '\0' || v == 0) {
+        std::fprintf(stderr, "bad --rounds value: '%s' (want a positive integer)\n",
+                     arg.c_str() + 9);
+        return 2;
+      }
+      rounds = static_cast<unsigned>(v);
+    } else if (arg.rfind("--sizes=", 0) == 0) {
+      sizes = parse_sizes(arg.substr(8));
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg == "--delta") {
+      delta_metering = true;  // meter Delta on static/legacy paths too
+    } else if (arg == "--quick") {
+      sizes = {100000};
+      rounds = 6;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  {
+    // Process warm-up (frequency ramp, allocator, page faults) so the first
+    // measured configuration is not penalised.
+    sim::NetworkOptions o;
+    o.n = 1 << 16;
+    o.seed = 1;
+    sim::Network net(o);
+    sim::Engine engine(net);
+    PushWorkload w;
+    for (int r = 0; r < 20; ++r) engine.run_round(w);
+  }
+
+  std::vector<Result> results;
+  for (const std::uint32_t n : sizes) {
+    for (const char* workload : {"push", "push_pull", "exchange"}) {
+      std::vector<Result> triple;
+      const std::string w = workload;
+      if (w == "push") {
+        triple = bench_size(n, w, PushWorkload{}, rounds, delta_metering);
+      } else if (w == "push_pull") {
+        triple = bench_size(n, w, PushPullWorkload{}, rounds, delta_metering);
+      } else {
+        triple = bench_size(n, w, ExchangeWorkload{}, rounds, delta_metering);
+      }
+      for (Result& r : triple) {
+        std::fprintf(stderr, "n=%-9llu %-10s %-22s %8.2f Mcontacts/s\n",
+                     static_cast<unsigned long long>(r.n), r.workload.c_str(),
+                     r.path.c_str(), r.contacts_per_sec() / 1e6);
+        results.push_back(std::move(r));
+      }
+    }
+  }
+
+  emit_json(std::cout, results, delta_metering);
+  if (!out_path.empty()) {
+    std::ofstream f(out_path);
+    emit_json(f, results, delta_metering);
+    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

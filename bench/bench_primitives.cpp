@@ -62,6 +62,44 @@ void BM_EngineRoundAllPull(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineRoundAllPull)->Range(1 << 10, 1 << 18);
 
+// Static-dispatch twins of the two engine-round benchmarks: same workloads
+// through the templated executor, for a direct dispatch-cost comparison in
+// benchmark output.
+void BM_EngineRoundAllPushStatic(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  sim::NetworkOptions o;
+  o.n = n;
+  o.seed = 1;
+  sim::Network net(o);
+  sim::Engine eng(net);
+  auto hooks = sim::make_hooks(
+      [](std::uint32_t) -> std::optional<sim::Contact> {
+        return sim::Contact::push_random(sim::Message::rumor());
+      },
+      sim::no_hook, [](std::uint32_t, const sim::Message&) {});
+  for (auto _ : state) eng.run_round(hooks);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineRoundAllPushStatic)->Range(1 << 10, 1 << 18);
+
+void BM_EngineRoundAllPullStatic(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  sim::NetworkOptions o;
+  o.n = n;
+  o.seed = 1;
+  sim::Network net(o);
+  sim::Engine eng(net);
+  auto hooks = sim::make_hooks(
+      [](std::uint32_t) -> std::optional<sim::Contact> {
+        return sim::Contact::pull_random();
+      },
+      [](std::uint32_t) { return sim::Message::rumor(); }, sim::no_hook,
+      [](std::uint32_t, const sim::Message&) {});
+  for (auto _ : state) eng.run_round(hooks);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineRoundAllPullStatic)->Range(1 << 10, 1 << 18);
+
 /// Sets up one flat clustering of cluster size `s` covering all n nodes.
 void stage_clusters(cluster::Driver& driver, std::uint32_t n, std::uint32_t s) {
   auto& cl = driver.clustering();

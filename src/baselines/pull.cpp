@@ -3,29 +3,38 @@
 
 namespace gossip::baselines {
 
+namespace {
+
+// Static-dispatch hooks: every uninformed node pulls from a uniform random
+// node; informed responders answer with the rumor.
+struct PullHooks {
+  std::vector<std::uint8_t>& informed;
+  std::uint64_t& informed_count;
+
+  std::optional<sim::Contact> initiate(std::uint32_t v) const {
+    if (informed[v]) return std::nullopt;
+    return sim::Contact::pull_random();
+  }
+  sim::Message respond(std::uint32_t v) const {
+    return informed[v] ? sim::Message::rumor() : sim::Message::empty();
+  }
+  void on_pull_reply(std::uint32_t q, const sim::Message& m) {
+    if (m.has_rumor() && !informed[q]) {
+      informed[q] = 1;
+      ++informed_count;
+    }
+  }
+};
+
+}  // namespace
+
 core::BroadcastReport run_pull(sim::Network& net, std::uint32_t source,
                                UniformOptions options) {
   const unsigned cap = detail::auto_round_cap(net.n(), options.max_rounds);
   return detail::run_until_informed(
       net, source, cap, "pull",
       [](std::vector<std::uint8_t>& informed, std::uint64_t& informed_count) {
-        sim::RoundHooks hooks;
-        hooks.initiate =
-            [&informed](std::uint32_t v) -> std::optional<sim::Contact> {
-          if (informed[v]) return std::nullopt;
-          return sim::Contact::pull_random();
-        };
-        hooks.respond = [&informed](std::uint32_t v) {
-          return informed[v] ? sim::Message::rumor() : sim::Message::empty();
-        };
-        hooks.on_pull_reply = [&informed, &informed_count](std::uint32_t q,
-                                                           const sim::Message& m) {
-          if (m.has_rumor() && !informed[q]) {
-            informed[q] = 1;
-            ++informed_count;
-          }
-        };
-        return hooks;
+        return PullHooks{informed, informed_count};
       });
 }
 

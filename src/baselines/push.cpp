@@ -1,45 +1,29 @@
-#include <utility>
-
 #include "baselines/uniform.hpp"
 #include "baselines/uniform_detail.hpp"
 
 namespace gossip::baselines {
 
-namespace detail {
+namespace {
 
-core::BroadcastReport run_until_informed(
-    sim::Network& net, std::uint32_t source, unsigned max_rounds, std::string phase_name,
-    const std::function<sim::RoundHooks(std::vector<std::uint8_t>&, std::uint64_t&)>&
-        make_hooks) {
-  GOSSIP_CHECK_MSG(net.alive(source), "source node must be alive");
-  sim::Engine engine(net);
-  std::vector<std::uint8_t> informed(net.n(), 0);
-  informed[source] = 1;
-  std::uint64_t informed_count = 1;
+// Static-dispatch hooks: every informed node pushes the rumor to a uniform
+// random node; receivers become informed.
+struct PushHooks {
+  std::vector<std::uint8_t>& informed;
+  std::uint64_t& informed_count;
 
-  const sim::RoundHooks hooks = make_hooks(informed, informed_count);
-  while (informed_count < net.alive_count() && engine.rounds() < max_rounds) {
-    engine.run_round(hooks);
+  std::optional<sim::Contact> initiate(std::uint32_t v) const {
+    if (!informed[v]) return std::nullopt;
+    return sim::Contact::push_random(sim::Message::rumor());
   }
+  void on_push(std::uint32_t r, const sim::Message& m) {
+    if (m.has_rumor() && !informed[r]) {
+      informed[r] = 1;
+      ++informed_count;
+    }
+  }
+};
 
-  core::BroadcastReport r;
-  r.n = net.n();
-  r.alive = net.alive_count();
-  r.informed = informed_count;
-  r.all_informed = r.informed == r.alive;
-  r.rounds = engine.rounds();
-  r.stats = engine.metrics().run();
-  core::PhaseBreakdown pb;
-  pb.name = std::move(phase_name);
-  pb.rounds = engine.rounds();
-  pb.payload_messages = r.stats.total.payload_messages;
-  pb.connections = r.stats.total.connections;
-  pb.bits = r.stats.total.bits;
-  r.phases.push_back(std::move(pb));
-  return r;
-}
-
-}  // namespace detail
+}  // namespace
 
 core::BroadcastReport run_push(sim::Network& net, std::uint32_t source,
                                UniformOptions options) {
@@ -47,20 +31,7 @@ core::BroadcastReport run_push(sim::Network& net, std::uint32_t source,
   return detail::run_until_informed(
       net, source, cap, "push",
       [](std::vector<std::uint8_t>& informed, std::uint64_t& informed_count) {
-        sim::RoundHooks hooks;
-        hooks.initiate =
-            [&informed](std::uint32_t v) -> std::optional<sim::Contact> {
-          if (!informed[v]) return std::nullopt;
-          return sim::Contact::push_random(sim::Message::rumor());
-        };
-        hooks.on_push = [&informed, &informed_count](std::uint32_t r,
-                                                     const sim::Message& m) {
-          if (m.has_rumor() && !informed[r]) {
-            informed[r] = 1;
-            ++informed_count;
-          }
-        };
-        return hooks;
+        return PushHooks{informed, informed_count};
       });
 }
 

@@ -3,31 +3,40 @@
 
 namespace gossip::baselines {
 
+namespace {
+
+// Static-dispatch hooks: informed nodes push, uninformed nodes pull; both
+// delivery directions inform the receiver.
+struct PushPullHooks {
+  std::vector<std::uint8_t>& informed;
+  std::uint64_t& informed_count;
+
+  std::optional<sim::Contact> initiate(std::uint32_t v) const {
+    if (informed[v]) return sim::Contact::push_random(sim::Message::rumor());
+    return sim::Contact::pull_random();
+  }
+  sim::Message respond(std::uint32_t v) const {
+    return informed[v] ? sim::Message::rumor() : sim::Message::empty();
+  }
+  void learn(std::uint32_t v, const sim::Message& m) {
+    if (m.has_rumor() && !informed[v]) {
+      informed[v] = 1;
+      ++informed_count;
+    }
+  }
+  void on_push(std::uint32_t r, const sim::Message& m) { learn(r, m); }
+  void on_pull_reply(std::uint32_t q, const sim::Message& m) { learn(q, m); }
+};
+
+}  // namespace
+
 core::BroadcastReport run_push_pull(sim::Network& net, std::uint32_t source,
                                     UniformOptions options) {
   const unsigned cap = detail::auto_round_cap(net.n(), options.max_rounds);
   return detail::run_until_informed(
       net, source, cap, "push_pull",
       [](std::vector<std::uint8_t>& informed, std::uint64_t& informed_count) {
-        sim::RoundHooks hooks;
-        hooks.initiate =
-            [&informed](std::uint32_t v) -> std::optional<sim::Contact> {
-          if (informed[v]) return sim::Contact::push_random(sim::Message::rumor());
-          return sim::Contact::pull_random();
-        };
-        hooks.respond = [&informed](std::uint32_t v) {
-          return informed[v] ? sim::Message::rumor() : sim::Message::empty();
-        };
-        const auto learn = [&informed, &informed_count](std::uint32_t v,
-                                                        const sim::Message& m) {
-          if (m.has_rumor() && !informed[v]) {
-            informed[v] = 1;
-            ++informed_count;
-          }
-        };
-        hooks.on_push = learn;
-        hooks.on_pull_reply = learn;
-        return hooks;
+        return PushPullHooks{informed, informed_count};
       });
 }
 

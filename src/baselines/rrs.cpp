@@ -12,7 +12,47 @@ namespace gossip::baselines {
 
 using sim::Contact;
 using sim::Message;
-using sim::RoundHooks;
+
+namespace {
+
+// Static-dispatch hooks for the random-rendezvous-style exchange protocol:
+// every non-stopped node exchanges its state message with a random partner;
+// both delivery directions feed the counter rule.
+struct RrsHooks {
+  std::vector<std::uint32_t>& ctr;
+  std::vector<std::uint32_t>& partner_max;
+  std::vector<std::uint8_t>& met_informed;
+  std::uint64_t& informed_count;
+  unsigned ctr_max;
+
+  Message state_message(std::uint32_t v) const {
+    if (ctr[v] == 0) return Message::empty();
+    return Message::rumor().and_count(ctr[v]);
+  }
+  void process(std::uint32_t v, const Message& m) {
+    if (!m.has_rumor()) return;
+    if (ctr[v] == 0) {
+      ctr[v] = 1;
+      ++informed_count;
+      return;
+    }
+    met_informed[v] = 1;
+    if (m.has_count()) {
+      partner_max[v] = std::max<std::uint32_t>(partner_max[v],
+                                               static_cast<std::uint32_t>(m.count_value()));
+    }
+  }
+
+  std::optional<Contact> initiate(std::uint32_t v) const {
+    if (ctr[v] > ctr_max) return std::nullopt;  // state C: stopped
+    return Contact::exchange_random(state_message(v));
+  }
+  Message respond(std::uint32_t v) const { return state_message(v); }
+  void on_push(std::uint32_t r, const Message& m) { process(r, m); }
+  void on_pull_reply(std::uint32_t q, const Message& m) { process(q, m); }
+};
+
+}  // namespace
 
 core::BroadcastReport run_rrs(sim::Network& net, std::uint32_t source, RrsOptions options) {
   GOSSIP_CHECK_MSG(net.alive(source), "source node must be alive");
@@ -29,32 +69,7 @@ core::BroadcastReport run_rrs(sim::Network& net, std::uint32_t source, RrsOption
   ctr[source] = 1;
   std::uint64_t informed_count = 1;
 
-  const auto state_message = [&](std::uint32_t v) {
-    if (ctr[v] == 0) return Message::empty();
-    return Message::rumor().and_count(ctr[v]);
-  };
-  const auto process = [&](std::uint32_t v, const Message& m) {
-    if (!m.has_rumor()) return;
-    if (ctr[v] == 0) {
-      ctr[v] = 1;
-      ++informed_count;
-      return;
-    }
-    met_informed[v] = 1;
-    if (m.has_count()) {
-      partner_max[v] =
-          std::max<std::uint32_t>(partner_max[v], static_cast<std::uint32_t>(m.count_value()));
-    }
-  };
-
-  RoundHooks hooks;
-  hooks.initiate = [&](std::uint32_t v) -> std::optional<Contact> {
-    if (ctr[v] > ctr_max) return std::nullopt;  // state C: stopped
-    return Contact::exchange_random(state_message(v));
-  };
-  hooks.respond = state_message;
-  hooks.on_push = process;
-  hooks.on_pull_reply = process;
+  RrsHooks hooks{ctr, partner_max, met_informed, informed_count, ctr_max};
 
   while (informed_count < net.alive_count() && engine.rounds() < cap) {
     std::fill(partner_max.begin(), partner_max.end(), 0);
@@ -69,21 +84,7 @@ core::BroadcastReport run_rrs(sim::Network& net, std::uint32_t source, RrsOption
     }
   }
 
-  core::BroadcastReport r;
-  r.n = n;
-  r.alive = net.alive_count();
-  r.informed = informed_count;
-  r.all_informed = r.informed == r.alive;
-  r.rounds = engine.rounds();
-  r.stats = engine.metrics().run();
-  core::PhaseBreakdown pb;
-  pb.name = "rrs";
-  pb.rounds = engine.rounds();
-  pb.payload_messages = r.stats.total.payload_messages;
-  pb.connections = r.stats.total.connections;
-  pb.bits = r.stats.total.bits;
-  r.phases.push_back(std::move(pb));
-  return r;
+  return detail::finish_report(net, engine, informed_count, "rrs");
 }
 
 }  // namespace gossip::baselines

@@ -2,9 +2,8 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -14,13 +13,49 @@
 
 namespace gossip::baselines::detail {
 
+/// Assembles the standard single-phase report after a run.
+[[nodiscard]] inline core::BroadcastReport finish_report(const sim::Network& net,
+                                                         const sim::Engine& engine,
+                                                         std::uint64_t informed_count,
+                                                         std::string phase_name) {
+  core::BroadcastReport r;
+  r.n = net.n();
+  r.alive = net.alive_count();
+  r.informed = informed_count;
+  r.all_informed = r.informed == r.alive;
+  r.rounds = engine.rounds();
+  r.stats = engine.metrics().run();
+  core::PhaseBreakdown pb;
+  pb.name = std::move(phase_name);
+  pb.rounds = engine.rounds();
+  pb.payload_messages = r.stats.total.payload_messages;
+  pb.connections = r.stats.total.connections;
+  pb.bits = r.stats.total.bits;
+  r.phases.push_back(std::move(pb));
+  return r;
+}
+
 /// Runs a per-round behaviour until all alive nodes are informed (oracle
 /// stop) or `max_rounds` elapse, and assembles the standard report.
-/// `behaviour(informed, informed_count)` returns the hooks for one round.
-core::BroadcastReport run_until_informed(
-    sim::Network& net, std::uint32_t source, unsigned max_rounds, std::string phase_name,
-    const std::function<sim::RoundHooks(std::vector<std::uint8_t>&, std::uint64_t&)>&
-        make_hooks);
+/// `make_hooks(informed, informed_count)` returns the hooks object for the
+/// whole run; it may be any static-dispatch hooks type (see sim/engine.hpp),
+/// so each baseline's per-round work is resolved at compile time.
+template <class MakeHooks>
+core::BroadcastReport run_until_informed(sim::Network& net, std::uint32_t source,
+                                         unsigned max_rounds, std::string phase_name,
+                                         MakeHooks&& make_hooks) {
+  GOSSIP_CHECK_MSG(net.alive(source), "source node must be alive");
+  sim::Engine engine(net);
+  std::vector<std::uint8_t> informed(net.n(), 0);
+  informed[source] = 1;
+  std::uint64_t informed_count = 1;
+
+  auto hooks = make_hooks(informed, informed_count);
+  while (informed_count < net.alive_count() && engine.rounds() < max_rounds) {
+    engine.run_round(hooks);
+  }
+  return finish_report(net, engine, informed_count, std::move(phase_name));
+}
 
 [[nodiscard]] inline unsigned auto_round_cap(std::uint64_t n, unsigned requested) {
   if (requested) return requested;

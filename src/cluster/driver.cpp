@@ -9,7 +9,8 @@ namespace gossip::cluster {
 
 using sim::Contact;
 using sim::Message;
-using sim::RoundHooks;
+using sim::make_hooks;
+using sim::no_hook;
 
 namespace {
 // Verdict wire encoding (a count field plus an optional ID list):
@@ -51,18 +52,16 @@ void Driver::activate(double p) {
     Rng coin = net_.node_rng(v, salt);
     cl_.set_active(v, coin.bernoulli(p));
   }
-  RoundHooks hooks;
-  hooks.initiate = [this](std::uint32_t v) -> std::optional<Contact> {
-    if (!cl_.is_follower(v)) return std::nullopt;
-    return Contact::pull_direct(cl_.follow(v));
-  };
-  hooks.respond = [this](std::uint32_t v) {
-    return Message::count(cl_.active(v) ? 1 : 0);
-  };
-  hooks.on_pull_reply = [this](std::uint32_t q, const Message& m) {
-    if (m.has_count()) cl_.set_active(q, m.count_value() != 0);
-  };
-  engine_.run_round(hooks);
+  engine_.run_round(make_hooks(
+      [this](std::uint32_t v) -> std::optional<Contact> {
+        if (!cl_.is_follower(v)) return std::nullopt;
+        return Contact::pull_direct(cl_.follow(v));
+      },
+      [this](std::uint32_t v) { return Message::count(cl_.active(v) ? 1 : 0); },
+      no_hook,
+      [this](std::uint32_t q, const Message& m) {
+        if (m.has_count()) cl_.set_active(q, m.count_value() != 0);
+      }));
 }
 
 void Driver::set_all_active(bool active) {
@@ -84,16 +83,16 @@ void Driver::collect_and_verdict(bool only_active, bool with_ids, const DecideFn
   };
 
   // Round 1: followers push their own ID to the leader.
-  RoundHooks collect;
-  collect.initiate = [&](std::uint32_t v) -> std::optional<Contact> {
-    if (!cl_.is_follower(v) || !participates(v)) return std::nullopt;
-    return Contact::push_direct(cl_.follow(v), Message::single_id(net_.id_of(v)));
-  };
-  collect.on_push = [&](std::uint32_t leader, const Message& m) {
-    ++collect_count_[leader];
-    if (with_ids && !m.ids().empty()) collected_ids_[leader].push_back(m.ids().front());
-  };
-  engine_.run_round(collect);
+  engine_.run_round(make_hooks(
+      [&](std::uint32_t v) -> std::optional<Contact> {
+        if (!cl_.is_follower(v) || !participates(v)) return std::nullopt;
+        return Contact::push_direct(cl_.follow(v), Message::single_id(net_.id_of(v)));
+      },
+      no_hook,
+      [&](std::uint32_t leader, const Message& m) {
+        ++collect_count_[leader];
+        if (with_ids && !m.ids().empty()) collected_ids_[leader].push_back(m.ids().front());
+      }));
 
   // Leaders decide; decisions are stored as encoded responses and applied to
   // the leader's own state immediately.
@@ -134,12 +133,11 @@ void Driver::collect_and_verdict(bool only_active, bool with_ids, const DecideFn
   }
 
   // Round 2: followers pull the verdict and decode it.
-  RoundHooks distribute;
-  distribute.initiate = [&](std::uint32_t v) -> std::optional<Contact> {
+  const auto distribute_initiate = [&](std::uint32_t v) -> std::optional<Contact> {
     if (!cl_.is_follower(v) || !participates(v)) return std::nullopt;
     return Contact::pull_direct(cl_.follow(v));
   };
-  distribute.respond = [&](std::uint32_t leader) {
+  const auto distribute_respond = [&](std::uint32_t leader) {
     if (!decided[leader]) return Message::empty();
     Message m = Message::count(encoded[leader]);
     const auto it = response_ids.find(leader);
@@ -150,7 +148,7 @@ void Driver::collect_and_verdict(bool only_active, bool with_ids, const DecideFn
     }
     return m;
   };
-  distribute.on_pull_reply = [&](std::uint32_t q, const Message& m) {
+  const auto distribute_reply = [&](std::uint32_t q, const Message& m) {
     if (!m.has_count()) return;  // leader had no verdict (e.g. already merged away)
     const std::uint64_t code = m.count_value();
     cl_.set_prev_size_estimate(q, cl_.size_estimate(q));
@@ -174,7 +172,8 @@ void Driver::collect_and_verdict(bool only_active, bool with_ids, const DecideFn
       cl_.set_follow(q, chosen);
     }
   };
-  engine_.run_round(distribute);
+  engine_.run_round(
+      make_hooks(distribute_initiate, distribute_respond, no_hook, distribute_reply));
 }
 
 void Driver::compute_sizes(bool only_active) {
@@ -256,13 +255,12 @@ void Driver::clear_candidates() {
 Driver::PushOutcome Driver::push_cluster_id(bool only_active, bool recruit_unclustered,
                                             RelayPolicy policy) {
   PushOutcome outcome;
-  RoundHooks hooks;
-  hooks.initiate = [&](std::uint32_t v) -> std::optional<Contact> {
+  const auto initiate = [&](std::uint32_t v) -> std::optional<Contact> {
     if (!cl_.is_clustered(v)) return std::nullopt;
     if (only_active && !cl_.active(v)) return std::nullopt;
     return Contact::push_random(Message::single_id(cluster_id_of(v)));
   };
-  hooks.on_push = [&](std::uint32_t r, const Message& m) {
+  const auto on_push = [&](std::uint32_t r, const Message& m) {
     if (m.ids().empty()) return;
     const NodeId id = m.ids().front();
     if (cl_.is_unclustered(r)) {
@@ -278,7 +276,7 @@ Driver::PushOutcome Driver::push_cluster_id(bool only_active, bool recruit_unclu
       stash_candidate(r, id, policy);
     }
   };
-  engine_.run_round(hooks);
+  engine_.run_round(make_hooks(initiate, no_hook, on_push));
   return outcome;
 }
 
@@ -293,20 +291,20 @@ void Driver::relay_candidates(RelayPolicy policy, bool only_inactive_relayers) {
     if (only_inactive_relayers && cl_.active(v)) continue;
     stash_inbox(v, candidate_[v], policy);
   }
-  RoundHooks hooks;
-  hooks.initiate = [&](std::uint32_t v) -> std::optional<Contact> {
-    if (!cl_.is_follower(v) || candidate_[v].is_unclustered()) return std::nullopt;
-    if (only_inactive_relayers && cl_.active(v)) return std::nullopt;
-    return Contact::push_direct(cl_.follow(v), Message::single_id(candidate_[v]));
-  };
-  hooks.on_push = [&](std::uint32_t leader, const Message& m) {
-    if (m.ids().empty()) return;
-    // Relays reaching a non-leader (stale follow after races) are dropped;
-    // the second push/merge repetition recovers such clusters.
-    if (!cl_.is_leader(leader)) return;
-    stash_inbox(leader, m.ids().front(), policy);
-  };
-  engine_.run_round(hooks);
+  engine_.run_round(make_hooks(
+      [&](std::uint32_t v) -> std::optional<Contact> {
+        if (!cl_.is_follower(v) || candidate_[v].is_unclustered()) return std::nullopt;
+        if (only_inactive_relayers && cl_.active(v)) return std::nullopt;
+        return Contact::push_direct(cl_.follow(v), Message::single_id(candidate_[v]));
+      },
+      no_hook,
+      [&](std::uint32_t leader, const Message& m) {
+        if (m.ids().empty()) return;
+        // Relays reaching a non-leader (stale follow after races) are dropped;
+        // the second push/merge repetition recovers such clusters.
+        if (!cl_.is_leader(leader)) return;
+        stash_inbox(leader, m.ids().front(), policy);
+      }));
   // Candidates are consumed.
   std::fill(candidate_.begin(), candidate_.end(), NodeId::unclustered());
   std::fill(cand_seen_.begin(), cand_seen_.end(), 0);
@@ -316,21 +314,21 @@ void Driver::relay_candidates(RelayPolicy policy, bool only_inactive_relayers) {
 // ClusterMerge + settle rounds
 // ---------------------------------------------------------------------------
 void Driver::run_settle_round() {
-  RoundHooks hooks;
-  hooks.initiate = [&](std::uint32_t v) -> std::optional<Contact> {
-    if (!cl_.is_follower(v)) return std::nullopt;
-    return Contact::pull_direct(cl_.follow(v));
-  };
-  hooks.respond = [&](std::uint32_t v) {
-    if (cl_.is_unclustered(v)) return Message::empty();
-    return Message::single_id(cl_.follow(v)).and_count(cl_.active(v) ? 1 : 0);
-  };
-  hooks.on_pull_reply = [&](std::uint32_t q, const Message& m) {
-    if (m.ids().empty()) return;  // target unclustered or gone: keep state
-    cl_.set_follow(q, m.ids().front());
-    if (m.has_count()) cl_.set_active(q, m.count_value() != 0);
-  };
-  engine_.run_round(hooks);
+  engine_.run_round(make_hooks(
+      [&](std::uint32_t v) -> std::optional<Contact> {
+        if (!cl_.is_follower(v)) return std::nullopt;
+        return Contact::pull_direct(cl_.follow(v));
+      },
+      [&](std::uint32_t v) {
+        if (cl_.is_unclustered(v)) return Message::empty();
+        return Message::single_id(cl_.follow(v)).and_count(cl_.active(v) ? 1 : 0);
+      },
+      no_hook,
+      [&](std::uint32_t q, const Message& m) {
+        if (m.ids().empty()) return;  // target unclustered or gone: keep state
+        cl_.set_follow(q, m.ids().front());
+        if (m.has_count()) cl_.set_active(q, m.count_value() != 0);
+      }));
 }
 
 void Driver::merge_from_inbox(RelayPolicy policy, bool only_inactive) {
@@ -369,23 +367,23 @@ void Driver::settle(unsigned rounds) {
 // ---------------------------------------------------------------------------
 std::uint64_t Driver::unclustered_pull_round() {
   std::uint64_t joined = 0;
-  RoundHooks hooks;
-  hooks.initiate = [&](std::uint32_t v) -> std::optional<Contact> {
-    if (!cl_.is_unclustered(v)) return std::nullopt;
-    return Contact::pull_random();
-  };
-  hooks.respond = [&](std::uint32_t v) {
-    if (cl_.is_unclustered(v)) return Message::empty();
-    return Message::single_id(cluster_id_of(v));
-  };
-  hooks.on_pull_reply = [&](std::uint32_t q, const Message& m) {
-    if (m.ids().empty()) return;
-    if (cl_.is_unclustered(q)) {
-      cl_.set_follow(q, m.ids().front());
-      ++joined;
-    }
-  };
-  engine_.run_round(hooks);
+  engine_.run_round(make_hooks(
+      [&](std::uint32_t v) -> std::optional<Contact> {
+        if (!cl_.is_unclustered(v)) return std::nullopt;
+        return Contact::pull_random();
+      },
+      [&](std::uint32_t v) {
+        if (cl_.is_unclustered(v)) return Message::empty();
+        return Message::single_id(cluster_id_of(v));
+      },
+      no_hook,
+      [&](std::uint32_t q, const Message& m) {
+        if (m.ids().empty()) return;
+        if (cl_.is_unclustered(q)) {
+          cl_.set_follow(q, m.ids().front());
+          ++joined;
+        }
+      }));
   return joined;
 }
 
@@ -396,28 +394,28 @@ void Driver::share_rumor(std::vector<std::uint8_t>& informed, bool collect_first
   GOSSIP_CHECK(informed.size() == net_.n());
   validate_flat("share_rumor");
   if (collect_first) {
-    RoundHooks collect;
-    collect.initiate = [&](std::uint32_t v) -> std::optional<Contact> {
-      if (!informed[v] || !cl_.is_follower(v)) return std::nullopt;
-      return Contact::push_direct(cl_.follow(v), Message::rumor());
-    };
-    collect.on_push = [&](std::uint32_t leader, const Message& m) {
-      if (m.has_rumor()) informed[leader] = 1;
-    };
-    engine_.run_round(collect);
+    engine_.run_round(make_hooks(
+        [&](std::uint32_t v) -> std::optional<Contact> {
+          if (!informed[v] || !cl_.is_follower(v)) return std::nullopt;
+          return Contact::push_direct(cl_.follow(v), Message::rumor());
+        },
+        no_hook,
+        [&](std::uint32_t leader, const Message& m) {
+          if (m.has_rumor()) informed[leader] = 1;
+        }));
   }
-  RoundHooks distribute;
-  distribute.initiate = [&](std::uint32_t v) -> std::optional<Contact> {
-    if (informed[v] || !cl_.is_follower(v)) return std::nullopt;
-    return Contact::pull_direct(cl_.follow(v));
-  };
-  distribute.respond = [&](std::uint32_t v) {
-    return informed[v] ? Message::rumor() : Message::empty();
-  };
-  distribute.on_pull_reply = [&](std::uint32_t q, const Message& m) {
-    if (m.has_rumor()) informed[q] = 1;
-  };
-  engine_.run_round(distribute);
+  engine_.run_round(make_hooks(
+      [&](std::uint32_t v) -> std::optional<Contact> {
+        if (informed[v] || !cl_.is_follower(v)) return std::nullopt;
+        return Contact::pull_direct(cl_.follow(v));
+      },
+      [&](std::uint32_t v) {
+        return informed[v] ? Message::rumor() : Message::empty();
+      },
+      no_hook,
+      [&](std::uint32_t q, const Message& m) {
+        if (m.has_rumor()) informed[q] = 1;
+      }));
 }
 
 }  // namespace gossip::cluster

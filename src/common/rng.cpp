@@ -1,5 +1,7 @@
 #include "common/rng.hpp"
 
+#include "common/assert.hpp"
+
 namespace gossip {
 
 std::uint64_t splitmix64(std::uint64_t& state) noexcept {
@@ -52,6 +54,37 @@ std::uint64_t Rng::uniform_below(std::uint64_t bound) noexcept {
     }
   }
   return static_cast<std::uint64_t>(m >> 64);
+}
+
+namespace {
+// Shared body of the bulk fills. `threshold = (2^64 - bound) mod bound` is
+// the Lemire acceptance cutoff; a draw with low half < threshold is redrawn.
+// The scalar uniform_below only computes the threshold on the rare low-half
+// path, but accepts exactly the same draws (threshold <= bound - 1), so
+// precomputing it here changes speed, not the output stream.
+template <typename Out, typename Next>
+void fill_uniform_below_impl(std::uint64_t bound, std::span<Out> out, Next&& next) noexcept {
+  const std::uint64_t threshold = (0ULL - bound) % bound;
+  for (Out& slot : out) {
+    __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+    while (static_cast<std::uint64_t>(m) < threshold) {
+      m = static_cast<__uint128_t>(next()) * bound;
+    }
+    slot = static_cast<Out>(static_cast<std::uint64_t>(m >> 64));
+  }
+}
+}  // namespace
+
+void Rng::fill_uniform_below(std::uint64_t bound, std::span<std::uint64_t> out) noexcept {
+  fill_uniform_below_impl(bound, out, [this] { return next_u64(); });
+}
+
+void Rng::fill_uniform_below(std::uint64_t bound, std::span<std::uint32_t> out) {
+  // Silent truncation would bias draws onto the low 32 bits; enforce the
+  // documented fits-in-32-bits precondition. (Results are < bound, so
+  // bound == 2^32 exactly still fits.)
+  GOSSIP_CHECK(bound <= (1ULL << 32));
+  fill_uniform_below_impl(bound, out, [this] { return next_u64(); });
 }
 
 std::uint64_t Rng::uniform_range(std::uint64_t lo, std::uint64_t hi) noexcept {

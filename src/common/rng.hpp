@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 namespace gossip {
 
@@ -33,6 +34,20 @@ class Rng {
   /// Uniform integer in [0, bound). Precondition: bound > 0.
   /// Uses Lemire's nearly-divisionless bounded sampling.
   [[nodiscard]] std::uint64_t uniform_below(std::uint64_t bound) noexcept;
+
+  /// Bulk variant of uniform_below: fills `out` with out.size() independent
+  /// draws from [0, bound). Precondition: bound > 0.
+  ///
+  /// The widening-multiply acceptance test is hoisted out of the per-element
+  /// path (one reciprocal-threshold computation per call, a single
+  /// rarely-taken rejection branch per element), which lets the compiler
+  /// pipeline the multiply chain across elements. The output stream is
+  /// BIT-IDENTICAL to calling uniform_below(bound) out.size() times: callers
+  /// may batch draws without changing any seeded experiment.
+  void fill_uniform_below(std::uint64_t bound, std::span<std::uint64_t> out) noexcept;
+  /// Same, for 32-bit sinks (used for node indices). Contract-checks that
+  /// bound fits (bound <= 2^32), so not noexcept.
+  void fill_uniform_below(std::uint64_t bound, std::span<std::uint32_t> out);
 
   /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
   [[nodiscard]] std::uint64_t uniform_range(std::uint64_t lo, std::uint64_t hi) noexcept;

@@ -10,7 +10,8 @@ namespace gossip::core {
 
 using sim::Contact;
 using sim::Message;
-using sim::RoundHooks;
+using sim::make_hooks;
+using sim::no_hook;
 
 ClusterPushPull::ClusterPushPull(cluster::Driver& driver, ClusterPushPullOptions options)
     : driver_(driver),
@@ -25,63 +26,63 @@ ClusterPushPull::ClusterPushPull(cluster::Driver& driver, ClusterPushPullOptions
 // node - each node pushes exactly once over the whole execution, which is
 // what keeps the total message count linear.
 void ClusterPushPull::push_round() {
-  RoundHooks hooks;
-  hooks.initiate = [&](std::uint32_t v) -> std::optional<Contact> {
-    if (!informed_[v] || pushed_[v]) return std::nullopt;
-    pushed_[v] = 1;
-    return Contact::push_random(Message::rumor());
-  };
-  hooks.on_push = [&](std::uint32_t r, const Message& m) {
-    if (m.has_rumor() && !informed_[r]) {
-      informed_[r] = 1;
-      need_relay_[r] = 1;
-    }
-  };
-  engine_.run_round(hooks);
+  engine_.run_round(make_hooks(
+      [&](std::uint32_t v) -> std::optional<Contact> {
+        if (!informed_[v] || pushed_[v]) return std::nullopt;
+        pushed_[v] = 1;
+        return Contact::push_random(Message::rumor());
+      },
+      no_hook,
+      [&](std::uint32_t r, const Message& m) {
+        if (m.has_rumor() && !informed_[r]) {
+          informed_[r] = 1;
+          need_relay_[r] = 1;
+        }
+      }));
 }
 
 // First-time receivers relay the rumor to their own leader ("all messages
 // received ... get then relayed to their cluster leader").
 void ClusterPushPull::relay_round() {
   auto& cl = driver_.clustering();
-  RoundHooks hooks;
-  hooks.initiate = [&](std::uint32_t v) -> std::optional<Contact> {
-    if (!need_relay_[v] || !cl.is_follower(v)) {
-      need_relay_[v] = 0;
-      return std::nullopt;
-    }
-    need_relay_[v] = 0;
-    return Contact::push_direct(cl.follow(v), Message::rumor());
-  };
-  hooks.on_push = [&](std::uint32_t r, const Message& m) {
-    if (m.has_rumor()) informed_[r] = 1;
-  };
-  engine_.run_round(hooks);
+  engine_.run_round(make_hooks(
+      [&](std::uint32_t v) -> std::optional<Contact> {
+        if (!need_relay_[v] || !cl.is_follower(v)) {
+          need_relay_[v] = 0;
+          return std::nullopt;
+        }
+        need_relay_[v] = 0;
+        return Contact::push_direct(cl.follow(v), Message::rumor());
+      },
+      no_hook,
+      [&](std::uint32_t r, const Message& m) {
+        if (m.has_rumor()) informed_[r] = 1;
+      }));
 }
 
 // Uninformed followers poll their leader; uninformed leaders (and, in the
 // final phase, every uninformed node) pull a uniformly random node.
 void ClusterPushPull::poll_round(bool uninformed_pull_random) {
   auto& cl = driver_.clustering();
-  RoundHooks hooks;
-  hooks.initiate = [&](std::uint32_t v) -> std::optional<Contact> {
-    if (informed_[v]) return std::nullopt;
-    if (uninformed_pull_random || !cl.is_follower(v)) return Contact::pull_random();
-    return Contact::pull_direct(cl.follow(v));
-  };
-  hooks.respond = [&](std::uint32_t v) {
-    return informed_[v] ? Message::rumor() : Message::empty();
-  };
-  hooks.on_pull_reply = [&](std::uint32_t q, const Message& m) {
-    if (m.has_rumor() && !informed_[q]) {
-      informed_[q] = 1;
-      // A pull from a random node may inform a follower whose own leader is
-      // still uninformed: relay next round. Pulls from the own leader make
-      // the flag a no-op (the leader already has the rumor).
-      need_relay_[q] = 1;
-    }
-  };
-  engine_.run_round(hooks);
+  engine_.run_round(make_hooks(
+      [&](std::uint32_t v) -> std::optional<Contact> {
+        if (informed_[v]) return std::nullopt;
+        if (uninformed_pull_random || !cl.is_follower(v)) return Contact::pull_random();
+        return Contact::pull_direct(cl.follow(v));
+      },
+      [&](std::uint32_t v) {
+        return informed_[v] ? Message::rumor() : Message::empty();
+      },
+      no_hook,
+      [&](std::uint32_t q, const Message& m) {
+        if (m.has_rumor() && !informed_[q]) {
+          informed_[q] = 1;
+          // A pull from a random node may inform a follower whose own leader
+          // is still uninformed: relay next round. Pulls from the own leader
+          // make the flag a no-op (the leader already has the rumor).
+          need_relay_[q] = 1;
+        }
+      }));
 }
 
 BroadcastReport ClusterPushPull::run(std::uint32_t source, std::uint64_t cluster_size_hint,

@@ -38,45 +38,45 @@ bool verify_single_cluster(cluster::Driver& driver, unsigned probes,
   // Probe rounds: everyone pushes its cluster ID (or a deliberate conflict
   // marker if unclustered - an unclustered node is itself proof of failure).
   for (unsigned p = 0; p < probes; ++p) {
-    sim::RoundHooks hooks;
-    hooks.initiate = [&](std::uint32_t v) -> std::optional<sim::Contact> {
-      if (cl.is_unclustered(v)) {
-        conflict[v] = 1;
-        return std::nullopt;
-      }
-      return sim::Contact::push_random(sim::Message::single_id(driver.cluster_id_of(v)));
-    };
-    hooks.on_push = [&](std::uint32_t r, const sim::Message& m) {
-      if (m.ids().empty()) return;
-      if (cl.is_unclustered(r) || m.ids().front() != driver.cluster_id_of(r)) {
-        conflict[r] = 1;
-      }
-    };
-    engine.run_round(hooks);
+    engine.run_round(sim::make_hooks(
+        [&](std::uint32_t v) -> std::optional<sim::Contact> {
+          if (cl.is_unclustered(v)) {
+            conflict[v] = 1;
+            return std::nullopt;
+          }
+          return sim::Contact::push_random(sim::Message::single_id(driver.cluster_id_of(v)));
+        },
+        sim::no_hook,
+        [&](std::uint32_t r, const sim::Message& m) {
+          if (m.ids().empty()) return;
+          if (cl.is_unclustered(r) || m.ids().front() != driver.cluster_id_of(r)) {
+            conflict[r] = 1;
+          }
+        }));
   }
 
   // Aggregate within clusters: conflicted followers push the flag to their
   // leader; everyone pulls the aggregated verdict.
-  sim::RoundHooks collect;
-  collect.initiate = [&](std::uint32_t v) -> std::optional<sim::Contact> {
-    if (!conflict[v] || !cl.is_follower(v)) return std::nullopt;
-    return sim::Contact::push_direct(cl.follow(v), sim::Message::count(1));
-  };
-  collect.on_push = [&](std::uint32_t leader, const sim::Message& m) {
-    if (m.has_count() && m.count_value()) conflict[leader] = 1;
-  };
-  engine.run_round(collect);
+  engine.run_round(sim::make_hooks(
+      [&](std::uint32_t v) -> std::optional<sim::Contact> {
+        if (!conflict[v] || !cl.is_follower(v)) return std::nullopt;
+        return sim::Contact::push_direct(cl.follow(v), sim::Message::count(1));
+      },
+      sim::no_hook,
+      [&](std::uint32_t leader, const sim::Message& m) {
+        if (m.has_count() && m.count_value()) conflict[leader] = 1;
+      }));
 
-  sim::RoundHooks distribute;
-  distribute.initiate = [&](std::uint32_t v) -> std::optional<sim::Contact> {
-    if (!cl.is_follower(v)) return std::nullopt;
-    return sim::Contact::pull_direct(cl.follow(v));
-  };
-  distribute.respond = [&](std::uint32_t v) { return sim::Message::count(conflict[v]); };
-  distribute.on_pull_reply = [&](std::uint32_t q, const sim::Message& m) {
-    if (m.has_count() && m.count_value()) conflict[q] = 1;
-  };
-  engine.run_round(distribute);
+  engine.run_round(sim::make_hooks(
+      [&](std::uint32_t v) -> std::optional<sim::Contact> {
+        if (!cl.is_follower(v)) return std::nullopt;
+        return sim::Contact::pull_direct(cl.follow(v));
+      },
+      [&](std::uint32_t v) { return sim::Message::count(conflict[v]); },
+      sim::no_hook,
+      [&](std::uint32_t q, const sim::Message& m) {
+        if (m.has_count() && m.count_value()) conflict[q] = 1;
+      }));
 
   for (std::uint32_t v = 0; v < net.n(); ++v) {
     if (net.alive(v) && conflict[v]) return false;

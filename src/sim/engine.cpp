@@ -1,6 +1,5 @@
 #include "sim/engine.hpp"
 
-#include <algorithm>
 #include <numeric>
 
 #include "common/assert.hpp"
@@ -11,30 +10,35 @@ Engine::Engine(Network& net, bool keep_history)
     : net_(net), metrics_(net.n(), keep_history) {
   all_nodes_.resize(net.n());
   std::iota(all_nodes_.begin(), all_nodes_.end(), 0u);
+  pull_stamp_.resize(net.n(), 0);
 }
 
 std::uint32_t Engine::random_other(std::uint32_t self) {
   // Uniform over all n-1 other nodes (failed ones included - the caller
-  // cannot know who failed; such contacts are simply lost).
-  const std::uint32_t n = net_.n();
-  std::uint32_t t = static_cast<std::uint32_t>(net_.rng().uniform_below(n - 1));
+  // cannot know who failed; such contacts are simply lost). Shares
+  // next_target_draw()'s buffer so out-of-round draws stay in stream order
+  // with round draws.
+  std::uint32_t t = next_target_draw();
   if (t >= self) ++t;
   return t;
 }
 
-void Engine::learn_from_message(std::uint32_t receiver, const Message& msg) {
-  if (auto* k = net_.knowledge()) {
-    const NodeId own = net_.id_of(receiver);
-    msg.ids().for_each([&](NodeId id) { k->learn(receiver, id, own); });
+std::uint32_t Engine::resolve_direct_target(std::uint32_t node,
+                                            const Contact& contact) const {
+  GOSSIP_CHECK_MSG(contact.target.is_node(),
+                   "direct contact needs a concrete target ID");
+  const auto found = net_.find(contact.target);
+  GOSSIP_CHECK_MSG(found.has_value(), "direct contact to ID outside the network: "
+                                          << contact.target.to_string());
+  const std::uint32_t target = *found;
+  GOSSIP_CHECK_MSG(target != node, "node attempted to contact itself");
+  if (const auto* k = net_.knowledge()) {
+    GOSSIP_CHECK_MSG(k->knows(node, contact.target, net_.id_of(node)),
+                     "direct-addressing violation: node "
+                         << net_.id_of(node).to_string() << " does not know "
+                         << contact.target.to_string());
   }
-}
-
-void Engine::learn_contact(std::uint32_t a, std::uint32_t b) {
-  if (auto* k = net_.knowledge()) {
-    // A phone call reveals both endpoints' IDs (Lemma 14's G_t edges).
-    k->learn(a, net_.id_of(b), net_.id_of(a));
-    k->learn(b, net_.id_of(a), net_.id_of(b));
-  }
+  return target;
 }
 
 void Engine::run_round(const RoundHooks& hooks) {
@@ -43,87 +47,7 @@ void Engine::run_round(const RoundHooks& hooks) {
 
 void Engine::run_round(const RoundHooks& hooks, std::span<const std::uint32_t> initiators) {
   GOSSIP_CHECK_MSG(hooks.initiate, "a round needs an initiate hook");
-  metrics_.begin_round();
-  pushes_.clear();
-  pulls_.clear();
-
-  // ---- Phase 1: collect initiated contacts (one per node at most). -------
-  for (const std::uint32_t node : initiators) {
-    if (!net_.alive(node)) continue;
-    std::optional<Contact> contact = hooks.initiate(node);
-    if (!contact) continue;
-    metrics_.record_initiator();
-    std::uint32_t target;
-    if (contact->to_random) {
-      target = random_other(node);
-    } else {
-      GOSSIP_CHECK_MSG(contact->target.is_node(),
-                       "direct contact needs a concrete target ID");
-      const auto found = net_.find(contact->target);
-      GOSSIP_CHECK_MSG(found.has_value(),
-                       "direct contact to ID outside the network: "
-                           << contact->target.to_string());
-      target = *found;
-      GOSSIP_CHECK_MSG(target != node, "node attempted to contact itself");
-      if (const auto* k = net_.knowledge()) {
-        GOSSIP_CHECK_MSG(k->knows(node, contact->target, net_.id_of(node)),
-                         "direct-addressing violation: node "
-                             << net_.id_of(node).to_string() << " does not know "
-                             << contact->target.to_string());
-      }
-    }
-
-    learn_contact(node, target);
-
-    if (contact->kind == ContactKind::kPush || contact->kind == ContactKind::kExchange) {
-      const Message& msg = contact->payload;
-      metrics_.record_push(node, target, msg.bits(net_.costs()), !msg.is_empty());
-      if (net_.alive(target)) {
-        if (contact->kind == ContactKind::kExchange) {
-          pulls_.push_back(PendingPull{node, target});
-        }
-        pushes_.push_back(PendingPush{target, node, std::move(contact->payload)});
-      }
-    } else {
-      metrics_.record_pull_request(node, target);
-      if (net_.alive(target)) {
-        pulls_.push_back(PendingPull{node, target});
-      }
-    }
-  }
-
-  // ---- Phase 2: deliver pushes. ------------------------------------------
-  if (hooks.on_push) {
-    for (const PendingPush& p : pushes_) {
-      learn_from_message(p.to, p.msg);
-      hooks.on_push(p.to, p.msg);
-    }
-  } else {
-    for (const PendingPush& p : pushes_) learn_from_message(p.to, p.msg);
-  }
-
-  // ---- Phase 3: answer pulls, one address-oblivious response per node. ---
-  if (!pulls_.empty()) {
-    // Group requests by responder so `respond` runs exactly once per node.
-    std::sort(pulls_.begin(), pulls_.end(),
-              [](const PendingPull& a, const PendingPull& b) {
-                return a.responder < b.responder;
-              });
-    std::size_t i = 0;
-    while (i < pulls_.size()) {
-      const std::uint32_t responder = pulls_[i].responder;
-      const Message response = hooks.respond ? hooks.respond(responder) : Message::empty();
-      const std::uint64_t bits = response.bits(net_.costs());
-      const bool has_payload = !response.is_empty();
-      for (; i < pulls_.size() && pulls_[i].responder == responder; ++i) {
-        metrics_.record_pull_response(bits, has_payload);
-        learn_from_message(pulls_[i].from, response);
-        if (hooks.on_pull_reply) hooks.on_pull_reply(pulls_[i].from, response);
-      }
-    }
-  }
-
-  metrics_.end_round();
+  run_round(detail::LegacyHooksAdapter{hooks}, initiators);
 }
 
 }  // namespace gossip::sim

@@ -15,14 +15,34 @@
 //     partner's ID both ways; received IDs become known);
 //   * meters rounds, payload messages, connections, bits and per-node
 //     involvement (Delta) through MetricsCollector.
+//
+// Two dispatch paths execute the same semantics:
+//   * the templated run_round(Hooks&&) resolves the four per-round hooks at
+//     compile time (static dispatch) - this is the hot path for
+//     multi-million-node runs;
+//   * the std::function-based RoundHooks overloads are a thin adapter over
+//     the template, kept so algorithms can migrate incrementally and so the
+//     dispatch cost itself can be measured (bench_engine_throughput).
+// Both paths share the scale machinery: uniform targets come from a bulk
+// Rng::fill_uniform_below ring buffer; queued pushes are packed into a
+// variable-length byte stream (phase 2's replay of that queue is the
+// dominant memory traffic of a large round); and pending pulls resolve in
+// two O(m) passes over an epoch-stamped per-responder response cache
+// (evaluate-all-then-deliver snapshot semantics) - no sorting, no
+// allocation after warm-up.
 #pragma once
 
+#include <algorithm>
+#include <concepts>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "sim/message.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
@@ -66,10 +86,90 @@ struct Contact {
   }
 };
 
-/// Behaviour of one synchronous round. All callbacks receive node *indices*;
-/// implementations must only consult that node's local state - the engine
-/// cannot enforce locality, but the knowledge tracker enforces the
-/// addressing consequences.
+// ---------------------------------------------------------------------------
+// Static-dispatch hook detection.
+//
+// A hooks object for the templated executor is any type with an
+// `initiate(node)` member; the other three hooks are optional and detected at
+// compile time, so an algorithm that never answers pulls pays nothing for the
+// respond machinery. All callbacks receive node *indices*; implementations
+// must only consult that node's local state - the engine cannot enforce
+// locality, but the knowledge tracker enforces the addressing consequences.
+// Hooks must not consume the network's master RNG inside initiate(): the
+// engine batches its own uniform-target draws per chunk of initiators (the
+// draw ORDER is preserved, so results are bit-identical to unbatched
+// execution as long as initiate() leaves the master stream alone). Per-node
+// randomness belongs to Network::node_rng / forked streams, which every
+// algorithm in this repo already uses.
+// ---------------------------------------------------------------------------
+
+template <class H>
+concept HasInitiateHook = requires(H& h, std::uint32_t v) {
+  { h.initiate(v) } -> std::convertible_to<std::optional<Contact>>;
+};
+template <class H>
+concept HasRespondHook = requires(H& h, std::uint32_t v) {
+  { h.respond(v) } -> std::convertible_to<Message>;
+};
+template <class H>
+concept HasOnPushHook = requires(H& h, std::uint32_t v, const Message& m) {
+  h.on_push(v, m);
+};
+template <class H>
+concept HasOnPullReplyHook = requires(H& h, std::uint32_t v, const Message& m) {
+  h.on_pull_reply(v, m);
+};
+
+namespace detail {
+/// Placeholder for an omitted hook slot in make_hooks.
+struct NoHookFn {};
+}  // namespace detail
+
+/// Pass for any hook slot of make_hooks that the round does not use.
+inline constexpr detail::NoHookFn no_hook{};
+
+/// Hooks object composed from callables (lambdas or function objects). Slots
+/// holding sim::no_hook produce no member, so the executor statically skips
+/// the corresponding phase work.
+template <class I, class R, class P, class Q>
+struct ComposedHooks {
+  I initiate_fn;
+  [[no_unique_address]] R respond_fn;
+  [[no_unique_address]] P on_push_fn;
+  [[no_unique_address]] Q on_pull_reply_fn;
+
+  std::optional<Contact> initiate(std::uint32_t v) { return initiate_fn(v); }
+  Message respond(std::uint32_t v)
+    requires std::invocable<R&, std::uint32_t>
+  {
+    return respond_fn(v);
+  }
+  void on_push(std::uint32_t receiver, const Message& m)
+    requires std::invocable<P&, std::uint32_t, const Message&>
+  {
+    on_push_fn(receiver, m);
+  }
+  void on_pull_reply(std::uint32_t requester, const Message& m)
+    requires std::invocable<Q&, std::uint32_t, const Message&>
+  {
+    on_pull_reply_fn(requester, m);
+  }
+};
+
+/// Builds a static-dispatch hooks object. Slot order matches RoundHooks:
+/// (initiate, respond, on_push, on_pull_reply); pass sim::no_hook for unused
+/// trailing-or-middle slots.
+template <class I, class R = detail::NoHookFn, class P = detail::NoHookFn,
+          class Q = detail::NoHookFn>
+[[nodiscard]] auto make_hooks(I initiate, R respond = {}, P on_push = {},
+                              Q on_pull_reply = {}) {
+  return ComposedHooks<I, R, P, Q>{std::move(initiate), std::move(respond),
+                                   std::move(on_push), std::move(on_pull_reply)};
+}
+
+/// Behaviour of one synchronous round, type-erased. This is the legacy
+/// dynamic-dispatch surface; it executes through the same templated engine
+/// core via an adapter, paying one indirect call per hook invocation.
 struct RoundHooks {
   /// Called once per (alive) initiator; return std::nullopt to stay silent.
   std::function<std::optional<Contact>(std::uint32_t node)> initiate;
@@ -83,18 +183,50 @@ struct RoundHooks {
   std::function<void(std::uint32_t requester, const Message& msg)> on_pull_reply;
 };
 
+namespace detail {
+/// Adapts RoundHooks onto the static-dispatch executor. Null checks replace
+/// the compile-time hook detection; semantics are identical.
+struct LegacyHooksAdapter {
+  const RoundHooks& h;
+
+  std::optional<Contact> initiate(std::uint32_t v) const { return h.initiate(v); }
+  Message respond(std::uint32_t v) const {
+    return h.respond ? h.respond(v) : Message::empty();
+  }
+  void on_push(std::uint32_t receiver, const Message& m) const {
+    if (h.on_push) h.on_push(receiver, m);
+  }
+  void on_pull_reply(std::uint32_t requester, const Message& m) const {
+    if (h.on_pull_reply) h.on_pull_reply(requester, m);
+  }
+};
+}  // namespace detail
+
 class Engine {
  public:
   /// `keep_history` retains per-round stats (used by the dynamics bench).
   explicit Engine(Network& net, bool keep_history = false);
 
-  /// Runs one round with every node as a potential initiator.
-  void run_round(const RoundHooks& hooks);
+  /// Runs one round with every node as a potential initiator (static
+  /// dispatch; hooks resolved at compile time). RoundHooks is excluded so a
+  /// mutable RoundHooks lvalue still routes through the null-check adapter.
+  template <class Hooks>
+    requires(!std::same_as<std::remove_cvref_t<Hooks>, RoundHooks>)
+  void run_round(Hooks&& hooks) {
+    run_round(std::forward<Hooks>(hooks),
+              std::span<const std::uint32_t>(all_nodes_));
+  }
 
   /// Runs one round where only `initiators` are offered the chance to act
   /// (everyone can still receive). This is a pure performance device for
   /// rounds in which whole classes of nodes are known to be silent; it never
-  /// changes semantics, because hooks.initiate can always return nullopt.
+  /// changes semantics, because initiate can always return nullopt.
+  template <class Hooks>
+    requires(!std::same_as<std::remove_cvref_t<Hooks>, RoundHooks>)
+  void run_round(Hooks&& hooks, std::span<const std::uint32_t> initiators);
+
+  /// Legacy dynamic-dispatch overloads (thin adapters over the template).
+  void run_round(const RoundHooks& hooks);
   void run_round(const RoundHooks& hooks, std::span<const std::uint32_t> initiators);
 
   [[nodiscard]] std::uint64_t rounds() const noexcept { return metrics_.run().rounds; }
@@ -103,29 +235,297 @@ class Engine {
   [[nodiscard]] Network& network() noexcept { return net_; }
   [[nodiscard]] const Network& network() const noexcept { return net_; }
 
-  /// Draws a uniformly random node index different from `self`.
+  /// Draws a uniformly random node index different from `self`, from the
+  /// same bulk draw buffer the round executor consumes (so interleaving
+  /// calls with rounds keeps one deterministic master-stream order).
+  /// Precondition: the network has at least two nodes (there is no "other"
+  /// node to draw in a single-node network; uniform_below(0) is undefined).
   [[nodiscard]] std::uint32_t random_other(std::uint32_t self);
 
  private:
-  struct PendingPush {
-    std::uint32_t to;
-    std::uint32_t from;
-    Message msg;
-  };
+  // The pending-push queue is a variable-length byte stream: phase 2 streams
+  // it back in order, and at multi-million n that write+read traffic is the
+  // dominant memory cost of a round, so the common payloads are packed tight
+  // (6 bytes for a flag-only rumor push vs. sizeof(Message) ~ 72). Entry:
+  //   u32 to | u8 flags | u8 n_ids | [u64 count if flag] | n_ids * u64 ids
+  // ID lists longer than kPushInlineIds (only ClusterResize responses,
+  // paper footnote 2) spill the whole Message to push_spill_ and store its
+  // index in place of the count.
+  static constexpr std::size_t kPushInlineIds = 15;
+  static constexpr std::uint8_t kPushHasRumor = 1;
+  static constexpr std::uint8_t kPushHasCount = 2;
+  static constexpr std::uint8_t kPushSpilled = 4;
+
   struct PendingPull {
     std::uint32_t from;
     std::uint32_t responder;
   };
+  /// One evaluated pull response (the single address-oblivious answer a
+  /// responder gives this round), with its metering precomputed.
+  struct CachedResponse {
+    Message msg;
+    std::uint64_t bits;
+    bool has_payload;
+  };
 
-  void learn_from_message(std::uint32_t receiver, const Message& msg);
-  void learn_contact(std::uint32_t a, std::uint32_t b);
+  /// Uniform target draws per bulk fill_uniform_below refill: large enough
+  /// to amortize and vectorize the fill, small enough to stay L1-resident.
+  static constexpr std::size_t kDrawBatch = 1024;
+
+  /// Next uniform draw from [0, n-1), bulk-refilled. Draws are consumed in
+  /// contact order; unconsumed draws carry over across rounds, so the master
+  /// stream is deterministic in (seed, contact sequence).
+  std::uint32_t next_target_draw() {
+    if (draw_pos_ == draw_buf_.size()) {
+      GOSSIP_CHECK_MSG(net_.n() >= 2, "uniform contacts need at least two nodes");
+      draw_buf_.resize(kDrawBatch);
+      net_.rng().fill_uniform_below(net_.n() - 1, draw_buf_);
+      draw_pos_ = 0;
+    }
+    return draw_buf_[draw_pos_++];
+  }
+
+  void learn_from_message(std::uint32_t receiver, const Message& msg) {
+    if (auto* k = net_.knowledge()) {
+      const NodeId own = net_.id_of(receiver);
+      msg.ids().for_each([&](NodeId id) { k->learn(receiver, id, own); });
+    }
+  }
+
+  void learn_contact(std::uint32_t a, std::uint32_t b) {
+    if (auto* k = net_.knowledge()) {
+      // A phone call reveals both endpoints' IDs (Lemma 14's G_t edges).
+      k->learn(a, net_.id_of(b), net_.id_of(a));
+      k->learn(b, net_.id_of(a), net_.id_of(b));
+    }
+  }
+
+  /// Resolves the target of a direct-addressed contact, enforcing the
+  /// model's honesty rules (real ID, not self, known to the initiator).
+  [[nodiscard]] std::uint32_t resolve_direct_target(std::uint32_t node,
+                                                    const Contact& contact) const;
+
+  /// Reserves `need` bytes at the tail of the push stream, returning the
+  /// write cursor. Geometric growth; no shrink, so steady-state rounds do
+  /// not allocate.
+  std::uint8_t* push_stream_grow(std::size_t need) {
+    if (push_len_ + need > push_bytes_.size()) {
+      push_bytes_.resize(std::max(push_bytes_.size() * 2, push_len_ + need));
+    }
+    std::uint8_t* cursor = push_bytes_.data() + push_len_;
+    push_len_ += need;
+    return cursor;
+  }
+
+  /// Encodes a payload into the pending-push byte stream; oversized ID
+  /// lists (rare) move into push_spill_.
+  void enqueue_push(std::uint32_t to, Message&& msg) {
+    ++push_entries_;
+    const Message::IdList& ids = msg.ids();
+    const std::size_t n_ids = ids.size();
+    std::uint8_t flags = static_cast<std::uint8_t>(
+        (msg.has_rumor() ? kPushHasRumor : 0) | (msg.has_count() ? kPushHasCount : 0));
+    if (n_ids > kPushInlineIds) {
+      const std::uint64_t spill_index = push_spill_.size();
+      push_spill_.push_back(std::move(msg));
+      flags = static_cast<std::uint8_t>(flags | kPushSpilled);
+      std::uint8_t* w = push_stream_grow(6 + 8);
+      std::memcpy(w, &to, 4);
+      w[4] = flags;
+      w[5] = 0;
+      std::memcpy(w + 6, &spill_index, 8);
+      return;
+    }
+    const bool has_count = msg.has_count();
+    std::uint8_t* w = push_stream_grow(6 + (has_count ? 8 : 0) + n_ids * 8);
+    std::memcpy(w, &to, 4);
+    w[4] = flags;
+    w[5] = static_cast<std::uint8_t>(n_ids);
+    w += 6;
+    if (has_count) {
+      const std::uint64_t count = msg.count_value();
+      std::memcpy(w, &count, 8);
+      w += 8;
+    }
+    for (std::size_t i = 0; i < n_ids; ++i) {
+      const std::uint64_t raw = ids[i].raw();
+      std::memcpy(w + i * 8, &raw, 8);
+    }
+  }
+
+  void enqueue_pull(std::uint32_t from, std::uint32_t responder) {
+    pulls_.push_back(PendingPull{from, responder});
+  }
 
   Network& net_;
   MetricsCollector metrics_;
   // Scratch buffers reused across rounds.
-  std::vector<PendingPush> pushes_;
+  std::vector<std::uint8_t> push_bytes_;  ///< encoded pending pushes
+  std::size_t push_len_ = 0;
+  std::size_t push_entries_ = 0;
+  std::vector<Message> push_spill_;  ///< payloads with > kPushInlineIds IDs
   std::vector<PendingPull> pulls_;
   std::vector<std::uint32_t> all_nodes_;
+  // Bulk uniform-target draws (ring of kDrawBatch, refilled on demand).
+  std::vector<std::uint32_t> draw_buf_;
+  std::size_t draw_pos_ = 0;
+  // Responder-indexed response cache (epoch-stamped; array sized n once).
+  std::vector<CachedResponse> responses_;
+  std::vector<std::uint32_t> response_of_;  ///< response index per pending pull
+  std::vector<std::uint64_t> pull_stamp_;   ///< epoch << 32 | response index
+  std::uint32_t pull_epoch_ = 0;
 };
+
+template <class Hooks>
+  requires(!std::same_as<std::remove_cvref_t<Hooks>, RoundHooks>)
+void Engine::run_round(Hooks&& hooks, std::span<const std::uint32_t> initiators) {
+  using H = std::remove_reference_t<Hooks>;
+  static_assert(HasInitiateHook<H>, "a round needs an initiate hook");
+  // A const hooks object would silently constrain away its non-const hook
+  // members (compiling to a round that never delivers); reject it unless
+  // constness provably hides nothing.
+  static_assert(HasRespondHook<H> == HasRespondHook<std::remove_const_t<H>> &&
+                    HasOnPushHook<H> == HasOnPushHook<std::remove_const_t<H>> &&
+                    HasOnPullReplyHook<H> == HasOnPullReplyHook<std::remove_const_t<H>>,
+                "const hooks object hides non-const hook members; pass it non-const");
+
+  metrics_.begin_round();
+  push_len_ = 0;
+  push_entries_ = 0;
+  push_spill_.clear();
+  pulls_.clear();
+  if (++pull_epoch_ == 0) {
+    // 2^32 rounds: wipe the stamps so a recycled epoch value cannot alias.
+    std::fill(pull_stamp_.begin(), pull_stamp_.end(), 0);
+    pull_epoch_ = 1;
+  }
+
+  // ---- Phase 1: collect initiated contacts (one per node at most). -------
+  // Uniform targets come from next_target_draw()'s bulk-refilled buffer (one
+  // vectorizable fill_uniform_below pass per kDrawBatch contacts); when no
+  // node has failed, the per-contact aliveness probes (a guaranteed random
+  // cache miss each on large networks) are skipped entirely.
+  const bool no_failures = net_.failed_count() == 0;
+  const bool track = net_.knowledge() != nullptr;
+  for (const std::uint32_t node : initiators) {
+    if (no_failures) {
+      // alive() would bounds-check a caller-supplied initiator; keep that
+      // contract on the fast path that skips it.
+      GOSSIP_CHECK(node < net_.n());
+    } else if (!net_.alive(node)) {
+      continue;
+    }
+    std::optional<Contact> contact = hooks.initiate(node);
+    if (!contact) continue;
+    metrics_.record_initiator();
+    std::uint32_t target;
+    if (contact->to_random) {
+      // Uniform over all n-1 other nodes (failed ones included - the
+      // caller cannot know who failed; such contacts are simply lost).
+      target = next_target_draw();
+      if (target >= node) ++target;
+    } else {
+      target = resolve_direct_target(node, *contact);
+    }
+
+    if (track) learn_contact(node, target);
+
+    if (contact->kind == ContactKind::kPush || contact->kind == ContactKind::kExchange) {
+      // Meter before the payload is moved into the pending-push queue.
+      const std::uint64_t bits = contact->payload.bits(net_.costs());
+      const bool has_payload = !contact->payload.is_empty();
+      metrics_.record_push(node, target, bits, has_payload);
+      if (no_failures || net_.alive(target)) {
+        if (contact->kind == ContactKind::kExchange) enqueue_pull(node, target);
+        // With no delivery observer (no on_push hook, no knowledge
+        // tracking), queueing the payload would be dead work.
+        if (track || HasOnPushHook<H>) enqueue_push(target, std::move(contact->payload));
+      }
+    } else {
+      metrics_.record_pull_request(node, target);
+      if (no_failures || net_.alive(target)) enqueue_pull(node, target);
+    }
+  }
+
+  // ---- Phase 2: deliver pushes. ------------------------------------------
+  // The byte stream is decoded back into a (stack-local) Message per
+  // delivery; hooks must not retain the reference beyond the call.
+  if (track || HasOnPushHook<H>) {
+    const std::uint8_t* r = push_bytes_.data();
+    std::uint64_t scratch_ids[kPushInlineIds];
+    for (std::size_t e = 0; e < push_entries_; ++e) {
+      std::uint32_t to;
+      std::memcpy(&to, r, 4);
+      const std::uint8_t flags = r[4];
+      const std::uint8_t n_ids = r[5];
+      r += 6;
+      if (flags & kPushSpilled) {
+        std::uint64_t spill_index;
+        std::memcpy(&spill_index, r, 8);
+        r += 8;
+        const Message& msg = push_spill_[spill_index];
+        if (track) learn_from_message(to, msg);
+        if constexpr (HasOnPushHook<H>) hooks.on_push(to, msg);
+        continue;
+      }
+      std::uint64_t count = 0;
+      if (flags & kPushHasCount) {
+        std::memcpy(&count, r, 8);
+        r += 8;
+      }
+      std::memcpy(scratch_ids, r, static_cast<std::size_t>(n_ids) * 8);
+      r += static_cast<std::size_t>(n_ids) * 8;
+      const Message msg = Message::from_parts(
+          (flags & kPushHasRumor) != 0, (flags & kPushHasCount) != 0, count,
+          std::span<const std::uint64_t>(scratch_ids, n_ids));
+      if (track) learn_from_message(to, msg);
+      if constexpr (HasOnPushHook<H>) hooks.on_push(to, msg);
+    }
+  }
+
+  // ---- Phase 3: answer pulls, one address-oblivious response per node. ---
+  // Two O(m) passes, no sort, no allocation after warm-up. Pass A: the
+  // first pull that reaches a responder evaluates its (one) response and
+  // epoch-stamps the responder with the cache index; later pulls reuse it.
+  // Pass B delivers. Evaluating EVERY response before delivering ANY reply
+  // gives synchronous-round snapshot semantics: a response reflects the
+  // post-push, pre-reply state, independent of pull arrival order. (The
+  // seed executor interleaved respond with deliveries in sorted-responder
+  // order, so its same-seed trajectories differ; see CHANGES.md.) With no
+  // respond hook every answer is Empty, so the phase only runs when a hook
+  // observes it.
+  if constexpr (HasRespondHook<H> || HasOnPullReplyHook<H>) {
+    if (!pulls_.empty()) {
+      responses_.clear();
+      response_of_.resize(pulls_.size());
+      for (std::size_t i = 0; i < pulls_.size(); ++i) {
+        const PendingPull& p = pulls_[i];
+        const std::uint64_t stamp = pull_stamp_[p.responder];
+        std::uint32_t index;
+        if ((stamp >> 32) != pull_epoch_) {
+          index = static_cast<std::uint32_t>(responses_.size());
+          pull_stamp_[p.responder] =
+              (static_cast<std::uint64_t>(pull_epoch_) << 32) | index;
+          Message response;
+          if constexpr (HasRespondHook<H>) response = hooks.respond(p.responder);
+          const std::uint64_t bits = response.bits(net_.costs());
+          const bool has_payload = !response.is_empty();
+          responses_.push_back(CachedResponse{std::move(response), bits, has_payload});
+        } else {
+          index = static_cast<std::uint32_t>(stamp);
+        }
+        response_of_[i] = index;
+      }
+      for (std::size_t i = 0; i < pulls_.size(); ++i) {
+        const CachedResponse& cached = responses_[response_of_[i]];
+        metrics_.record_pull_response(cached.bits, cached.has_payload);
+        if (track) learn_from_message(pulls_[i].from, cached.msg);
+        if constexpr (HasOnPullReplyHook<H>) hooks.on_pull_reply(pulls_[i].from, cached.msg);
+      }
+    }
+  }
+
+  metrics_.end_round();
+}
 
 }  // namespace gossip::sim

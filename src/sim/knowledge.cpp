@@ -1,27 +1,110 @@
 #include "sim/knowledge.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 
 namespace gossip::sim {
 
-KnowledgeTracker::KnowledgeTracker(std::uint32_t n) : known_(n) {}
+KnowledgeTracker::KnowledgeTracker(std::uint32_t n)
+    : inline_(static_cast<std::size_t>(n) * kInlineSlots, 0), counts_(n, 0) {}
 
 void KnowledgeTracker::learn(std::uint32_t node, NodeId id, NodeId own_id) {
-  GOSSIP_CHECK(node < known_.size());
+  GOSSIP_CHECK(node < counts_.size());
   if (id.is_unclustered() || id == own_id) return;
-  if (known_[node].insert(id.raw()).second) ++total_;
+  const std::uint64_t raw = id.raw();
+  const std::size_t base = static_cast<std::size_t>(node) * kInlineSlots;
+  const std::uint8_t count = counts_[node];
+
+  if (count != kSpilled) {
+    for (std::uint8_t i = 0; i < count; ++i) {
+      if (inline_[base + i] == raw) return;
+    }
+    if (count < kInlineSlots) {
+      inline_[base + count] = raw;
+      counts_[node] = count + 1;
+      ++total_;
+      return;
+    }
+    // Spill: move the inline slots (plus the new ID) into a sorted vector;
+    // the first inline slot becomes the spill index from now on.
+    const std::size_t idx = spills_.size();
+    spills_.emplace_back();
+    std::vector<std::uint64_t>& spill = spills_.back();
+    spill.reserve(kInlineSlots * 2);
+    spill.assign(inline_.begin() + static_cast<std::ptrdiff_t>(base),
+                 inline_.begin() + static_cast<std::ptrdiff_t>(base + kInlineSlots));
+    spill.push_back(raw);
+    std::sort(spill.begin(), spill.end());
+    counts_[node] = kSpilled;
+    inline_[base] = idx;
+    ++total_;
+    return;
+  }
+
+  std::vector<std::uint64_t>& spill = spills_[spill_index(node)];
+  const auto it = std::lower_bound(spill.begin(), spill.end(), raw);
+  if (it != spill.end() && *it == raw) return;
+  const std::size_t pos = static_cast<std::size_t>(it - spill.begin());
+  if (spill.size() == spill.capacity()) {
+    // Grow by ~25% instead of the allocator's usual doubling: learned-ID
+    // sets are long-lived and counted against experiment memory, so slack
+    // matters more than the (already O(k)-per-insert) copy.
+    spill.reserve(spill.capacity() + spill.capacity() / 4 + 1);
+  }
+  spill.insert(spill.begin() + static_cast<std::ptrdiff_t>(pos), raw);
+  ++total_;
 }
 
 bool KnowledgeTracker::knows(std::uint32_t node, NodeId id, NodeId own_id) const {
-  GOSSIP_CHECK(node < known_.size());
+  GOSSIP_CHECK(node < counts_.size());
   if (id == own_id) return true;
   if (id.is_unclustered()) return false;
-  return known_[node].contains(id.raw());
+  const std::uint64_t raw = id.raw();
+  const std::size_t base = static_cast<std::size_t>(node) * kInlineSlots;
+  const std::uint8_t count = counts_[node];
+  if (count != kSpilled) {
+    for (std::uint8_t i = 0; i < count; ++i) {
+      if (inline_[base + i] == raw) return true;
+    }
+    return false;
+  }
+  const std::vector<std::uint64_t>& spill = spills_[spill_index(node)];
+  return std::binary_search(spill.begin(), spill.end(), raw);
 }
 
 std::size_t KnowledgeTracker::known_count(std::uint32_t node) const {
-  GOSSIP_CHECK(node < known_.size());
-  return known_[node].size();
+  GOSSIP_CHECK(node < counts_.size());
+  const std::uint8_t count = counts_[node];
+  if (count != kSpilled) return count;
+  return spills_[spill_index(node)].size();
+}
+
+std::vector<NodeId> KnowledgeTracker::known_ids(std::uint32_t node) const {
+  GOSSIP_CHECK(node < counts_.size());
+  std::vector<NodeId> out;
+  const std::size_t base = static_cast<std::size_t>(node) * kInlineSlots;
+  const std::uint8_t count = counts_[node];
+  if (count != kSpilled) {
+    out.reserve(count);
+    for (std::uint8_t i = 0; i < count; ++i) out.emplace_back(inline_[base + i]);
+    std::sort(out.begin(), out.end());
+  } else {
+    const std::vector<std::uint64_t>& spill = spills_[spill_index(node)];
+    out.reserve(spill.size());
+    for (const std::uint64_t raw : spill) out.emplace_back(raw);
+  }
+  return out;
+}
+
+std::size_t KnowledgeTracker::memory_bytes() const noexcept {
+  std::size_t bytes = inline_.capacity() * sizeof(std::uint64_t) +
+                      counts_.capacity() * sizeof(std::uint8_t) +
+                      spills_.capacity() * sizeof(std::vector<std::uint64_t>);
+  for (const std::vector<std::uint64_t>& spill : spills_) {
+    bytes += spill.capacity() * sizeof(std::uint64_t);
+  }
+  return bytes;
 }
 
 }  // namespace gossip::sim

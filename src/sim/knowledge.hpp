@@ -8,10 +8,23 @@
 // unknown ID - so an algorithm implementation cannot silently cheat the
 // model. Tracking costs O(total knowledge) memory and is enabled by default
 // in tests (and disabled for multi-million-node benchmark runs).
+//
+// Storage layout: a cache-friendly flat design instead of one heap-backed
+// unordered_set per node. Every node owns kInlineSlots raw-ID slots in one
+// contiguous array (the InlineVec idiom, flattened across nodes); a node
+// that learns more IDs spills once into a sorted vector shared-indexed from
+// its first inline slot. knows()/learn() are allocation-free on the common
+// path (inline scan, or binary search after a spill; an insert that actually
+// grows knowledge is bounded by total_knowledge, so the O(k) sorted insert
+// amortises away). The paper's algorithms keep per-node knowledge at
+// O(log n), so most nodes never leave the inline slots at all; compared with
+// the previous vector<unordered_set> (56-byte set header plus a 16-byte heap
+// node and bucket slot per learned ID), this cuts tracker memory by roughly
+// 2-4x and removes the per-learn allocator traffic (see
+// tests/test_knowledge_memory.cpp).
 #pragma once
 
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -37,8 +50,31 @@ class KnowledgeTracker {
   /// multiset, directed).
   [[nodiscard]] std::uint64_t total_knowledge() const noexcept { return total_; }
 
+  /// All IDs `node` has learned, sorted ascending. Used by tests to compare
+  /// knowledge graphs across engine dispatch paths; O(k log k) per call.
+  [[nodiscard]] std::vector<NodeId> known_ids(std::uint32_t node) const;
+
+  /// Bytes of storage this tracker holds (flat arrays + spill capacities).
+  /// Exact accounting, O(spilled nodes) per call; used by the memory tests
+  /// and capacity planning for large runs.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
  private:
-  std::vector<std::unordered_set<std::uint64_t>> known_;
+  /// Inline raw-ID slots per node before spilling to a sorted vector. Four
+  /// slots cover the working set of the paper's O(log n)-knowledge phases
+  /// while keeping the flat array at 32 bytes per node.
+  static constexpr std::size_t kInlineSlots = 4;
+  /// counts_ sentinel: the node has spilled; inline_[node * kInlineSlots]
+  /// holds its index into spills_ instead of an ID.
+  static constexpr std::uint8_t kSpilled = 0xFF;
+
+  [[nodiscard]] std::size_t spill_index(std::uint32_t node) const {
+    return static_cast<std::size_t>(inline_[static_cast<std::size_t>(node) * kInlineSlots]);
+  }
+
+  std::vector<std::uint64_t> inline_;  ///< n * kInlineSlots raw IDs (flat)
+  std::vector<std::uint8_t> counts_;   ///< inline fill count, or kSpilled
+  std::vector<std::vector<std::uint64_t>> spills_;  ///< sorted overflow sets
   std::uint64_t total_ = 0;
 };
 

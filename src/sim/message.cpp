@@ -17,13 +17,4 @@ MessageCosts MessageCosts::for_network(std::uint64_t n, std::uint32_t rumor_bits
   return c;
 }
 
-std::uint64_t Message::bits(const MessageCosts& costs) const noexcept {
-  // 3-bit presence header + payload parts.
-  std::uint64_t total = 3;
-  if (has_rumor_) total += costs.rumor_bits;
-  if (has_count_) total += costs.count_bits;
-  total += static_cast<std::uint64_t>(ids_.size()) * costs.id_bits;
-  return total;
-}
-
 }  // namespace gossip::sim

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <utility>
 
 #include "common/ids.hpp"
@@ -63,6 +64,20 @@ class Message {
     return m;
   }
 
+  /// Rebuilds a message from its wire parts (raw ID values). Used by the
+  /// engine to decode its compact pending-delivery records; also handy for
+  /// tests constructing arbitrary payloads.
+  [[nodiscard]] static Message from_parts(bool has_rumor, bool has_count,
+                                          std::uint64_t count,
+                                          std::span<const std::uint64_t> raw_ids) {
+    Message m;
+    m.has_rumor_ = has_rumor;
+    m.has_count_ = has_count;
+    m.count_ = count;
+    for (const std::uint64_t raw : raw_ids) m.ids_.push_back(NodeId(raw));
+    return m;
+  }
+
   /// Builder-style composition, e.g. Message::rumor().and_id(leader).
   [[nodiscard]] Message and_rumor() const {
     Message m = *this;
@@ -94,8 +109,16 @@ class Message {
     return ids_.empty() ? NodeId::unclustered() : ids_.front();
   }
 
-  /// Size of this message under the model's accounting.
-  [[nodiscard]] std::uint64_t bits(const MessageCosts& costs) const noexcept;
+  /// Size of this message under the model's accounting. Inline: the engine
+  /// meters every contact through this on its hot path.
+  [[nodiscard]] std::uint64_t bits(const MessageCosts& costs) const noexcept {
+    // 3-bit presence header + payload parts.
+    std::uint64_t total = 3;
+    if (has_rumor_) total += costs.rumor_bits;
+    if (has_count_) total += costs.count_bits;
+    total += static_cast<std::uint64_t>(ids_.size()) * costs.id_bits;
+    return total;
+  }
 
  private:
   bool has_rumor_ = false;

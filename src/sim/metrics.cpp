@@ -36,42 +36,6 @@ void MetricsCollector::end_round() {
   touched_.clear();
 }
 
-void MetricsCollector::bump_involvement(std::uint32_t node) {
-  GOSSIP_CHECK(node < n_);
-  if (involvement_[node] == 0) touched_.push_back(node);
-  ++involvement_[node];
-  round_.max_involvement = std::max(round_.max_involvement, involvement_[node]);
-}
-
-void MetricsCollector::record_initiator() { ++round_.initiators; }
-
-void MetricsCollector::record_push(std::uint32_t initiator, std::uint32_t target,
-                                   std::uint64_t bits, bool has_payload) {
-  ++round_.pushes;
-  ++round_.connections;
-  if (has_payload) {
-    ++round_.payload_messages;
-    round_.bits += bits;
-  }
-  bump_involvement(initiator);
-  bump_involvement(target);
-}
-
-void MetricsCollector::record_pull_request(std::uint32_t initiator, std::uint32_t target) {
-  ++round_.pull_requests;
-  ++round_.connections;
-  bump_involvement(initiator);
-  bump_involvement(target);
-}
-
-void MetricsCollector::record_pull_response(std::uint64_t bits, bool has_payload) {
-  if (has_payload) {
-    ++round_.pull_responses;
-    ++round_.payload_messages;
-    round_.bits += bits;
-  }
-}
-
 void MetricsCollector::reset() {
   GOSSIP_CHECK(!in_round_);
   run_ = RunStats{};

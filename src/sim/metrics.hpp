@@ -10,11 +10,17 @@
 //    Cluster2 bounds even the number of pulls, so we report both.
 // Delta(v, r) = number of communications node v is involved in during round
 // r (initiated + received pushes + received pull requests); Section 7 bounds
-// its maximum.
+// its maximum. Involvement needs one counter probe per contact endpoint - a
+// guaranteed random cache miss on multi-million-node networks - so it can be
+// switched off for raw-throughput runs (set_track_involvement); every other
+// measure is unaffected.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
+
+#include "common/assert.hpp"
 
 namespace gossip::sim {
 
@@ -59,11 +65,46 @@ class MetricsCollector {
   void begin_round();
   void end_round();
 
-  void record_initiator();
+  /// Delta metering on/off (default on). Off skips the two per-contact
+  /// involvement-counter probes and reports max_involvement = 0.
+  void set_track_involvement(bool on) noexcept { track_involvement_ = on; }
+  [[nodiscard]] bool track_involvement() const noexcept { return track_involvement_; }
+
+  // The record_* calls run once per contact on the engine's hot path and are
+  // defined inline so the static-dispatch round executor can fold them into
+  // its per-node loop.
+  void record_initiator() { ++round_.initiators; }
+
   void record_push(std::uint32_t initiator, std::uint32_t target, std::uint64_t bits,
-                   bool has_payload);
-  void record_pull_request(std::uint32_t initiator, std::uint32_t target);
-  void record_pull_response(std::uint64_t bits, bool has_payload);
+                   bool has_payload) {
+    ++round_.pushes;
+    ++round_.connections;
+    if (has_payload) {
+      ++round_.payload_messages;
+      round_.bits += bits;
+    }
+    if (track_involvement_) {
+      bump_involvement(initiator);
+      bump_involvement(target);
+    }
+  }
+
+  void record_pull_request(std::uint32_t initiator, std::uint32_t target) {
+    ++round_.pull_requests;
+    ++round_.connections;
+    if (track_involvement_) {
+      bump_involvement(initiator);
+      bump_involvement(target);
+    }
+  }
+
+  void record_pull_response(std::uint64_t bits, bool has_payload) {
+    if (has_payload) {
+      ++round_.pull_responses;
+      ++round_.payload_messages;
+      round_.bits += bits;
+    }
+  }
 
   [[nodiscard]] const RunStats& run() const noexcept { return run_; }
   [[nodiscard]] const RoundStats& current_round() const noexcept { return round_; }
@@ -74,10 +115,16 @@ class MetricsCollector {
   void reset();
 
  private:
-  void bump_involvement(std::uint32_t node);
+  void bump_involvement(std::uint32_t node) {
+    GOSSIP_CHECK(node < n_);
+    ++involvement_[node];
+    if (involvement_[node] == 1) touched_.push_back(node);
+    round_.max_involvement = std::max(round_.max_involvement, involvement_[node]);
+  }
 
   std::uint32_t n_;
   bool keep_history_;
+  bool track_involvement_ = true;
   bool in_round_ = false;
   RoundStats round_;
   RunStats run_;

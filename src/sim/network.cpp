@@ -20,20 +20,9 @@ Network::Network(const NetworkOptions& options)
   if (options.track_knowledge) knowledge_ = std::make_unique<KnowledgeTracker>(n_);
 }
 
-NodeId Network::id_of(std::uint32_t index) const {
-  GOSSIP_CHECK(index < n_);
-  return ids_[index];
-}
-
 std::uint32_t Network::index_of(NodeId id) const {
   const auto it = index_by_id_.find(id.raw());
   GOSSIP_CHECK_MSG(it != index_by_id_.end(), "unknown node ID " << id.to_string());
-  return it->second;
-}
-
-std::optional<std::uint32_t> Network::find(NodeId id) const {
-  const auto it = index_by_id_.find(id.raw());
-  if (it == index_by_id_.end()) return std::nullopt;
   return it->second;
 }
 
@@ -43,11 +32,6 @@ void Network::fail(std::uint32_t index) {
     alive_[index] = 0;
     --alive_count_;
   }
-}
-
-bool Network::alive(std::uint32_t index) const {
-  GOSSIP_CHECK(index < n_);
-  return alive_[index] != 0;
 }
 
 Rng Network::node_rng(std::uint32_t index, std::uint64_t salt) const {

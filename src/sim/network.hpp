@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "sim/knowledge.hpp"
@@ -37,16 +38,28 @@ class Network {
   [[nodiscard]] const NetworkOptions& options() const noexcept { return options_; }
   [[nodiscard]] const MessageCosts& costs() const noexcept { return costs_; }
 
-  [[nodiscard]] NodeId id_of(std::uint32_t index) const;
+  // id_of/find/alive run once or twice per contact on the engine's hot path
+  // and are defined inline so round loops compile down to array accesses.
+  [[nodiscard]] NodeId id_of(std::uint32_t index) const {
+    GOSSIP_CHECK(index < n_);
+    return ids_[index];
+  }
   /// Index of an existing node ID; contract violation if unknown.
   [[nodiscard]] std::uint32_t index_of(NodeId id) const;
   /// Index lookup that tolerates non-existent IDs.
-  [[nodiscard]] std::optional<std::uint32_t> find(NodeId id) const;
+  [[nodiscard]] std::optional<std::uint32_t> find(NodeId id) const {
+    const auto it = index_by_id_.find(id.raw());
+    if (it == index_by_id_.end()) return std::nullopt;
+    return it->second;
+  }
 
   // --- failures (oblivious adversary, Section 8) -----------------------
   /// Marks a node failed. Must happen before the algorithm runs.
   void fail(std::uint32_t index);
-  [[nodiscard]] bool alive(std::uint32_t index) const;
+  [[nodiscard]] bool alive(std::uint32_t index) const {
+    GOSSIP_CHECK(index < n_);
+    return alive_[index] != 0;
+  }
   [[nodiscard]] std::uint32_t alive_count() const noexcept { return alive_count_; }
   [[nodiscard]] std::uint32_t failed_count() const noexcept { return n_ - alive_count_; }
 

@@ -248,6 +248,19 @@ TEST(Engine, InitiatorSubsetRestrictsWhoActs) {
   EXPECT_EQ(asked, subset);
 }
 
+TEST(Engine, OutOfRangeInitiatorRejected) {
+  // Caller-supplied initiator subsets are bounds-checked even on the
+  // no-failures fast path that skips per-node aliveness probes.
+  Network net(opts(4));
+  Engine eng(net);
+  RoundHooks hooks;
+  hooks.initiate = [](std::uint32_t) -> std::optional<Contact> {
+    return Contact::push_random(Message::rumor());
+  };
+  const std::vector<std::uint32_t> subset{1, 4};  // 4 is out of range
+  EXPECT_THROW(eng.run_round(hooks, subset), ContractViolation);
+}
+
 TEST(Engine, SelfContactRejected) {
   Network net(opts(4));
   Engine eng(net);
@@ -264,6 +277,36 @@ TEST(Engine, MissingInitiateHookThrows) {
   Engine eng(net);
   RoundHooks hooks;  // no initiate
   EXPECT_THROW(eng.run_round(hooks), ContractViolation);
+}
+
+TEST(Engine, LargeIdListPushDeliveredIntact) {
+  // > 15 IDs exceeds the engine's inline pending-push encoding and takes
+  // the spill path (paper footnote 2 payloads); the receiver must see the
+  // full list and learn every carried ID.
+  Network net(opts(4, /*knowledge=*/true));
+  Engine eng(net);
+  Message::IdList ids;
+  for (std::uint64_t i = 0; i < 20; ++i) ids.push_back(NodeId(0x1000 + i));
+  RoundHooks hooks;
+  hooks.initiate = [&](std::uint32_t v) -> std::optional<Contact> {
+    if (v != 0) return std::nullopt;
+    return Contact::push_random(Message::id_list(ids).and_count(77));
+  };
+  std::uint32_t receiver = 99;
+  std::size_t got_ids = 0;
+  std::uint64_t got_count = 0;
+  hooks.on_push = [&](std::uint32_t r, const Message& m) {
+    receiver = r;
+    got_ids = m.ids().size();
+    got_count = m.count_value();
+  };
+  eng.run_round(hooks);
+  ASSERT_NE(receiver, 99u);
+  EXPECT_EQ(got_ids, 20u);
+  EXPECT_EQ(got_count, 77u);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    EXPECT_TRUE(net.knowledge()->knows(receiver, NodeId(0x1000 + i), net.id_of(receiver)));
+  }
 }
 
 TEST(Engine, MeteringIntegration) {

@@ -1,0 +1,330 @@
+// Parity suite: the static-dispatch executor and the legacy std::function
+// RoundHooks path must produce bit-identical metrics and knowledge graphs
+// for the same seed, across push, pull and exchange rounds (random and
+// direct addressing). This is what lets algorithms migrate to static
+// dispatch without re-validating a single measurement.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace gossip::sim {
+namespace {
+
+NetworkOptions opts(std::uint32_t n, std::uint64_t seed) {
+  NetworkOptions o;
+  o.n = n;
+  o.seed = seed;
+  o.track_knowledge = true;
+  return o;
+}
+
+void expect_round_stats_equal(const RoundStats& a, const RoundStats& b,
+                              const char* where) {
+  EXPECT_EQ(a.pushes, b.pushes) << where;
+  EXPECT_EQ(a.pull_requests, b.pull_requests) << where;
+  EXPECT_EQ(a.pull_responses, b.pull_responses) << where;
+  EXPECT_EQ(a.payload_messages, b.payload_messages) << where;
+  EXPECT_EQ(a.connections, b.connections) << where;
+  EXPECT_EQ(a.bits, b.bits) << where;
+  EXPECT_EQ(a.initiators, b.initiators) << where;
+  EXPECT_EQ(a.max_involvement, b.max_involvement) << where;
+}
+
+void expect_runs_equal(const RunStats& a, const RunStats& b) {
+  EXPECT_EQ(a.rounds, b.rounds);
+  expect_round_stats_equal(a.total, b.total, "totals");
+  ASSERT_EQ(a.per_round.size(), b.per_round.size());
+  for (std::size_t r = 0; r < a.per_round.size(); ++r) {
+    expect_round_stats_equal(a.per_round[r], b.per_round[r], "per-round");
+  }
+}
+
+void expect_knowledge_equal(const Network& a, const Network& b) {
+  ASSERT_NE(a.knowledge(), nullptr);
+  ASSERT_NE(b.knowledge(), nullptr);
+  EXPECT_EQ(a.knowledge()->total_knowledge(), b.knowledge()->total_knowledge());
+  for (std::uint32_t v = 0; v < a.n(); ++v) {
+    EXPECT_EQ(a.knowledge()->known_ids(v), b.knowledge()->known_ids(v))
+        << "knowledge of node " << v << " diverged";
+  }
+}
+
+// Workload state shared by both dispatch paths; the per-node decision logic
+// lives in plain methods so the exact same computation backs the static
+// hooks struct and the RoundHooks lambdas.
+struct Workload {
+  Network& net;
+  std::vector<std::uint32_t> tokens;
+
+  explicit Workload(Network& n) : net(n), tokens(n.n(), 0) { tokens[0] = 1; }
+
+  // A deliberately messy mix: depending on the node's state it pushes
+  // (random or direct to a learned ID), pulls, exchanges, or stays silent.
+  std::optional<Contact> decide(std::uint32_t v) {
+    const std::uint32_t t = tokens[v];
+    switch (t % 5) {
+      case 0:
+        return std::nullopt;
+      case 1:
+        return Contact::push_random(Message::rumor().and_id(net.id_of(v)));
+      case 2:
+        return Contact::pull_random();
+      case 3:
+        return Contact::exchange_random(Message::count(t).and_id(net.id_of(v)));
+      default: {
+        // Direct pull from a learned ID, if any; the knowledge tracker
+        // rejects anything else.
+        const auto known = net.knowledge()->known_ids(v);
+        if (known.empty()) return Contact::pull_random();
+        return Contact::pull_direct(known[t % known.size()]);
+      }
+    }
+  }
+  Message answer(std::uint32_t v) const {
+    if (tokens[v] == 0) return Message::empty();
+    return Message::count(tokens[v]).and_id(net.id_of(v));
+  }
+  void receive_push(std::uint32_t r, const Message& m) {
+    tokens[r] += 1 + static_cast<std::uint32_t>(m.ids().size());
+  }
+  void receive_reply(std::uint32_t q, const Message& m) {
+    if (m.has_count()) tokens[q] += static_cast<std::uint32_t>(m.count_value() % 7);
+  }
+};
+
+/// Static-dispatch hooks over a Workload.
+struct StaticWorkloadHooks {
+  Workload& w;
+  std::optional<Contact> initiate(std::uint32_t v) { return w.decide(v); }
+  Message respond(std::uint32_t v) { return w.answer(v); }
+  void on_push(std::uint32_t r, const Message& m) { w.receive_push(r, m); }
+  void on_pull_reply(std::uint32_t q, const Message& m) { w.receive_reply(q, m); }
+};
+
+/// The same workload behind the type-erased legacy surface.
+RoundHooks legacy_workload_hooks(Workload& w) {
+  RoundHooks h;
+  h.initiate = [&w](std::uint32_t v) { return w.decide(v); };
+  h.respond = [&w](std::uint32_t v) { return w.answer(v); };
+  h.on_push = [&w](std::uint32_t r, const Message& m) { w.receive_push(r, m); };
+  h.on_pull_reply = [&w](std::uint32_t q, const Message& m) { w.receive_reply(q, m); };
+  return h;
+}
+
+class EngineParity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineParity, MixedWorkloadBitIdentical) {
+  const std::uint64_t seed = GetParam();
+  constexpr std::uint32_t kN = 96;
+  constexpr unsigned kRounds = 30;
+
+  Network net_s(opts(kN, seed));
+  Engine eng_s(net_s, /*keep_history=*/true);
+  Workload w_s(net_s);
+  StaticWorkloadHooks hooks_s{w_s};
+
+  Network net_l(opts(kN, seed));
+  Engine eng_l(net_l, /*keep_history=*/true);
+  Workload w_l(net_l);
+  const RoundHooks hooks_l = legacy_workload_hooks(w_l);
+
+  for (unsigned r = 0; r < kRounds; ++r) {
+    eng_s.run_round(hooks_s);
+    eng_l.run_round(hooks_l);
+  }
+
+  expect_runs_equal(eng_s.metrics().run(), eng_l.metrics().run());
+  expect_knowledge_equal(net_s, net_l);
+  EXPECT_EQ(w_s.tokens, w_l.tokens);
+}
+
+// Single-kind rounds: push-only, pull-only, exchange-only.
+TEST_P(EngineParity, PushOnlyRounds) {
+  const std::uint64_t seed = GetParam();
+  constexpr std::uint32_t kN = 64;
+
+  const auto run = [&](auto&& round_fn) {
+    Network net(opts(kN, seed));
+    Engine eng(net, true);
+    std::vector<std::uint32_t> hits(kN, 0);
+    for (unsigned r = 0; r < 20; ++r) round_fn(eng, hits);
+    return std::tuple<RunStats, std::vector<std::uint32_t>>(eng.metrics().run(), hits);
+  };
+
+  auto [stats_s, hits_s] = run([](Engine& eng, std::vector<std::uint32_t>& hits) {
+    eng.run_round(make_hooks(
+        [](std::uint32_t) -> std::optional<Contact> {
+          return Contact::push_random(Message::rumor());
+        },
+        no_hook,
+        [&hits](std::uint32_t r, const Message&) { ++hits[r]; }));
+  });
+  auto [stats_l, hits_l] = run([](Engine& eng, std::vector<std::uint32_t>& hits) {
+    RoundHooks h;
+    h.initiate = [](std::uint32_t) -> std::optional<Contact> {
+      return Contact::push_random(Message::rumor());
+    };
+    h.on_push = [&hits](std::uint32_t r, const Message&) { ++hits[r]; };
+    eng.run_round(h);
+  });
+  expect_runs_equal(stats_s, stats_l);
+  EXPECT_EQ(hits_s, hits_l);
+}
+
+TEST_P(EngineParity, PullOnlyRounds) {
+  const std::uint64_t seed = GetParam();
+  constexpr std::uint32_t kN = 64;
+
+  const auto run = [&](bool use_static) {
+    Network net(opts(kN, seed));
+    Engine eng(net, true);
+    std::vector<std::uint32_t> replies(kN, 0);
+    for (unsigned r = 0; r < 20; ++r) {
+      if (use_static) {
+        eng.run_round(make_hooks(
+            [](std::uint32_t) -> std::optional<Contact> {
+              return Contact::pull_random();
+            },
+            [&net](std::uint32_t v) { return Message::count(v).and_id(net.id_of(v)); },
+            no_hook,
+            [&replies](std::uint32_t q, const Message& m) {
+              replies[q] += static_cast<std::uint32_t>(m.count_value());
+            }));
+      } else {
+        RoundHooks h;
+        h.initiate = [](std::uint32_t) -> std::optional<Contact> {
+          return Contact::pull_random();
+        };
+        h.respond = [&net](std::uint32_t v) {
+          return Message::count(v).and_id(net.id_of(v));
+        };
+        h.on_pull_reply = [&replies](std::uint32_t q, const Message& m) {
+          replies[q] += static_cast<std::uint32_t>(m.count_value());
+        };
+        eng.run_round(h);
+      }
+    }
+    return std::tuple<RunStats, std::vector<std::uint32_t>, std::uint64_t>(
+        eng.metrics().run(), replies, net.knowledge()->total_knowledge());
+  };
+
+  auto [stats_s, replies_s, know_s] = run(true);
+  auto [stats_l, replies_l, know_l] = run(false);
+  expect_runs_equal(stats_s, stats_l);
+  EXPECT_EQ(replies_s, replies_l);
+  EXPECT_EQ(know_s, know_l);
+}
+
+TEST_P(EngineParity, ExchangeOnlyRounds) {
+  const std::uint64_t seed = GetParam();
+  constexpr std::uint32_t kN = 64;
+
+  const auto run = [&](bool use_static) {
+    Network net(opts(kN, seed));
+    Engine eng(net, true);
+    std::vector<std::uint64_t> sum(kN, 0);
+    const auto bump = [&sum](std::uint32_t v, const Message& m) {
+      sum[v] += m.has_count() ? m.count_value() : 1;
+    };
+    for (unsigned r = 0; r < 20; ++r) {
+      if (use_static) {
+        eng.run_round(make_hooks(
+            [](std::uint32_t v) -> std::optional<Contact> {
+              return Contact::exchange_random(Message::count(v + 1));
+            },
+            [](std::uint32_t v) { return Message::count(100 + v); }, bump, bump));
+      } else {
+        RoundHooks h;
+        h.initiate = [](std::uint32_t v) -> std::optional<Contact> {
+          return Contact::exchange_random(Message::count(v + 1));
+        };
+        h.respond = [](std::uint32_t v) { return Message::count(100 + v); };
+        h.on_push = bump;
+        h.on_pull_reply = bump;
+        eng.run_round(h);
+      }
+    }
+    return std::tuple<RunStats, std::vector<std::uint64_t>, std::uint64_t>(
+        eng.metrics().run(), sum, net.knowledge()->total_knowledge());
+  };
+
+  auto [stats_s, sum_s, know_s] = run(true);
+  auto [stats_l, sum_l, know_l] = run(false);
+  expect_runs_equal(stats_s, stats_l);
+  EXPECT_EQ(sum_s, sum_l);
+  EXPECT_EQ(know_s, know_l);
+}
+
+// Failures: contacts to failed nodes must be lost identically on both paths.
+TEST_P(EngineParity, WithFailedNodes) {
+  const std::uint64_t seed = GetParam();
+  constexpr std::uint32_t kN = 96;
+
+  const auto run = [&](bool use_static) {
+    Network net(opts(kN, seed));
+    for (std::uint32_t v = 3; v < kN; v += 7) net.fail(v);
+    Engine eng(net, true);
+    Workload w(net);
+    if (use_static) {
+      StaticWorkloadHooks hooks{w};
+      for (unsigned r = 0; r < 25; ++r) eng.run_round(hooks);
+    } else {
+      const RoundHooks hooks = legacy_workload_hooks(w);
+      for (unsigned r = 0; r < 25; ++r) eng.run_round(hooks);
+    }
+    return std::tuple<RunStats, std::vector<std::uint32_t>, std::uint64_t>(
+        eng.metrics().run(), w.tokens, net.knowledge()->total_knowledge());
+  };
+
+  auto [stats_s, tokens_s, know_s] = run(true);
+  auto [stats_l, tokens_l, know_l] = run(false);
+  expect_runs_equal(stats_s, stats_l);
+  EXPECT_EQ(tokens_s, tokens_l);
+  EXPECT_EQ(know_s, know_l);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineParity, ::testing::Values(1u, 7u, 1234u));
+
+// The initiator-subset overload must behave identically across paths too.
+TEST(EngineParitySubset, SubsetRounds) {
+  constexpr std::uint32_t kN = 64;
+  const std::vector<std::uint32_t> subset{0, 5, 9, 13, 40, 63};
+
+  const auto run = [&](bool use_static) {
+    Network net(opts(kN, 3));
+    Engine eng(net, true);
+    std::vector<std::uint32_t> hits(kN, 0);
+    for (unsigned r = 0; r < 10; ++r) {
+      if (use_static) {
+        eng.run_round(make_hooks(
+                          [](std::uint32_t v) -> std::optional<Contact> {
+                            return Contact::push_random(Message::count(v));
+                          },
+                          no_hook,
+                          [&hits](std::uint32_t t, const Message&) { ++hits[t]; }),
+                      subset);
+      } else {
+        RoundHooks h;
+        h.initiate = [](std::uint32_t v) -> std::optional<Contact> {
+          return Contact::push_random(Message::count(v));
+        };
+        h.on_push = [&hits](std::uint32_t t, const Message&) { ++hits[t]; };
+        eng.run_round(h, subset);
+      }
+    }
+    return std::tuple<RunStats, std::vector<std::uint32_t>>(eng.metrics().run(), hits);
+  };
+
+  auto [stats_s, hits_s] = run(true);
+  auto [stats_l, hits_l] = run(false);
+  EXPECT_EQ(stats_s.total.pushes, stats_l.total.pushes);
+  EXPECT_EQ(stats_s.total.initiators, stats_l.total.initiators);
+  EXPECT_EQ(hits_s, hits_l);
+}
+
+}  // namespace
+}  // namespace gossip::sim

@@ -57,5 +57,67 @@ TEST(Knowledge, TotalAccumulatesAcrossNodes) {
   EXPECT_EQ(k.total_knowledge(), 3u);
 }
 
+TEST(Knowledge, SpillBeyondInlineSlots) {
+  // More learned IDs than the inline slots hold: the node spills to the
+  // sorted overflow set and every query keeps working.
+  KnowledgeTracker k(2);
+  const NodeId own(1);
+  for (std::uint64_t i = 0; i < 40; ++i) k.learn(0, NodeId(1000 + i * 3), own);
+  EXPECT_EQ(k.known_count(0), 40u);
+  EXPECT_EQ(k.total_knowledge(), 40u);
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    EXPECT_TRUE(k.knows(0, NodeId(1000 + i * 3), own));
+    EXPECT_FALSE(k.knows(0, NodeId(1001 + i * 3), own));
+  }
+  // The second node is untouched by the first node's spill.
+  EXPECT_EQ(k.known_count(1), 0u);
+  EXPECT_FALSE(k.knows(1, NodeId(1000), NodeId(2)));
+}
+
+TEST(Knowledge, SpillIsIdempotentAndUnordered) {
+  KnowledgeTracker k(1);
+  const NodeId own(1);
+  // Descending + duplicated inserts across the spill boundary.
+  const std::uint64_t raw[] = {90, 80, 70, 60, 50, 40, 90, 50, 30, 30};
+  for (const std::uint64_t r : raw) k.learn(0, NodeId(r), own);
+  EXPECT_EQ(k.known_count(0), 7u);
+  EXPECT_EQ(k.total_knowledge(), 7u);
+  const auto ids = k.known_ids(0);
+  ASSERT_EQ(ids.size(), 7u);
+  for (std::size_t i = 1; i < ids.size(); ++i) EXPECT_LT(ids[i - 1], ids[i]);
+}
+
+TEST(Knowledge, OwnIdAndSentinelIgnoredAfterSpill) {
+  KnowledgeTracker k(1);
+  const NodeId own(7);
+  for (std::uint64_t i = 0; i < 10; ++i) k.learn(0, NodeId(100 + i), own);
+  k.learn(0, own, own);
+  k.learn(0, NodeId::unclustered(), own);
+  EXPECT_EQ(k.known_count(0), 10u);
+  EXPECT_TRUE(k.knows(0, own, own));
+  EXPECT_FALSE(k.knows(0, NodeId::unclustered(), own));
+}
+
+TEST(Knowledge, KnownIdsSortedInlineCase) {
+  KnowledgeTracker k(1);
+  const NodeId own(1);
+  k.learn(0, NodeId(30), own);
+  k.learn(0, NodeId(10), own);
+  k.learn(0, NodeId(20), own);
+  const auto ids = k.known_ids(0);
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], NodeId(10));
+  EXPECT_EQ(ids[1], NodeId(20));
+  EXPECT_EQ(ids[2], NodeId(30));
+}
+
+TEST(Knowledge, MemoryBytesGrowsWithKnowledge) {
+  KnowledgeTracker k(4);
+  const std::size_t base = k.memory_bytes();
+  EXPECT_GT(base, 0u);
+  for (std::uint64_t i = 0; i < 100; ++i) k.learn(0, NodeId(5000 + i), NodeId(1));
+  EXPECT_GT(k.memory_bytes(), base);
+}
+
 }  // namespace
 }  // namespace gossip::sim

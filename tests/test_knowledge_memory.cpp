@@ -1,0 +1,111 @@
+// Memory accounting for the flat KnowledgeTracker vs. the previous
+// vector<unordered_set> design, measured on the knowledge graph produced by
+// a real uniform-gossip (PUSH-PULL) run. The flat tracker must use at most
+// half the bytes the unordered_set layout would allocate for the same
+// learned-ID sets (the acceptance bar is 2x at n = 1e6; the ratio is
+// size-stable, and the full-size run is enabled by default in Release -
+// set GOSSIP_SMALL_TESTS=1, as the sanitizer CI job does, to shrink it).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "baselines/uniform.hpp"
+#include "sim/knowledge.hpp"
+#include "sim/network.hpp"
+
+namespace gossip::sim {
+namespace {
+
+/// Allocator that tracks the peak resident bytes of its container (current
+/// allocations minus deallocations, high-water-marked), so rehash-discarded
+/// bucket arrays do not inflate the measured footprint.
+struct AllocWatermark {
+  std::size_t current = 0;
+  std::size_t peak = 0;
+};
+
+template <typename T>
+struct CountingAllocator {
+  using value_type = T;
+  AllocWatermark* mark;
+
+  explicit CountingAllocator(AllocWatermark* m) noexcept : mark(m) {}
+  template <typename U>
+  CountingAllocator(const CountingAllocator<U>& other) noexcept : mark(other.mark) {}
+
+  T* allocate(std::size_t n) {
+    mark->current += n * sizeof(T);
+    mark->peak = std::max(mark->peak, mark->current);
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    mark->current -= n * sizeof(T);
+    ::operator delete(p);
+  }
+
+  template <typename U>
+  bool operator==(const CountingAllocator<U>& other) const noexcept {
+    return mark == other.mark;
+  }
+};
+
+using CountingSet =
+    std::unordered_set<std::uint64_t, std::hash<std::uint64_t>,
+                       std::equal_to<std::uint64_t>, CountingAllocator<std::uint64_t>>;
+
+/// Bytes the seed's vector<unordered_set<uint64_t>> layout would hold for
+/// this knowledge graph: per-node set headers plus, per node, the peak
+/// resident bytes of its bucket array and element nodes. Nodes are replayed
+/// one at a time so the measurement itself never holds n sets alive.
+std::size_t legacy_layout_bytes(const Network& net) {
+  const KnowledgeTracker& tracker = *net.knowledge();
+  std::size_t total = static_cast<std::size_t>(net.n()) * sizeof(std::unordered_set<std::uint64_t>);
+  for (std::uint32_t v = 0; v < net.n(); ++v) {
+    AllocWatermark mark;
+    {
+      CountingSet set{CountingAllocator<std::uint64_t>(&mark)};
+      for (const NodeId id : tracker.known_ids(v)) set.insert(id.raw());
+    }
+    total += mark.peak;
+  }
+  return total;
+}
+
+TEST(KnowledgeMemory, FlatTrackerHalvesUniformGossipFootprint) {
+  const bool small = std::getenv("GOSSIP_SMALL_TESTS") != nullptr;
+  const std::uint32_t n = small ? (1u << 15) : (1u << 20);  // default ~1e6
+
+  NetworkOptions o;
+  o.n = n;
+  o.seed = 7;
+  o.track_knowledge = true;
+  Network net(o);
+  const auto report = baselines::run_push_pull(net, 0, {});
+  ASSERT_TRUE(report.all_informed);
+
+  const KnowledgeTracker& tracker = *net.knowledge();
+  ASSERT_GT(tracker.total_knowledge(), static_cast<std::uint64_t>(n));  // sanity
+
+  const std::size_t flat_bytes = tracker.memory_bytes();
+  const std::size_t legacy_bytes = legacy_layout_bytes(net);
+  const double ratio = static_cast<double>(legacy_bytes) / static_cast<double>(flat_bytes);
+
+  RecordProperty("n", static_cast<int>(n));
+  RecordProperty("total_knowledge", static_cast<int>(tracker.total_knowledge()));
+  RecordProperty("flat_bytes", static_cast<int>(flat_bytes / 1024));
+  RecordProperty("legacy_bytes", static_cast<int>(legacy_bytes / 1024));
+  std::printf("n=%u total_knowledge=%llu flat=%.1f MiB legacy=%.1f MiB ratio=%.2fx\n", n,
+              static_cast<unsigned long long>(tracker.total_knowledge()),
+              flat_bytes / 1048576.0, legacy_bytes / 1048576.0, ratio);
+
+  EXPECT_GE(ratio, 2.0) << "flat tracker must at least halve the unordered_set layout";
+  // Normalised view: bytes per learned ID.
+  const double flat_per_id =
+      static_cast<double>(flat_bytes) / static_cast<double>(tracker.total_knowledge());
+  EXPECT_LT(flat_per_id, 24.0) << "flat tracker should stay within ~3 words per edge";
+}
+
+}  // namespace
+}  // namespace gossip::sim

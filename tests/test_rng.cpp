@@ -131,6 +131,47 @@ TEST(Rng, WorksWithStdShuffle) {
   EXPECT_FALSE(std::is_sorted(v.begin(), v.end()));
 }
 
+TEST(Rng, FillUniformBelowMatchesScalarStream) {
+  // The bulk fill must be bit-identical to repeated uniform_below calls so
+  // batched engines reproduce unbatched seeded runs.
+  for (const std::uint64_t bound : {1ull, 2ull, 7ull, 1000003ull, (1ull << 33) + 5}) {
+    Rng scalar(99);
+    Rng bulk(99);
+    std::vector<std::uint64_t> expected(257);
+    for (auto& v : expected) v = scalar.uniform_below(bound);
+    std::vector<std::uint64_t> got(257);
+    bulk.fill_uniform_below(bound, got);
+    EXPECT_EQ(got, expected) << "bound " << bound;
+    // And the generators end in the same state.
+    EXPECT_EQ(scalar.next_u64(), bulk.next_u64());
+  }
+}
+
+TEST(Rng, FillUniformBelow32BitMatchesScalarStream) {
+  Rng scalar(7);
+  Rng bulk(7);
+  const std::uint64_t bound = 999983;
+  std::vector<std::uint32_t> expected(100);
+  for (auto& v : expected) v = static_cast<std::uint32_t>(scalar.uniform_below(bound));
+  std::vector<std::uint32_t> got(100);
+  bulk.fill_uniform_below(bound, got);
+  EXPECT_EQ(got, expected);
+}
+
+TEST(Rng, FillUniformBelowStaysInRange) {
+  Rng rng(3);
+  std::vector<std::uint64_t> out(10000);
+  rng.fill_uniform_below(13, out);
+  for (const std::uint64_t v : out) EXPECT_LT(v, 13u);
+}
+
+TEST(Rng, FillUniformBelowEmptySpanIsNoOp) {
+  Rng a(5);
+  Rng b(5);
+  a.fill_uniform_below(10, std::span<std::uint64_t>{});
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
 TEST(Mix64, StatelessAndStable) {
   EXPECT_EQ(mix64(123), mix64(123));
   EXPECT_NE(mix64(123), mix64(124));
