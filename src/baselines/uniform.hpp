@@ -22,6 +22,12 @@ namespace gossip::baselines {
 struct UniformOptions {
   /// 0 = auto: 10 * ceil(log2 n) + 50 rounds.
   unsigned max_rounds = 0;
+  /// 0 = serial engine (the default, trajectory-compatible with PR 1).
+  /// >= 1 = sharded phase-1 execution across this many threads; results are
+  /// bit-identical for every thread count >= 1 but re-key the uniform draw
+  /// streams, so they differ from the serial trajectory (see the Threading
+  /// model notes in sim/engine.hpp).
+  unsigned threads = 0;
 };
 
 [[nodiscard]] core::BroadcastReport run_push(sim::Network& net, std::uint32_t source,

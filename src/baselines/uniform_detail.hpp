@@ -40,12 +40,15 @@ namespace gossip::baselines::detail {
 /// `make_hooks(informed, informed_count)` returns the hooks object for the
 /// whole run; it may be any static-dispatch hooks type (see sim/engine.hpp),
 /// so each baseline's per-round work is resolved at compile time.
+/// `threads` >= 1 opts the run into the sharded phase-1 executor.
 template <class MakeHooks>
 core::BroadcastReport run_until_informed(sim::Network& net, std::uint32_t source,
-                                         unsigned max_rounds, std::string phase_name,
+                                         unsigned max_rounds, unsigned threads,
+                                         std::string phase_name,
                                          MakeHooks&& make_hooks) {
   GOSSIP_CHECK_MSG(net.alive(source), "source node must be alive");
   sim::Engine engine(net);
+  if (threads) engine.set_threads(threads);
   std::vector<std::uint8_t> informed(net.n(), 0);
   informed[source] = 1;
   std::uint64_t informed_count = 1;

@@ -33,7 +33,16 @@ Driver::Driver(sim::Engine& engine, Options opts)
       cand_seen_(net_.n(), 0),
       inbox_(net_.n(), NodeId::unclustered()),
       inbox_seen_(net_.n(), 0),
-      collect_count_(net_.n(), 0) {}
+      collect_count_(net_.n(), 0) {
+  // Opt-in parallel execution for every primitive this driver runs. All
+  // driver initiate hooks only read clustering state, which is what the
+  // sharded phase 1 requires of them. An engine already sharded at the
+  // requested width is left untouched, so a caller-pinned shard_size (and
+  // its trajectory) survives.
+  if (opts_.threads && engine_.threads() != opts_.threads) {
+    engine_.set_threads(opts_.threads);
+  }
+}
 
 void Driver::validate_flat(const char* where) const {
   if (!opts_.validate) return;

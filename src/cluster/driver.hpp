@@ -30,6 +30,11 @@ struct DriverOptions {
   /// Run O(n) structural invariant checks after primitives that assume a
   /// flat clustering. Used by tests; off for large benchmark runs.
   bool validate = false;
+  /// 0 = leave the engine's execution mode alone (the default). >= 1 = opt
+  /// the engine into sharded phase-1 execution across this many threads
+  /// before the first primitive runs (Engine::set_threads; see the
+  /// Threading model notes in sim/engine.hpp for the determinism contract).
+  unsigned threads = 0;
 };
 
 class Driver {

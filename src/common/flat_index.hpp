@@ -1,0 +1,84 @@
+// Flat open-addressing index from node IDs to dense indices.
+//
+// Network::find runs once per direct-addressed contact on the engine's hot
+// path; the previous std::unordered_map probe paid a bucket indirection and
+// a 48+-byte heap node per entry. This index is two flat arrays (8-byte key
+// lane probed linearly, 4-byte value lane touched only on a hit) built once
+// at network construction - the ID set never changes - at a load factor
+// <= 0.5, so probe chains are short and the key lane stays cache-dense.
+//
+// The reserved empty-slot key is the all-ones value, which is exactly the
+// NodeId "unclustered" sentinel: it can never name a real node, so it can
+// never be inserted. Empty slots carry kNotFound in the value lane, which
+// makes a lookup of the sentinel itself fall out correctly (it lands on an
+// empty or mismatching slot and walks to an empty one).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+
+namespace gossip {
+
+class FlatIdIndex {
+ public:
+  static constexpr std::uint32_t kNotFound = 0xFFFFFFFFu;
+
+  FlatIdIndex() = default;
+
+  /// Builds the index mapping ids[i] -> i. IDs must be distinct real node
+  /// IDs (never the unclustered sentinel) and there may be at most 2^32 - 1
+  /// of them (kNotFound must stay unambiguous).
+  void build(std::span<const NodeId> ids) {
+    GOSSIP_CHECK(ids.size() < kNotFound);
+    std::size_t capacity = 2;
+    while (capacity < ids.size() * 2) capacity *= 2;
+    mask_ = capacity - 1;
+    keys_.assign(capacity, kEmptyKey);
+    vals_.assign(capacity, kNotFound);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const std::uint64_t key = ids[i].raw();
+      GOSSIP_CHECK_MSG(key != kEmptyKey, "the unclustered sentinel is not indexable");
+      std::size_t slot = mix64(key) & mask_;
+      while (keys_[slot] != kEmptyKey) {
+        GOSSIP_CHECK_MSG(keys_[slot] != key, "duplicate ID in index build");
+        slot = (slot + 1) & mask_;
+      }
+      keys_[slot] = key;
+      vals_[slot] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  /// Index of `key`, or kNotFound. Inline: one mix, then a linear walk of
+  /// the key lane (expected < 1.5 probes at load 0.5).
+  [[nodiscard]] std::uint32_t find(std::uint64_t key) const {
+    if (keys_.empty()) return kNotFound;
+    std::size_t slot = mix64(key) & mask_;
+    for (;;) {
+      const std::uint64_t k = keys_[slot];
+      if (k == key) return vals_[slot];
+      if (k == kEmptyKey) return kNotFound;
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  /// Bytes held by the two lanes (capacity accounting, as memory_bytes
+  /// elsewhere in the library).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return keys_.capacity() * sizeof(std::uint64_t) +
+           vals_.capacity() * sizeof(std::uint32_t);
+  }
+
+ private:
+  static constexpr std::uint64_t kEmptyKey = ~0ULL;
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint32_t> vals_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace gossip

@@ -62,6 +62,16 @@ class Rng {
   /// Different `stream` values give streams that never correlate in practice.
   [[nodiscard]] Rng fork(std::uint64_t stream) const noexcept;
 
+  /// Counter-based two-dimensional fork: an independent stream per
+  /// (stream_a, stream_b) pair, implemented as two chained forks so distinct
+  /// pairs can never alias by arithmetic coincidence. This is what keys the
+  /// sharded round executor's draw streams by (round, shard): any worker can
+  /// reproduce shard s of round r from the base generator alone, so the
+  /// trajectory is independent of which thread runs the shard.
+  [[nodiscard]] Rng fork(std::uint64_t stream_a, std::uint64_t stream_b) const noexcept {
+    return fork(stream_a).fork(stream_b);
+  }
+
   // UniformRandomBitGenerator interface (usable with <algorithm> shuffles).
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~0ULL; }

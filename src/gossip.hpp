@@ -34,3 +34,5 @@
 #include "sim/engine.hpp"
 #include "sim/fault.hpp"
 #include "sim/network.hpp"
+#include "sim/parallel/parallel_engine.hpp"
+#include "sim/parallel/thread_pool.hpp"

@@ -17,29 +17,31 @@ std::uint32_t Engine::random_other(std::uint32_t self) {
   // Uniform over all n-1 other nodes (failed ones included - the caller
   // cannot know who failed; such contacts are simply lost). Shares
   // next_target_draw()'s buffer so out-of-round draws stay in stream order
-  // with round draws.
+  // with serial round draws.
   std::uint32_t t = next_target_draw();
   if (t >= self) ++t;
   return t;
 }
 
-std::uint32_t Engine::resolve_direct_target(std::uint32_t node,
-                                            const Contact& contact) const {
+namespace detail {
+std::uint32_t resolve_direct_target(const Network& net, std::uint32_t node,
+                                    const Contact& contact) {
   GOSSIP_CHECK_MSG(contact.target.is_node(),
                    "direct contact needs a concrete target ID");
-  const auto found = net_.find(contact.target);
+  const auto found = net.find(contact.target);
   GOSSIP_CHECK_MSG(found.has_value(), "direct contact to ID outside the network: "
                                           << contact.target.to_string());
   const std::uint32_t target = *found;
   GOSSIP_CHECK_MSG(target != node, "node attempted to contact itself");
-  if (const auto* k = net_.knowledge()) {
-    GOSSIP_CHECK_MSG(k->knows(node, contact.target, net_.id_of(node)),
+  if (const auto* k = net.knowledge()) {
+    GOSSIP_CHECK_MSG(k->knows(node, contact.target, net.id_of(node)),
                      "direct-addressing violation: node "
-                         << net_.id_of(node).to_string() << " does not know "
+                         << net.id_of(node).to_string() << " does not know "
                          << contact.target.to_string());
   }
   return target;
 }
+}  // namespace detail
 
 void Engine::run_round(const RoundHooks& hooks) {
   run_round(hooks, std::span<const std::uint32_t>(all_nodes_));

@@ -26,17 +26,39 @@
 // Both paths share the scale machinery: uniform targets come from a bulk
 // Rng::fill_uniform_below ring buffer; queued pushes are packed into a
 // variable-length byte stream (phase 2's replay of that queue is the
-// dominant memory traffic of a large round); and pending pulls resolve in
-// two O(m) passes over an epoch-stamped per-responder response cache
-// (evaluate-all-then-deliver snapshot semantics) - no sorting, no
-// allocation after warm-up.
+// dominant memory traffic of a large round; see sim/push_queue.hpp); and
+// pending pulls resolve in two O(m) passes over an epoch-stamped
+// per-responder response cache (evaluate-all-then-deliver snapshot
+// semantics) - no sorting, no allocation after warm-up.
+//
+// Threading model (sim/parallel). set_threads(k) with k >= 1 - or
+// constructing a parallel::ParallelEngine - replaces the serial phase-1
+// loop with a sharded one: initiators are split into fixed-size contiguous
+// shards, each shard runs on the pool with its OWN draw stream
+// (Rng::fork(round, shard) off a seed-derived base) and its own
+// contact/push buffers, and the shards merge in index order. Consequences:
+//   * trajectories are bit-identical for every thread count >= 1 (the shard
+//     decomposition, streams and merge order never depend on the pool), but
+//     DIFFER from the serial engine's on uniform draws, which consume one
+//     master stream in contact order. Direct-addressed rounds consume no
+//     engine randomness and stay bit-identical to the serial path.
+//   * hooks.initiate runs concurrently; it must not mutate shared state
+//     (every algorithm in this repo only reads its per-node state there).
+//     respond / on_push / on_pull_reply stay strictly serial, in the same
+//     deterministic order as the serial path.
+//   * knowledge learned from a round's contacts becomes visible only after
+//     phase 1 completes (truly-simultaneous-calls semantics); the serial
+//     path applies it incrementally in initiator order. The learned SETS
+//     are identical; only mid-phase-1 reads could tell the difference.
+// Phases 2 and 3 (delivery, pull resolution) always run on the calling
+// thread: they mutate user state through the hooks.
 #pragma once
 
 #include <algorithm>
 #include <concepts>
 #include <cstdint>
-#include <cstring>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <utility>
@@ -46,6 +68,8 @@
 #include "sim/message.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
+#include "sim/parallel/shard.hpp"
+#include "sim/push_queue.hpp"
 
 namespace gossip::sim {
 
@@ -200,12 +224,103 @@ struct LegacyHooksAdapter {
     if (h.on_pull_reply) h.on_pull_reply(requester, m);
   }
 };
+
+/// Resolves the target of a direct-addressed contact, enforcing the model's
+/// honesty rules (real ID, not self, known to the initiator). Read-only on
+/// the network, so safe from phase-1 worker threads.
+[[nodiscard]] std::uint32_t resolve_direct_target(const Network& net, std::uint32_t node,
+                                                  const Contact& contact);
+
+/// Phase-1 loop shared by the serial and sharded executors: offer every
+/// initiator in `initiators` its one contact and route the consequences
+/// through `sink`. The Sink supplies the executor-specific parts:
+///   u32  draw_other(u32 node)                    uniform target != node
+///   void record_initiator()
+///   void record_push(u32 from, u32 to, u64 bits, bool has_payload)
+///   void record_pull_request(u32 from, u32 to)
+///   void on_contact(u32 a, u32 b)                endpoints for knowledge/Delta
+///   void enqueue_push(u32 to, Message&&)
+///   void enqueue_pull(u32 from, u32 responder)
+/// `want_payloads` skips queueing when nothing observes deliveries (no
+/// on_push hook, no knowledge tracking) - queueing would be dead work.
+template <class Hooks, class Sink>
+void run_phase1(Network& net, Hooks& hooks, Sink& sink,
+                std::span<const std::uint32_t> initiators, bool no_failures,
+                bool want_payloads) {
+  for (const std::uint32_t node : initiators) {
+    if (no_failures) {
+      // alive() would bounds-check a caller-supplied initiator; keep that
+      // contract on the fast path that skips it.
+      GOSSIP_CHECK(node < net.n());
+    } else if (!net.alive(node)) {
+      continue;
+    }
+    std::optional<Contact> contact = hooks.initiate(node);
+    if (!contact) continue;
+    sink.record_initiator();
+    std::uint32_t target;
+    if (contact->to_random) {
+      // Uniform over all n-1 other nodes (failed ones included - the
+      // caller cannot know who failed; such contacts are simply lost).
+      target = sink.draw_other(node);
+    } else {
+      target = resolve_direct_target(net, node, *contact);
+    }
+
+    sink.on_contact(node, target);
+
+    if (contact->kind == ContactKind::kPush || contact->kind == ContactKind::kExchange) {
+      // Meter before the payload is moved into the pending-push queue.
+      const std::uint64_t bits = contact->payload.bits(net.costs());
+      const bool has_payload = !contact->payload.is_empty();
+      sink.record_push(node, target, bits, has_payload);
+      if (no_failures || net.alive(target)) {
+        if (contact->kind == ContactKind::kExchange) sink.enqueue_pull(node, target);
+        if (want_payloads) sink.enqueue_push(target, std::move(contact->payload));
+      }
+    } else {
+      sink.record_pull_request(node, target);
+      if (no_failures || net.alive(target)) sink.enqueue_pull(node, target);
+    }
+  }
+}
 }  // namespace detail
 
 class Engine {
  public:
   /// `keep_history` retains per-round stats (used by the dynamics bench).
   explicit Engine(Network& net, bool keep_history = false);
+
+  /// Virtual only so parallel::ParallelEngine can be owned through an
+  /// Engine pointer; the engine has no other virtual surface (run_round is
+  /// a template and dispatches statically).
+  virtual ~Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Enables (threads >= 1) or disables (threads == 0) the sharded phase-1
+  /// executor described in the Threading model notes above. shard_size == 0
+  /// picks parallel::kDefaultShardSize. Sharded trajectories are identical
+  /// for every thread count but re-key the uniform draws, so enabling this
+  /// mid-run changes subsequent same-seed trajectories exactly once (see
+  /// CHANGES.md); typical callers opt in before the first round via the
+  /// `threads` field of their run options.
+  ///
+  /// Enabling consumes ONE draw from the network's master stream: it seeds
+  /// this engine's shard streams, so consecutive sharded engines over the
+  /// same network run independent trajectories (just as consecutive serial
+  /// engines advance the shared master stream) instead of replaying one
+  /// contact graph. Still deterministic in (network seed, construction
+  /// order) and still invariant in the thread count.
+  void set_threads(unsigned threads, std::uint32_t shard_size = 0) {
+    par_.reset();
+    if (threads >= 1) {
+      par_ = std::make_unique<parallel::Phase1Sharder>(net_.rng().next_u64(), threads,
+                                                       shard_size);
+    }
+  }
+  /// Worker count of the sharded executor, or 0 in serial mode.
+  [[nodiscard]] unsigned threads() const noexcept { return par_ ? par_->threads() : 0; }
 
   /// Runs one round with every node as a potential initiator (static
   /// dispatch; hooks resolved at compile time). RoundHooks is excluded so a
@@ -236,30 +351,14 @@ class Engine {
   [[nodiscard]] const Network& network() const noexcept { return net_; }
 
   /// Draws a uniformly random node index different from `self`, from the
-  /// same bulk draw buffer the round executor consumes (so interleaving
-  /// calls with rounds keeps one deterministic master-stream order).
+  /// same bulk draw buffer the serial round executor consumes (so
+  /// interleaving calls with rounds keeps one deterministic master-stream
+  /// order; sharded rounds leave the master stream untouched).
   /// Precondition: the network has at least two nodes (there is no "other"
   /// node to draw in a single-node network; uniform_below(0) is undefined).
   [[nodiscard]] std::uint32_t random_other(std::uint32_t self);
 
  private:
-  // The pending-push queue is a variable-length byte stream: phase 2 streams
-  // it back in order, and at multi-million n that write+read traffic is the
-  // dominant memory cost of a round, so the common payloads are packed tight
-  // (6 bytes for a flag-only rumor push vs. sizeof(Message) ~ 72). Entry:
-  //   u32 to | u8 flags | u8 n_ids | [u64 count if flag] | n_ids * u64 ids
-  // ID lists longer than kPushInlineIds (only ClusterResize responses,
-  // paper footnote 2) spill the whole Message to push_spill_ and store its
-  // index in place of the count.
-  static constexpr std::size_t kPushInlineIds = 15;
-  static constexpr std::uint8_t kPushHasRumor = 1;
-  static constexpr std::uint8_t kPushHasCount = 2;
-  static constexpr std::uint8_t kPushSpilled = 4;
-
-  struct PendingPull {
-    std::uint32_t from;
-    std::uint32_t responder;
-  };
   /// One evaluated pull response (the single address-oblivious answer a
   /// responder gives this round), with its metering precomputed.
   struct CachedResponse {
@@ -271,6 +370,37 @@ class Engine {
   /// Uniform target draws per bulk fill_uniform_below refill: large enough
   /// to amortize and vectorize the fill, small enough to stay L1-resident.
   static constexpr std::size_t kDrawBatch = 1024;
+
+  /// Phase-1 sink of the serial executor: meters straight into the
+  /// collector, learns contacts immediately, fills the engine's own queues,
+  /// draws from the master-stream ring buffer.
+  struct SerialSink {
+    Engine& e;
+    bool track;
+
+    void record_initiator() { e.metrics_.record_initiator(); }
+    std::uint32_t draw_other(std::uint32_t node) {
+      std::uint32_t t = e.next_target_draw();
+      if (t >= node) ++t;
+      return t;
+    }
+    void record_push(std::uint32_t from, std::uint32_t to, std::uint64_t bits,
+                     bool has_payload) {
+      e.metrics_.record_push(from, to, bits, has_payload);
+    }
+    void record_pull_request(std::uint32_t from, std::uint32_t to) {
+      e.metrics_.record_pull_request(from, to);
+    }
+    void on_contact(std::uint32_t a, std::uint32_t b) {
+      if (track) e.learn_contact(a, b);
+    }
+    void enqueue_push(std::uint32_t to, Message&& msg) {
+      e.pushes_.enqueue(to, std::move(msg));
+    }
+    void enqueue_pull(std::uint32_t from, std::uint32_t responder) {
+      e.pulls_.push_back(PendingPull{from, responder});
+    }
+  };
 
   /// Next uniform draw from [0, n-1), bulk-refilled. Draws are consumed in
   /// contact order; unconsumed draws carry over across rounds, so the master
@@ -286,10 +416,20 @@ class Engine {
   }
 
   void learn_from_message(std::uint32_t receiver, const Message& msg) {
-    if (auto* k = net_.knowledge()) {
-      const NodeId own = net_.id_of(receiver);
-      msg.ids().for_each([&](NodeId id) { k->learn(receiver, id, own); });
+    KnowledgeTracker* k = net_.knowledge();
+    if (!k) return;
+    const NodeId own = net_.id_of(receiver);
+    const Message::IdList& ids = msg.ids();
+    if (ids.size() <= 3) {
+      // Common case (paper: O(1) IDs per message): the per-ID path's inline
+      // scan beats gathering a batch.
+      ids.for_each([&](NodeId id) { k->learn(receiver, id, own); });
+      return;
     }
+    // ClusterResize-style lists: one sorted bulk merge via learn_all.
+    learn_scratch_.clear();
+    ids.for_each([&](NodeId id) { learn_scratch_.push_back(id); });
+    k->learn_all(receiver, learn_scratch_, own);
   }
 
   void learn_contact(std::uint32_t a, std::uint32_t b) {
@@ -300,72 +440,63 @@ class Engine {
     }
   }
 
-  /// Resolves the target of a direct-addressed contact, enforcing the
-  /// model's honesty rules (real ID, not self, known to the initiator).
-  [[nodiscard]] std::uint32_t resolve_direct_target(std::uint32_t node,
-                                                    const Contact& contact) const;
-
-  /// Reserves `need` bytes at the tail of the push stream, returning the
-  /// write cursor. Geometric growth; no shrink, so steady-state rounds do
-  /// not allocate.
-  std::uint8_t* push_stream_grow(std::size_t need) {
-    if (push_len_ + need > push_bytes_.size()) {
-      push_bytes_.resize(std::max(push_bytes_.size() * 2, push_len_ + need));
-    }
-    std::uint8_t* cursor = push_bytes_.data() + push_len_;
-    push_len_ += need;
-    return cursor;
+  /// Phase 2 body for one pending-push queue: decode, learn, deliver.
+  template <class Hooks>
+  void deliver_queue(const PushQueue& queue, Hooks& hooks, bool track) {
+    queue.for_each([&](std::uint32_t to, const Message& msg) {
+      if (track) learn_from_message(to, msg);
+      if constexpr (HasOnPushHook<std::remove_reference_t<Hooks>>) hooks.on_push(to, msg);
+    });
   }
 
-  /// Encodes a payload into the pending-push byte stream; oversized ID
-  /// lists (rare) move into push_spill_.
-  void enqueue_push(std::uint32_t to, Message&& msg) {
-    ++push_entries_;
-    const Message::IdList& ids = msg.ids();
-    const std::size_t n_ids = ids.size();
-    std::uint8_t flags = static_cast<std::uint8_t>(
-        (msg.has_rumor() ? kPushHasRumor : 0) | (msg.has_count() ? kPushHasCount : 0));
-    if (n_ids > kPushInlineIds) {
-      const std::uint64_t spill_index = push_spill_.size();
-      push_spill_.push_back(std::move(msg));
-      flags = static_cast<std::uint8_t>(flags | kPushSpilled);
-      std::uint8_t* w = push_stream_grow(6 + 8);
-      std::memcpy(w, &to, 4);
-      w[4] = flags;
-      w[5] = 0;
-      std::memcpy(w + 6, &spill_index, 8);
-      return;
+  /// Sharded phase 1: fan the initiator span out over fixed-size shards on
+  /// the pool, then merge metrics deltas, involvement, knowledge and pull
+  /// queues in shard-index (= initiator) order. Push queues stay per shard;
+  /// phase 2 replays them in the same order without re-copying the streams.
+  template <class Hooks>
+  void run_phase1_sharded(Hooks& hooks, std::span<const std::uint32_t> initiators,
+                          bool no_failures, bool track, bool want_payloads) {
+    parallel::Phase1Sharder& par = *par_;
+    const std::size_t n_shards = par.shard_count(initiators.size());
+    const std::span<parallel::ShardBuffer> shards = par.acquire(n_shards);
+    active_shards_ = n_shards;
+    // Engine-lifetime key (never reset by set_threads or metrics resets), so
+    // re-enabling sharding on a used engine cannot replay draw streams.
+    const std::uint64_t round_key = sharded_round_key_++;
+    const bool want_endpoints = track || metrics_.track_involvement();
+    const std::uint64_t draw_bound = net_.n() - 1;
+    const std::uint32_t shard_size = par.shard_size();
+    par.pool().parallel_for(n_shards, [&](std::size_t s) {
+      parallel::ShardBuffer& sb = shards[s];
+      const std::size_t lo = s * static_cast<std::size_t>(shard_size);
+      const std::size_t len =
+          std::min<std::size_t>(shard_size, initiators.size() - lo);
+      sb.begin_round(par.stream_base(), round_key, s, len);
+      parallel::ShardSink sink{sb, draw_bound, want_endpoints};
+      detail::run_phase1(net_, hooks, sink, initiators.subspan(lo, len), no_failures,
+                         want_payloads);
+    });
+    // Deterministic merge. Endpoint replay preserves the serial executor's
+    // learn/bump order because shards are contiguous initiator ranges.
+    for (const parallel::ShardBuffer& sb : shards) {
+      metrics_.merge_round_delta(sb.stats);
+      if (want_endpoints) {
+        for (const auto& [a, b] : sb.endpoints) {
+          learn_contact(a, b);
+          metrics_.record_involvement_pair(a, b);
+        }
+      }
+      pulls_.insert(pulls_.end(), sb.pulls.begin(), sb.pulls.end());
     }
-    const bool has_count = msg.has_count();
-    std::uint8_t* w = push_stream_grow(6 + (has_count ? 8 : 0) + n_ids * 8);
-    std::memcpy(w, &to, 4);
-    w[4] = flags;
-    w[5] = static_cast<std::uint8_t>(n_ids);
-    w += 6;
-    if (has_count) {
-      const std::uint64_t count = msg.count_value();
-      std::memcpy(w, &count, 8);
-      w += 8;
-    }
-    for (std::size_t i = 0; i < n_ids; ++i) {
-      const std::uint64_t raw = ids[i].raw();
-      std::memcpy(w + i * 8, &raw, 8);
-    }
-  }
-
-  void enqueue_pull(std::uint32_t from, std::uint32_t responder) {
-    pulls_.push_back(PendingPull{from, responder});
   }
 
   Network& net_;
   MetricsCollector metrics_;
   // Scratch buffers reused across rounds.
-  std::vector<std::uint8_t> push_bytes_;  ///< encoded pending pushes
-  std::size_t push_len_ = 0;
-  std::size_t push_entries_ = 0;
-  std::vector<Message> push_spill_;  ///< payloads with > kPushInlineIds IDs
+  PushQueue pushes_;  ///< serial-mode pending pushes (sharded mode: per shard)
   std::vector<PendingPull> pulls_;
   std::vector<std::uint32_t> all_nodes_;
+  std::vector<NodeId> learn_scratch_;  ///< bulk-learn gather buffer
   // Bulk uniform-target draws (ring of kDrawBatch, refilled on demand).
   std::vector<std::uint32_t> draw_buf_;
   std::size_t draw_pos_ = 0;
@@ -374,6 +505,10 @@ class Engine {
   std::vector<std::uint32_t> response_of_;  ///< response index per pending pull
   std::vector<std::uint64_t> pull_stamp_;   ///< epoch << 32 | response index
   std::uint32_t pull_epoch_ = 0;
+  // Sharded execution state (null in serial mode).
+  std::unique_ptr<parallel::Phase1Sharder> par_;
+  std::size_t active_shards_ = 0;  ///< shards filled by the current round
+  std::uint64_t sharded_round_key_ = 0;  ///< engine-lifetime stream key
 };
 
 template <class Hooks>
@@ -390,9 +525,7 @@ void Engine::run_round(Hooks&& hooks, std::span<const std::uint32_t> initiators)
                 "const hooks object hides non-const hook members; pass it non-const");
 
   metrics_.begin_round();
-  push_len_ = 0;
-  push_entries_ = 0;
-  push_spill_.clear();
+  pushes_.clear();
   pulls_.clear();
   if (++pull_epoch_ == 0) {
     // 2^32 rounds: wipe the stamps so a recycled epoch value cannot alias.
@@ -401,85 +534,37 @@ void Engine::run_round(Hooks&& hooks, std::span<const std::uint32_t> initiators)
   }
 
   // ---- Phase 1: collect initiated contacts (one per node at most). -------
-  // Uniform targets come from next_target_draw()'s bulk-refilled buffer (one
-  // vectorizable fill_uniform_below pass per kDrawBatch contacts); when no
-  // node has failed, the per-contact aliveness probes (a guaranteed random
-  // cache miss each on large networks) are skipped entirely.
+  // Uniform targets come from bulk-refilled draw buffers (one vectorizable
+  // fill_uniform_below pass per batch of contacts); when no node has failed,
+  // the per-contact aliveness probes (a guaranteed random cache miss each on
+  // large networks) are skipped entirely. The loop body lives in
+  // detail::run_phase1; serial and sharded execution differ only in the sink.
   const bool no_failures = net_.failed_count() == 0;
   const bool track = net_.knowledge() != nullptr;
-  for (const std::uint32_t node : initiators) {
-    if (no_failures) {
-      // alive() would bounds-check a caller-supplied initiator; keep that
-      // contract on the fast path that skips it.
-      GOSSIP_CHECK(node < net_.n());
-    } else if (!net_.alive(node)) {
-      continue;
-    }
-    std::optional<Contact> contact = hooks.initiate(node);
-    if (!contact) continue;
-    metrics_.record_initiator();
-    std::uint32_t target;
-    if (contact->to_random) {
-      // Uniform over all n-1 other nodes (failed ones included - the
-      // caller cannot know who failed; such contacts are simply lost).
-      target = next_target_draw();
-      if (target >= node) ++target;
-    } else {
-      target = resolve_direct_target(node, *contact);
-    }
-
-    if (track) learn_contact(node, target);
-
-    if (contact->kind == ContactKind::kPush || contact->kind == ContactKind::kExchange) {
-      // Meter before the payload is moved into the pending-push queue.
-      const std::uint64_t bits = contact->payload.bits(net_.costs());
-      const bool has_payload = !contact->payload.is_empty();
-      metrics_.record_push(node, target, bits, has_payload);
-      if (no_failures || net_.alive(target)) {
-        if (contact->kind == ContactKind::kExchange) enqueue_pull(node, target);
-        // With no delivery observer (no on_push hook, no knowledge
-        // tracking), queueing the payload would be dead work.
-        if (track || HasOnPushHook<H>) enqueue_push(target, std::move(contact->payload));
-      }
-    } else {
-      metrics_.record_pull_request(node, target);
-      if (no_failures || net_.alive(target)) enqueue_pull(node, target);
-    }
+  // With no delivery observer (no on_push hook, no knowledge tracking),
+  // queueing payloads would be dead work.
+  const bool want_payloads = track || HasOnPushHook<H>;
+  const bool sharded = par_ != nullptr;
+  if (sharded) {
+    run_phase1_sharded(hooks, initiators, no_failures, track, want_payloads);
+  } else {
+    SerialSink sink{*this, track};
+    detail::run_phase1(net_, hooks, sink, initiators, no_failures, want_payloads);
   }
 
   // ---- Phase 2: deliver pushes. ------------------------------------------
-  // The byte stream is decoded back into a (stack-local) Message per
-  // delivery; hooks must not retain the reference beyond the call.
+  // The byte stream(s) are decoded back into a (stack-local) Message per
+  // delivery; hooks must not retain the reference beyond the call. Sharded
+  // rounds replay the per-shard queues in shard order - the same global
+  // delivery order as one serial queue, without re-copying the streams.
   if (track || HasOnPushHook<H>) {
-    const std::uint8_t* r = push_bytes_.data();
-    std::uint64_t scratch_ids[kPushInlineIds];
-    for (std::size_t e = 0; e < push_entries_; ++e) {
-      std::uint32_t to;
-      std::memcpy(&to, r, 4);
-      const std::uint8_t flags = r[4];
-      const std::uint8_t n_ids = r[5];
-      r += 6;
-      if (flags & kPushSpilled) {
-        std::uint64_t spill_index;
-        std::memcpy(&spill_index, r, 8);
-        r += 8;
-        const Message& msg = push_spill_[spill_index];
-        if (track) learn_from_message(to, msg);
-        if constexpr (HasOnPushHook<H>) hooks.on_push(to, msg);
-        continue;
+    if (sharded) {
+      const std::span<parallel::ShardBuffer> shards = par_->acquire(active_shards_);
+      for (const parallel::ShardBuffer& sb : shards) {
+        deliver_queue(sb.pushes, hooks, track);
       }
-      std::uint64_t count = 0;
-      if (flags & kPushHasCount) {
-        std::memcpy(&count, r, 8);
-        r += 8;
-      }
-      std::memcpy(scratch_ids, r, static_cast<std::size_t>(n_ids) * 8);
-      r += static_cast<std::size_t>(n_ids) * 8;
-      const Message msg = Message::from_parts(
-          (flags & kPushHasRumor) != 0, (flags & kPushHasCount) != 0, count,
-          std::span<const std::uint64_t>(scratch_ids, n_ids));
-      if (track) learn_from_message(to, msg);
-      if constexpr (HasOnPushHook<H>) hooks.on_push(to, msg);
+    } else {
+      deliver_queue(pushes_, hooks, track);
     }
   }
 

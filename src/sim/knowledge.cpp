@@ -1,6 +1,7 @@
 #include "sim/knowledge.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/assert.hpp"
 
@@ -54,6 +55,63 @@ void KnowledgeTracker::learn(std::uint32_t node, NodeId id, NodeId own_id) {
   }
   spill.insert(spill.begin() + static_cast<std::ptrdiff_t>(pos), raw);
   ++total_;
+}
+
+void KnowledgeTracker::learn_all(std::uint32_t node, std::span<const NodeId> ids,
+                                 NodeId own_id) {
+  GOSSIP_CHECK(node < counts_.size());
+  // Small batches: the per-ID path's inline scan / single binary search is
+  // already cheaper than a sort. The threshold only trades speed; the
+  // resulting set is identical either way.
+  if (ids.size() <= kInlineSlots * 2) {
+    for (const NodeId id : ids) learn(node, id, own_id);
+    return;
+  }
+
+  // Normalise the batch: drop self/sentinel entries, sort, dedup.
+  batch_scratch_.clear();
+  for (const NodeId id : ids) {
+    if (id.is_unclustered() || id == own_id) continue;
+    batch_scratch_.push_back(id.raw());
+  }
+  std::sort(batch_scratch_.begin(), batch_scratch_.end());
+  batch_scratch_.erase(std::unique(batch_scratch_.begin(), batch_scratch_.end()),
+                       batch_scratch_.end());
+  if (batch_scratch_.empty()) return;
+
+  const std::size_t base = static_cast<std::size_t>(node) * kInlineSlots;
+  const std::uint8_t count = counts_[node];
+  if (count != kSpilled) {
+    // Fold the inline slots into the batch; if the union still fits inline
+    // the batch was tiny after dedup, otherwise spill once with the whole
+    // union (exactly the state the equivalent learn() loop converges to).
+    const std::size_t before = count;
+    for (std::uint8_t i = 0; i < count; ++i) batch_scratch_.push_back(inline_[base + i]);
+    std::sort(batch_scratch_.begin(), batch_scratch_.end());
+    batch_scratch_.erase(std::unique(batch_scratch_.begin(), batch_scratch_.end()),
+                         batch_scratch_.end());
+    if (batch_scratch_.size() <= kInlineSlots) {
+      for (std::size_t i = 0; i < batch_scratch_.size(); ++i) {
+        inline_[base + i] = batch_scratch_[i];
+      }
+      counts_[node] = static_cast<std::uint8_t>(batch_scratch_.size());
+    } else {
+      const std::size_t idx = spills_.size();
+      spills_.emplace_back(batch_scratch_.begin(), batch_scratch_.end());
+      counts_[node] = kSpilled;
+      inline_[base] = idx;
+    }
+    total_ += batch_scratch_.size() - before;
+    return;
+  }
+
+  std::vector<std::uint64_t>& spill = spills_[spill_index(node)];
+  union_scratch_.clear();
+  union_scratch_.reserve(spill.size() + batch_scratch_.size());
+  std::set_union(spill.begin(), spill.end(), batch_scratch_.begin(),
+                 batch_scratch_.end(), std::back_inserter(union_scratch_));
+  total_ += union_scratch_.size() - spill.size();
+  spill.assign(union_scratch_.begin(), union_scratch_.end());
 }
 
 bool KnowledgeTracker::knows(std::uint32_t node, NodeId id, NodeId own_id) const {

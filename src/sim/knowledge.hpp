@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -39,6 +40,16 @@ class KnowledgeTracker {
   /// sentinel are ignored (a node always knows itself; infinity is not an
   /// address).
   void learn(std::uint32_t node, NodeId id, NodeId own_id);
+
+  /// Bulk variant of learn for a message's whole ID list: sorts and dedups
+  /// the batch once and set-unions it into the node's spill in one pass,
+  /// instead of one binary-search insertion (each O(k) in the spill size)
+  /// per ID. Duplicates, self-IDs and sentinels in `ids` are allowed and
+  /// ignored; the resulting knowledge set is exactly what the equivalent
+  /// learn() loop would produce. Small batches fall back to that loop - the
+  /// win is the large ClusterResize-style lists that the engine's delivery
+  /// and sharded-merge paths replay.
+  void learn_all(std::uint32_t node, std::span<const NodeId> ids, NodeId own_id);
 
   /// True if `node` has learned `id` (or if `id` is its own).
   [[nodiscard]] bool knows(std::uint32_t node, NodeId id, NodeId own_id) const;
@@ -76,6 +87,10 @@ class KnowledgeTracker {
   std::vector<std::uint8_t> counts_;   ///< inline fill count, or kSpilled
   std::vector<std::vector<std::uint64_t>> spills_;  ///< sorted overflow sets
   std::uint64_t total_ = 0;
+  // learn_all scratch (batch normalisation and set-union output), kept so
+  // steady-state bulk learns do not allocate.
+  std::vector<std::uint64_t> batch_scratch_;
+  std::vector<std::uint64_t> union_scratch_;
 };
 
 }  // namespace gossip::sim

@@ -35,6 +35,23 @@ struct RoundStats {
   std::uint64_t initiators = 0;       ///< nodes that initiated a contact
   std::uint32_t max_involvement = 0;  ///< max communications of one node (Delta)
 
+  // Counter bumps for one contact, shared by the collector's inline metering
+  // and the sharded executor's per-shard deltas so the accounting cannot
+  // drift between the two paths (involvement is handled separately - it
+  // needs the global per-node histogram).
+  void add_push(std::uint64_t push_bits, bool has_payload) noexcept {
+    ++pushes;
+    ++connections;
+    if (has_payload) {
+      ++payload_messages;
+      bits += push_bits;
+    }
+  }
+  void add_pull_request() noexcept {
+    ++pull_requests;
+    ++connections;
+  }
+
   void accumulate(const RoundStats& r) noexcept;
 };
 
@@ -77,12 +94,7 @@ class MetricsCollector {
 
   void record_push(std::uint32_t initiator, std::uint32_t target, std::uint64_t bits,
                    bool has_payload) {
-    ++round_.pushes;
-    ++round_.connections;
-    if (has_payload) {
-      ++round_.payload_messages;
-      round_.bits += bits;
-    }
+    round_.add_push(bits, has_payload);
     if (track_involvement_) {
       bump_involvement(initiator);
       bump_involvement(target);
@@ -90,8 +102,28 @@ class MetricsCollector {
   }
 
   void record_pull_request(std::uint32_t initiator, std::uint32_t target) {
-    ++round_.pull_requests;
-    ++round_.connections;
+    round_.add_pull_request();
+    if (track_involvement_) {
+      bump_involvement(initiator);
+      bump_involvement(target);
+    }
+  }
+
+  /// Merges a phase-1 shard's counter delta into the current round (sharded
+  /// execution). Deltas are plain RoundStats accumulated thread-locally with
+  /// max_involvement left 0: involvement needs the global per-node counters,
+  /// so it is replayed separately through record_involvement_pair in the
+  /// deterministic merge order.
+  void merge_round_delta(const RoundStats& delta) {
+    GOSSIP_CHECK_MSG(in_round_, "merge_round_delta outside a round");
+    round_.accumulate(delta);
+  }
+
+  /// Involvement bumps for one contact's two endpoints, replayed at merge
+  /// time by the sharded executor. Order-insensitive within a round (Delta
+  /// is a max over final per-node counts), so shard order merges are
+  /// bit-identical to inline serial metering.
+  void record_involvement_pair(std::uint32_t initiator, std::uint32_t target) {
     if (track_involvement_) {
       bump_involvement(initiator);
       bump_involvement(target);

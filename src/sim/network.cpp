@@ -15,15 +15,14 @@ Network::Network(const NetworkOptions& options)
   GOSSIP_CHECK_MSG(n_ >= 2, "network needs at least two nodes");
   Rng id_rng(mix64(options.seed ^ 0x1db3a7c95e8f6420ULL));
   ids_ = generate_unique_ids(n_, id_rng);
-  index_by_id_.reserve(n_ * 2);
-  for (std::uint32_t i = 0; i < n_; ++i) index_by_id_.emplace(ids_[i].raw(), i);
+  index_by_id_.build(ids_);
   if (options.track_knowledge) knowledge_ = std::make_unique<KnowledgeTracker>(n_);
 }
 
 std::uint32_t Network::index_of(NodeId id) const {
-  const auto it = index_by_id_.find(id.raw());
-  GOSSIP_CHECK_MSG(it != index_by_id_.end(), "unknown node ID " << id.to_string());
-  return it->second;
+  const std::uint32_t index = index_by_id_.find(id.raw());
+  GOSSIP_CHECK_MSG(index != FlatIdIndex::kNotFound, "unknown node ID " << id.to_string());
+  return index;
 }
 
 void Network::fail(std::uint32_t index) {

@@ -9,10 +9,10 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/flat_index.hpp"
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "sim/knowledge.hpp"
@@ -46,11 +46,12 @@ class Network {
   }
   /// Index of an existing node ID; contract violation if unknown.
   [[nodiscard]] std::uint32_t index_of(NodeId id) const;
-  /// Index lookup that tolerates non-existent IDs.
+  /// Index lookup that tolerates non-existent IDs (including the
+  /// unclustered sentinel, which indexes nothing).
   [[nodiscard]] std::optional<std::uint32_t> find(NodeId id) const {
-    const auto it = index_by_id_.find(id.raw());
-    if (it == index_by_id_.end()) return std::nullopt;
-    return it->second;
+    const std::uint32_t index = index_by_id_.find(id.raw());
+    if (index == FlatIdIndex::kNotFound) return std::nullopt;
+    return index;
   }
 
   // --- failures (oblivious adversary, Section 8) -----------------------
@@ -83,7 +84,7 @@ class Network {
   Rng master_rng_;
   std::uint64_t node_stream_base_;
   std::vector<NodeId> ids_;
-  std::unordered_map<std::uint64_t, std::uint32_t> index_by_id_;
+  FlatIdIndex index_by_id_;  ///< flat open-addressing ID -> index map
   std::vector<std::uint8_t> alive_;
   std::uint32_t alive_count_;
   std::unique_ptr<KnowledgeTracker> knowledge_;

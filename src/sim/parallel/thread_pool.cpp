@@ -1,0 +1,102 @@
+#include "sim/parallel/thread_pool.hpp"
+
+namespace gossip::sim::parallel {
+
+ThreadPool::ThreadPool(unsigned threads) : threads_(threads == 0 ? 1 : threads) {
+  workers_.reserve(threads_ - 1);
+  for (unsigned i = 0; i + 1 < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::run_tickets(const std::function<void(std::size_t)>* fn,
+                             std::size_t count) {
+  for (;;) {
+    const std::size_t i = next_ticket_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) break;
+    try {
+      (*fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    if (finished_.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+      // Empty critical section: pairs the completion signal with the
+      // caller's predicate check so the notify cannot be lost.
+      std::lock_guard<std::mutex> lock(mu_);
+      cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn;
+    std::size_t count;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = job_fn_;
+      count = job_count_;
+      ++busy_workers_;
+    }
+    // A worker that overslept an entire job sees count already drained and
+    // exits run_tickets without dereferencing the (then stale) descriptor.
+    run_tickets(fn, count);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --busy_workers_;
+      if (busy_workers_ == 0 && finished_.load(std::memory_order_acquire) == count) {
+        cv_done_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // A worker that woke late for the PREVIOUS job may still hold the stale
+    // job descriptor; publishing a new one while it could still read the
+    // ticket counter would corrupt both jobs. Wait for true idle first.
+    cv_done_.wait(lock, [&] { return busy_workers_ == 0; });
+    job_fn_ = &fn;
+    job_count_ = count;
+    next_ticket_.store(0, std::memory_order_relaxed);
+    finished_.store(0, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  cv_work_.notify_all();
+  run_tickets(&fn, count);
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] {
+      return finished_.load(std::memory_order_acquire) == count && busy_workers_ == 0;
+    });
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace gossip::sim::parallel

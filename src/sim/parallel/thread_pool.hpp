@@ -1,0 +1,71 @@
+// Persistent worker pool with a deterministic-friendly parallel_for.
+//
+// The pool exists so the engine's sharded phase 1 does not pay thread
+// creation per round: workers are spawned once and parked on a condition
+// variable between rounds. parallel_for(count, fn) hands out item indices
+// through an atomic ticket counter - dynamic load balancing - which is safe
+// for deterministic execution because the work items themselves are keyed
+// by index (each shard owns its buffers and RNG stream), so WHICH thread
+// runs an item never influences WHAT the item computes.
+//
+// A pool built with threads <= 1 spawns no workers and runs parallel_for
+// inline on the caller, in index order; results are identical either way.
+// parallel_for is not reentrant and must only be driven by one thread at a
+// time (the engine is the only caller).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gossip::sim::parallel {
+
+class ThreadPool {
+ public:
+  /// `threads` counts the caller too: a pool of k serves parallel_for with
+  /// k-1 workers plus the calling thread. 0 is normalised to 1 (inline).
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+
+  /// Invokes fn(i) exactly once for every i in [0, count), across the pool,
+  /// and returns when all invocations have completed. fn runs concurrently
+  /// on up to threads() threads and must be safe for that; if any invocation
+  /// throws, the first exception (in completion order) is rethrown here
+  /// after the remaining items finish.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  /// Ticket-drain loop shared by workers and the caller. Takes a pointer so
+  /// a worker that woke after its job fully drained never dereferences the
+  /// stale descriptor.
+  void run_tickets(const std::function<void(std::size_t)>* fn, std::size_t count);
+
+  const unsigned threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;  ///< workers park here between jobs
+  std::condition_variable cv_done_;  ///< caller parks here during a job
+  std::uint64_t generation_ = 0;     ///< bumped per job (guarded by mu_)
+  bool stop_ = false;
+  const std::function<void(std::size_t)>* job_fn_ = nullptr;
+  std::size_t job_count_ = 0;
+  unsigned busy_workers_ = 0;  ///< workers inside run_tickets (guarded by mu_)
+  std::exception_ptr first_error_;  ///< guarded by mu_
+
+  std::atomic<std::size_t> next_ticket_{0};
+  std::atomic<std::size_t> finished_{0};
+};
+
+}  // namespace gossip::sim::parallel

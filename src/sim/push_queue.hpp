@@ -1,0 +1,138 @@
+// Pending-delivery queues of one synchronous round, extracted from the
+// engine so the sharded executor can fill one instance per shard and replay
+// them in deterministic shard order.
+//
+// The pending-push queue is a variable-length byte stream: phase 2 streams
+// it back in order, and at multi-million n that write+read traffic is the
+// dominant memory cost of a round, so the common payloads are packed tight
+// (6 bytes for a flag-only rumor push vs. sizeof(Message) ~ 72). Entry:
+//   u32 to | u8 flags | u8 n_ids | [u64 count if flag] | n_ids * u64 ids
+// ID lists longer than kInlineIds (only ClusterResize responses, paper
+// footnote 2) spill the whole Message to a side vector and store its index
+// in place of the count.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "sim/message.hpp"
+
+namespace gossip::sim {
+
+/// One pull request awaiting its (single, address-oblivious) response.
+struct PendingPull {
+  std::uint32_t from;
+  std::uint32_t responder;
+};
+
+class PushQueue {
+ public:
+  /// ID-list payloads up to this length are encoded inline in the stream.
+  static constexpr std::size_t kInlineIds = 15;
+
+  void clear() noexcept {
+    len_ = 0;
+    entries_ = 0;
+    spill_.clear();
+  }
+
+  [[nodiscard]] std::size_t entries() const noexcept { return entries_; }
+  [[nodiscard]] bool empty() const noexcept { return entries_ == 0; }
+
+  /// Encodes a payload addressed to `to`; oversized ID lists (rare) move
+  /// into the spill vector. Geometric growth, no shrink, so steady-state
+  /// rounds do not allocate.
+  void enqueue(std::uint32_t to, Message&& msg) {
+    ++entries_;
+    const Message::IdList& ids = msg.ids();
+    const std::size_t n_ids = ids.size();
+    std::uint8_t flags = static_cast<std::uint8_t>(
+        (msg.has_rumor() ? kHasRumor : 0) | (msg.has_count() ? kHasCount : 0));
+    if (n_ids > kInlineIds) {
+      const std::uint64_t spill_index = spill_.size();
+      spill_.push_back(std::move(msg));
+      flags = static_cast<std::uint8_t>(flags | kSpilled);
+      std::uint8_t* w = grow(6 + 8);
+      std::memcpy(w, &to, 4);
+      w[4] = flags;
+      w[5] = 0;
+      std::memcpy(w + 6, &spill_index, 8);
+      return;
+    }
+    const bool has_count = msg.has_count();
+    std::uint8_t* w = grow(6 + (has_count ? 8 : 0) + n_ids * 8);
+    std::memcpy(w, &to, 4);
+    w[4] = flags;
+    w[5] = static_cast<std::uint8_t>(n_ids);
+    w += 6;
+    if (has_count) {
+      const std::uint64_t count = msg.count_value();
+      std::memcpy(w, &count, 8);
+      w += 8;
+    }
+    for (std::size_t i = 0; i < n_ids; ++i) {
+      const std::uint64_t raw = ids[i].raw();
+      std::memcpy(w + i * 8, &raw, 8);
+    }
+  }
+
+  /// Replays the queue in enqueue order: fn(to, const Message&) per entry.
+  /// Inline entries are decoded into a stack-local Message; the reference
+  /// must not be retained beyond the call.
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    const std::uint8_t* r = bytes_.data();
+    std::uint64_t scratch_ids[kInlineIds];
+    for (std::size_t e = 0; e < entries_; ++e) {
+      std::uint32_t to;
+      std::memcpy(&to, r, 4);
+      const std::uint8_t flags = r[4];
+      const std::uint8_t n_ids = r[5];
+      r += 6;
+      if (flags & kSpilled) {
+        std::uint64_t spill_index;
+        std::memcpy(&spill_index, r, 8);
+        r += 8;
+        fn(to, spill_[spill_index]);
+        continue;
+      }
+      std::uint64_t count = 0;
+      if (flags & kHasCount) {
+        std::memcpy(&count, r, 8);
+        r += 8;
+      }
+      std::memcpy(scratch_ids, r, static_cast<std::size_t>(n_ids) * 8);
+      r += static_cast<std::size_t>(n_ids) * 8;
+      const Message msg = Message::from_parts(
+          (flags & kHasRumor) != 0, (flags & kHasCount) != 0, count,
+          std::span<const std::uint64_t>(scratch_ids, n_ids));
+      fn(to, msg);
+    }
+  }
+
+ private:
+  static constexpr std::uint8_t kHasRumor = 1;
+  static constexpr std::uint8_t kHasCount = 2;
+  static constexpr std::uint8_t kSpilled = 4;
+
+  /// Reserves `need` bytes at the tail, returning the write cursor.
+  std::uint8_t* grow(std::size_t need) {
+    if (len_ + need > bytes_.size()) {
+      bytes_.resize(std::max(bytes_.size() * 2, len_ + need));
+    }
+    std::uint8_t* cursor = bytes_.data() + len_;
+    len_ += need;
+    return cursor;
+  }
+
+  std::vector<std::uint8_t> bytes_;  ///< encoded pending pushes
+  std::size_t len_ = 0;
+  std::size_t entries_ = 0;
+  std::vector<Message> spill_;  ///< payloads with > kInlineIds IDs
+};
+
+}  // namespace gossip::sim

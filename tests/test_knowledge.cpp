@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "common/rng.hpp"
+
 namespace gossip::sim {
 namespace {
 
@@ -109,6 +113,99 @@ TEST(Knowledge, KnownIdsSortedInlineCase) {
   EXPECT_EQ(ids[0], NodeId(10));
   EXPECT_EQ(ids[1], NodeId(20));
   EXPECT_EQ(ids[2], NodeId(30));
+}
+
+// ---------------------------------------------------------------------------
+// learn_all: the bulk path must converge to exactly the state of the
+// equivalent learn() loop, for every starting state (fresh, inline-partial,
+// spilled) and batch shape (duplicates, self-IDs, sentinels, unsorted).
+// ---------------------------------------------------------------------------
+
+void expect_equivalent(const KnowledgeTracker& a, const KnowledgeTracker& b,
+                       std::uint32_t n) {
+  EXPECT_EQ(a.total_knowledge(), b.total_knowledge());
+  for (std::uint32_t v = 0; v < n; ++v) {
+    EXPECT_EQ(a.known_count(v), b.known_count(v)) << "node " << v;
+    EXPECT_EQ(a.known_ids(v), b.known_ids(v)) << "node " << v;
+  }
+}
+
+TEST(Knowledge, LearnAllMatchesSequentialLearn) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    constexpr std::uint32_t kNodes = 4;
+    KnowledgeTracker bulk(kNodes), seq(kNodes);
+    for (std::uint32_t v = 0; v < kNodes; ++v) {
+      const NodeId own(v + 1);
+      // Random batch: values from a small space force duplicates; a few
+      // self-IDs and sentinels ride along.
+      std::vector<NodeId> batch;
+      const std::size_t len = rng.uniform_below(60);
+      for (std::size_t i = 0; i < len; ++i) {
+        const std::uint64_t pick = rng.uniform_below(32);
+        if (pick == 0) {
+          batch.push_back(own);
+        } else if (pick == 1) {
+          batch.push_back(NodeId::unclustered());
+        } else {
+          batch.push_back(NodeId(100 + rng.uniform_below(40)));
+        }
+      }
+      bulk.learn_all(v, batch, own);
+      for (const NodeId id : batch) seq.learn(v, id, own);
+    }
+    expect_equivalent(bulk, seq, kNodes);
+  }
+}
+
+TEST(Knowledge, LearnAllEmptyAndAllFilteredBatches) {
+  KnowledgeTracker k(1);
+  const NodeId own(9);
+  k.learn_all(0, {}, own);
+  EXPECT_EQ(k.total_knowledge(), 0u);
+  // A large batch of nothing but self-IDs and sentinels learns nothing.
+  std::vector<NodeId> noise(30, own);
+  for (std::size_t i = 0; i < noise.size(); i += 2) noise[i] = NodeId::unclustered();
+  k.learn_all(0, noise, own);
+  EXPECT_EQ(k.total_knowledge(), 0u);
+  EXPECT_EQ(k.known_count(0), 0u);
+}
+
+TEST(Knowledge, LearnAllSpillsInlineNodeInOneStep) {
+  KnowledgeTracker bulk(1), seq(1);
+  const NodeId own(1);
+  // Pre-fill two inline slots, then hit with a batch that overlaps them.
+  for (const std::uint64_t r : {50ULL, 60ULL}) {
+    bulk.learn(0, NodeId(r), own);
+    seq.learn(0, NodeId(r), own);
+  }
+  std::vector<NodeId> batch;
+  for (std::uint64_t i = 0; i < 25; ++i) batch.push_back(NodeId(40 + i * 2));  // 50, 60 included
+  bulk.learn_all(0, batch, own);
+  for (const NodeId id : batch) seq.learn(0, id, own);
+  expect_equivalent(bulk, seq, 1);
+  EXPECT_EQ(bulk.known_count(0), 25u);
+}
+
+TEST(Knowledge, LearnAllUnionsIntoExistingSpill) {
+  KnowledgeTracker bulk(1), seq(1);
+  const NodeId own(1);
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    bulk.learn(0, NodeId(1000 + i * 4), own);
+    seq.learn(0, NodeId(1000 + i * 4), own);
+  }
+  // Interleaved batch: half already known, half new, unsorted, duplicated.
+  std::vector<NodeId> batch;
+  for (std::uint64_t i = 30; i-- > 0;) {
+    batch.push_back(NodeId(1000 + i * 2));
+    batch.push_back(NodeId(1000 + i * 2));
+  }
+  bulk.learn_all(0, batch, own);
+  for (const NodeId id : batch) seq.learn(0, id, own);
+  expect_equivalent(bulk, seq, 1);
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    EXPECT_TRUE(bulk.knows(0, NodeId(1000 + i * 2), own));
+  }
 }
 
 TEST(Knowledge, MemoryBytesGrowsWithKnowledge) {

@@ -132,6 +132,71 @@ TEST(RunStats, PerNodeAverages) {
   EXPECT_DOUBLE_EQ(s.payload_messages_per_node(0), 0.0);
 }
 
+// Sharded metering: per-shard count deltas merged via merge_round_delta plus
+// endpoint replay through record_involvement_pair must reproduce exactly
+// what inline record_push/record_pull_request calls produce.
+TEST(Metrics, ShardDeltaMergeMatchesInlineMetering) {
+  MetricsCollector inline_m(8, /*keep_history=*/false);
+  MetricsCollector merged_m(8, /*keep_history=*/false);
+  // Contacts: (initiator, target, bits, has_payload, is_push).
+  struct C {
+    std::uint32_t from, to;
+    std::uint64_t bits;
+    bool payload, push;
+  };
+  const C contacts[] = {
+      {0, 3, 100, true, true},  {1, 3, 0, false, true}, {2, 5, 0, false, false},
+      {3, 5, 40, true, true},   {4, 3, 0, false, false}, {5, 0, 259, true, true},
+  };
+
+  inline_m.begin_round();
+  for (const C& c : contacts) {
+    inline_m.record_initiator();
+    if (c.push) {
+      inline_m.record_push(c.from, c.to, c.bits, c.payload);
+    } else {
+      inline_m.record_pull_request(c.from, c.to);
+    }
+  }
+  inline_m.end_round();
+
+  // Same contacts split across two "shards", counts accumulated offline.
+  merged_m.begin_round();
+  for (int shard = 0; shard < 2; ++shard) {
+    RoundStats delta;
+    for (int i = shard * 3; i < shard * 3 + 3; ++i) {
+      const C& c = contacts[i];
+      ++delta.initiators;
+      ++delta.connections;
+      if (c.push) {
+        ++delta.pushes;
+        if (c.payload) {
+          ++delta.payload_messages;
+          delta.bits += c.bits;
+        }
+      } else {
+        ++delta.pull_requests;
+      }
+    }
+    merged_m.merge_round_delta(delta);
+    for (int i = shard * 3; i < shard * 3 + 3; ++i) {
+      merged_m.record_involvement_pair(contacts[i].from, contacts[i].to);
+    }
+  }
+  merged_m.end_round();
+
+  const RoundStats& a = inline_m.run().total;
+  const RoundStats& b = merged_m.run().total;
+  EXPECT_EQ(a.pushes, b.pushes);
+  EXPECT_EQ(a.pull_requests, b.pull_requests);
+  EXPECT_EQ(a.payload_messages, b.payload_messages);
+  EXPECT_EQ(a.connections, b.connections);
+  EXPECT_EQ(a.bits, b.bits);
+  EXPECT_EQ(a.initiators, b.initiators);
+  EXPECT_EQ(a.max_involvement, b.max_involvement);
+  EXPECT_EQ(a.max_involvement, 4u);  // node 3: two pushes + one pull + initiating
+}
+
 TEST(RoundStats, AccumulateTakesMaxInvolvement) {
   RoundStats a, b;
   a.max_involvement = 5;

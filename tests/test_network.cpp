@@ -39,6 +39,45 @@ TEST(Network, UnknownIdHandling) {
   }
 }
 
+// The flat open-addressing index must behave exactly like the old
+// unordered_map probe: every real ID resolves, misses miss, and the
+// unclustered sentinel (which doubles as the index's empty-slot key) indexes
+// nothing.
+TEST(Network, FlatIndexLargeRoundTrip) {
+  Network net(opts(50000, 3));
+  for (std::uint32_t i = 0; i < net.n(); ++i) {
+    ASSERT_EQ(net.find(net.id_of(i)), std::optional<std::uint32_t>(i)) << i;
+  }
+}
+
+TEST(Network, FindUnclusteredSentinelMisses) {
+  Network net(opts(64));
+  EXPECT_EQ(net.find(NodeId::unclustered()), std::nullopt);
+  EXPECT_THROW((void)net.index_of(NodeId::unclustered()), ContractViolation);
+}
+
+TEST(Network, FindMissesNearExistingKeys) {
+  Network net(opts(1024, 11));
+  // Probe perturbed copies of real IDs: same hash neighbourhood, absent key.
+  for (std::uint32_t i = 0; i < net.n(); i += 37) {
+    const NodeId near(net.id_of(i).raw() ^ 1ULL);
+    if (!net.find(near)) {
+      EXPECT_EQ(net.find(near), std::nullopt);
+    } else {
+      // Astronomically unlikely (the perturbed ID is another real node), but
+      // if so index_of must agree.
+      EXPECT_EQ(net.id_of(*net.find(near)), near);
+    }
+  }
+}
+
+TEST(Network, FindSurvivesFailures) {
+  Network net(opts(32));
+  net.fail(5);
+  // Failed nodes stay addressable (contacts to them are lost, not invalid).
+  EXPECT_EQ(net.find(net.id_of(5)), std::optional<std::uint32_t>(5));
+}
+
 TEST(Network, DeterministicInSeed) {
   Network a(opts(64, 9)), b(opts(64, 9));
   for (std::uint32_t i = 0; i < 64; ++i) EXPECT_EQ(a.id_of(i), b.id_of(i));
