@@ -5,9 +5,18 @@
 // Sweeps the failure fraction and the adversary strategy; the reproducible
 // shape is the "uninformed survivors / F" column collapsing toward 0 (o(F))
 // while rounds and messages stay at their failure-free values.
+//
+// Runs on the scenario runner: every (algorithm, F/n, adversary) cell is a
+// ScenarioSpec with the fault model as data, executed by TrialRunner
+// (--trial-threads=N parallelises the seed sweep with bit-identical
+// aggregates; --out=FILE emits the shared JSON report schema).
+#include <fstream>
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "runner/json_report.hpp"
+#include "runner/registry.hpp"
+#include "runner/trial_runner.hpp"
 #include "sim/fault.hpp"
 
 int main(int argc, char** argv) {
@@ -20,46 +29,40 @@ int main(int argc, char** argv) {
       "Theorem 19: F oblivious failures -> all but o(F) survivors informed; "
       "round-, message- and bit-complexity preserved");
 
-  const auto algorithms = bench::standard_algorithms();
-  for (const auto& algo : algorithms) {
-    if (algo.name != "Cluster1" && algo.name != "Cluster2" && algo.name != "C3+CPP") {
-      continue;
-    }
-    Table t(algo.name + " under failures (n = " + std::to_string(n) + ", " +
-                std::to_string(cfg.seeds) + " seeds)",
+  runner::TrialRunner trials(cfg.trial_threads);
+  std::vector<runner::ScenarioResult> results;
+  for (const char* algorithm : {"cluster1", "cluster2", "cluster3_push_pull"}) {
+    const auto& entry = runner::require_algorithm(algorithm);
+    Table t(std::string(entry.display) + " under failures (n = " + std::to_string(n) +
+                ", " + std::to_string(cfg.seeds) + " seeds)",
             {"F/n", "adversary", "uninformed (mean)", "uninformed/F", "informed frac",
              "rounds", "msg/node"});
     for (const double frac : {0.0, 0.01, 0.05, 0.1, 0.2, 0.3}) {
       for (const auto strategy :
            {sim::FaultStrategy::kRandomSubset, sim::FaultStrategy::kSmallestIds}) {
         if (frac == 0.0 && strategy != sim::FaultStrategy::kRandomSubset) continue;
-        const auto f = static_cast<std::uint32_t>(frac * n);
-        RunningStat uninformed, rounds, msgs, informed_frac;
-        for (unsigned seed = 1; seed <= cfg.seeds; ++seed) {
-          sim::NetworkOptions o;
-          o.n = n;
-          o.seed = 500 + seed;
-          sim::Network net(o);
-          Rng adversary(mix64(seed * 31337ULL));  // oblivious: independent stream
-          for (std::uint32_t v : sim::choose_failures(net, f, strategy, adversary)) {
-            net.fail(v);
-          }
-          std::uint32_t source = 0;
-          while (!net.alive(source)) ++source;
-          const auto rep = algo.run(net, source);
-          uninformed.add(static_cast<double>(rep.uninformed()));
-          informed_frac.add(rep.informed_fraction());
-          rounds.add(static_cast<double>(rep.rounds));
-          msgs.add(rep.payload_messages_per_node());
-        }
+        runner::ScenarioSpec spec;
+        spec.name = std::string(entry.id) + "/F=" + format_double(frac, 2) + "/" +
+                    sim::to_string(strategy);
+        spec.algorithm = entry.id;
+        spec.n = n;
+        spec.trials = cfg.seeds;
+        spec.seed = 500;
+        spec.engine_threads = cfg.threads;
+        spec.fault_fraction = frac;
+        spec.fault_strategy = strategy;
+        auto result = trials.run(spec);
+        const auto& agg = result.aggregate;
+        const auto f = spec.fault_count();
         t.row()
             .add(frac, 2)
             .add(sim::to_string(strategy))
-            .add(uninformed.mean(), 1)
-            .add(f ? uninformed.mean() / static_cast<double>(f) : 0.0, 4)
-            .add(informed_frac.mean(), 4)
-            .add(rounds.mean(), 1)
-            .add(msgs.mean(), 2);
+            .add(agg.uninformed.mean(), 1)
+            .add(f ? agg.uninformed.mean() / static_cast<double>(f) : 0.0, 4)
+            .add(agg.informed_fraction.mean(), 4)
+            .add(agg.rounds.mean(), 1)
+            .add(agg.payload_per_node.mean(), 2);
+        if (!cfg.out.empty()) results.push_back(std::move(result));
       }
     }
     t.print(std::cout);
@@ -69,5 +72,15 @@ int main(int argc, char** argv) {
                "and adversaries is Theorem 19's all-but-o(F) guarantee; the rounds\n"
                "column is unchanged from F=0 (the schedule is deterministic) and\n"
                "msg/node stays at its failure-free level.\n";
+
+  if (!cfg.out.empty()) {
+    std::ofstream f(cfg.out);
+    if (!f) {
+      std::cerr << "cannot write " << cfg.out << "\n";
+      return 1;
+    }
+    runner::write_scenarios_json(f, "fault_tolerance", results);
+    std::cerr << "wrote " << cfg.out << "\n";
+  }
   return 0;
 }

@@ -9,18 +9,28 @@
 // growth ratio across a 2^10..2^20 size range, printed against the three
 // model curves. Also includes the Name-Dropper O(log^2 n) reference on its
 // own (discovery) task.
+//
+// Runs on the scenario runner: each (algorithm, n) cell is a ScenarioSpec
+// executed by TrialRunner, so --trial-threads=N parallelises the seed sweep
+// (bit-identical aggregates for every N) and --out=FILE emits the shared
+// JSON report schema (runner/json_report.hpp).
 #include <cmath>
+#include <fstream>
 #include <iostream>
 
 #include "baselines/name_dropper.hpp"
 #include "bench_util.hpp"
 #include "common/math.hpp"
+#include "runner/json_report.hpp"
+#include "runner/registry.hpp"
+#include "runner/trial_runner.hpp"
 
 int main(int argc, char** argv) {
   using namespace gossip;
   const auto cfg = bench::Config::parse(argc, argv);
   const auto sizes = cfg.size_sweep();
-  const auto algorithms = bench::standard_algorithms();
+  const auto& algorithms = runner::algorithms();  // registry comparison order
+  runner::TrialRunner trials(cfg.trial_threads);
 
   bench::print_header(
       "E1: round complexity to inform all nodes",
@@ -28,10 +38,11 @@ int main(int argc, char** argv) {
       "[Thm 1]; PUSH/PULL/PUSH-PULL/RRS: Theta(log n) [10, 12]");
 
   std::vector<std::string> headers{"n", "loglog n", "sqrt(log n)", "log n"};
-  for (const auto& a : algorithms) headers.push_back(a.name);
+  for (const auto& a : algorithms) headers.push_back(a.display);
   Table rounds_table("mean rounds to completion (" + std::to_string(cfg.seeds) + " seeds)",
                      headers);
   std::vector<std::vector<double>> mean_rounds(algorithms.size());
+  std::vector<runner::ScenarioResult> results;
 
   for (const std::uint32_t n : sizes) {
     rounds_table.row()
@@ -40,13 +51,22 @@ int main(int argc, char** argv) {
         .add(std::sqrt(log2d(n)), 2)
         .add(log2d(n), 1);
     for (std::size_t i = 0; i < algorithms.size(); ++i) {
-      const auto agg = bench::sweep(algorithms[i], n, cfg.seeds);
+      runner::ScenarioSpec spec;
+      spec.name = std::string(algorithms[i].id) + "/n=" + std::to_string(n);
+      spec.algorithm = algorithms[i].id;
+      spec.n = n;
+      spec.trials = cfg.seeds;
+      spec.seed = 1000;
+      spec.engine_threads = cfg.threads;
+      auto result = trials.run(spec);
+      const auto& agg = result.aggregate;
       mean_rounds[i].push_back(agg.rounds.mean());
       rounds_table.add(agg.rounds.mean(), 1);
       if (agg.failures) {
-        std::cerr << "WARNING: " << algorithms[i].name << " n=" << n << " failed "
+        std::cerr << "WARNING: " << algorithms[i].display << " n=" << n << " failed "
                   << agg.failures << "/" << agg.runs << " runs\n";
       }
+      if (!cfg.out.empty()) results.push_back(std::move(result));
     }
   }
   rounds_table.print(std::cout);
@@ -96,5 +116,15 @@ int main(int argc, char** argv) {
     }
   }
   nd.print(std::cout);
+
+  if (!cfg.out.empty()) {
+    std::ofstream f(cfg.out);
+    if (!f) {
+      std::cerr << "cannot write " << cfg.out << "\n";
+      return 1;
+    }
+    runner::write_scenarios_json(f, "round_complexity", results);
+    std::cerr << "wrote " << cfg.out << "\n";
+  }
   return 0;
 }

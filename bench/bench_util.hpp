@@ -1,18 +1,27 @@
 // Shared harness for the experiment benchmarks (E1-E8 in DESIGN.md).
 //
 // Every bench binary accepts:
-//   --full        larger sizes / more seeds (longer runs)
-//   --seeds=N     override the seed count
-//   --max-exp=K   cap network sizes at 2^K
+//   --full             larger sizes / more seeds (longer runs)
+//   --seeds=N          override the seed count
+//   --max-exp=K        cap network sizes at 2^K
+//   --threads=N        per-run sharded phase-1 engine execution (plumbed to
+//                      DriverOptions.threads / UniformOptions.threads; 0 =
+//                      serial, the default - see sim/engine.hpp)
+//   --trial-threads=N  cross-trial workers for TrialRunner-based benches
+//                      (aggregates are bit-identical for every value)
+//   --out=FILE         TrialRunner-based benches: write a JSON report
 // and prints self-describing tables (common/table.hpp) with a paper-vs-
 // measured note, so bench_output.txt reads as the experiment record.
+// Unknown flags are an error (usage + exit 2).
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -22,6 +31,8 @@
 #include "baselines/uniform.hpp"
 #include "common/table.hpp"
 #include "core/broadcast.hpp"
+#include "runner/registry.hpp"
+#include "runner/scenario.hpp"
 #include "sim/engine.hpp"
 
 namespace gossip::bench {
@@ -30,21 +41,52 @@ struct Config {
   bool full = false;
   unsigned seeds = 5;
   unsigned max_exp = 18;  ///< largest network is 2^max_exp (20 with --full)
+  unsigned threads = 0;   ///< sharded phase-1 engine threads (0 = serial)
+  unsigned trial_threads = 1;  ///< TrialRunner workers (migrated benches)
+  std::string out;        ///< JSON report path (migrated benches; "" = none)
+
+  /// `message` explains what went wrong ("unknown argument: ..." or the
+  /// parse error for a recognized flag's bad value).
+  [[noreturn]] static void usage_and_exit(const std::string& message) {
+    std::fprintf(stderr,
+                 "%s\n"
+                 "usage: bench_* [--full] [--seeds=N] [--max-exp=K] [--threads=N]\n"
+                 "               [--trial-threads=N] [--out=FILE]\n"
+                 "(--trial-threads and --out only act on TrialRunner-based benches;\n"
+                 " see the flag list at the top of bench_util.hpp)\n",
+                 message.c_str());
+    std::exit(2);
+  }
 
   static Config parse(int argc, char** argv) {
     Config c;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
+      const auto uint_flag = [&](const char* prefix, unsigned& into) {
+        const std::size_t len = std::strlen(prefix);
+        if (arg.rfind(prefix, 0) != 0) return false;
+        // Shared strict parsing with the scenario runner, so "--seeds=1e2"
+        // and "--seeds=-1" behave identically in gossip_run and bench_*.
+        try {
+          into = static_cast<unsigned>(runner::parse_count(
+              prefix, arg.substr(len), 0, std::numeric_limits<unsigned>::max()));
+        } catch (const std::exception& e) {
+          usage_and_exit(e.what());  // "bad value for '--seeds=': ..."
+        }
+        return true;
+      };
       if (arg == "--full") {
         c.full = true;
         c.max_exp = 20;
         c.seeds = 5;
-      } else if (arg.rfind("--seeds=", 0) == 0) {
-        c.seeds = static_cast<unsigned>(std::stoul(arg.substr(8)));
-      } else if (arg.rfind("--max-exp=", 0) == 0) {
-        c.max_exp = static_cast<unsigned>(std::stoul(arg.substr(10)));
+      } else if (arg.rfind("--out=", 0) == 0) {
+        c.out = arg.substr(6);
+      } else if (uint_flag("--seeds=", c.seeds) || uint_flag("--max-exp=", c.max_exp) ||
+                 uint_flag("--threads=", c.threads) ||
+                 uint_flag("--trial-threads=", c.trial_threads)) {
+        // handled
       } else {
-        std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+        usage_and_exit("unknown argument: " + arg);
       }
     }
     return c;
@@ -64,54 +106,25 @@ struct NamedAlgorithm {
   std::function<core::BroadcastReport(sim::Network&, std::uint32_t source)> run;
 };
 
-/// The standard comparison set: the paper's algorithms plus every baseline.
-inline std::vector<NamedAlgorithm> standard_algorithms(std::uint64_t delta = 1024) {
-  return {
-      {"Cluster1",
-       [](sim::Network& net, std::uint32_t source) {
-         core::BroadcastOptions o;
-         o.algorithm = core::Algorithm::kCluster1;
-         o.source = source;
-         return core::broadcast(net, o);
-       }},
-      {"Cluster2",
-       [](sim::Network& net, std::uint32_t source) {
-         core::BroadcastOptions o;
-         o.algorithm = core::Algorithm::kCluster2;
-         o.source = source;
-         return core::broadcast(net, o);
-       }},
-      {"C3+CPP",
-       [delta](sim::Network& net, std::uint32_t source) {
-         core::BroadcastOptions o;
-         o.algorithm = core::Algorithm::kCluster3PushPull;
-         o.delta = delta;
-         o.source = source;
-         return core::broadcast(net, o);
-       }},
-      {"AvinElsasser",
-       [](sim::Network& net, std::uint32_t source) {
-         sim::Engine engine(net);
-         baselines::AvinElsasser algo(engine);
-         return algo.run(source);
-       }},
-      {"RRS[10]",
-       [](sim::Network& net, std::uint32_t source) {
-         return baselines::run_rrs(net, source, {});
-       }},
-      {"PUSH-PULL",
-       [](sim::Network& net, std::uint32_t source) {
-         return baselines::run_push_pull(net, source, {});
-       }},
-      {"PUSH",
-       [](sim::Network& net, std::uint32_t source) {
-         return baselines::run_push(net, source, {});
-       }},
-      {"PULL",
-       [](sim::Network& net, std::uint32_t source) {
-         return baselines::run_pull(net, source, {});
-       }},
-  };
+/// The standard comparison set: the paper's algorithms plus every baseline,
+/// in the runner registry's canonical order and under its display names -
+/// a thin adapter over runner::algorithms() so the set exists in ONE place.
+/// `threads` >= 1 opts every run's engine into sharded phase-1 execution
+/// (DriverOptions.threads / UniformOptions.threads; changes same-seed
+/// trajectories once, see sim/engine.hpp).
+inline std::vector<NamedAlgorithm> standard_algorithms(std::uint64_t delta = 1024,
+                                                       unsigned threads = 0) {
+  runner::ScenarioSpec spec;
+  spec.delta = delta;
+  spec.engine_threads = threads;
+  std::vector<NamedAlgorithm> out;
+  for (const runner::AlgorithmEntry& entry : runner::algorithms()) {
+    out.push_back({entry.display,
+                   [spec, run = &entry.run](sim::Network& net, std::uint32_t source) {
+                     return (*run)(net, source, spec);
+                   }});
+  }
+  return out;
 }
 
 /// Runs `algo` across seeds on n-node networks and aggregates the reports.

@@ -15,4 +15,17 @@ void ReportAggregate::add(const core::BroadcastReport& r) {
   uninformed.add(static_cast<double>(r.uninformed()));
 }
 
+void ReportAggregate::merge(const ReportAggregate& other) {
+  runs += other.runs;
+  failures += other.failures;
+  rounds.merge(other.rounds);
+  payload_per_node.merge(other.payload_per_node);
+  connections_per_node.merge(other.connections_per_node);
+  bits_per_node.merge(other.bits_per_node);
+  total_bits.merge(other.total_bits);
+  max_delta.merge(other.max_delta);
+  informed_fraction.merge(other.informed_fraction);
+  uninformed.merge(other.uninformed);
+}
+
 }  // namespace gossip::analysis

@@ -1,28 +1,97 @@
-// Seed-sweep aggregation used by every benchmark: collect BroadcastReports
-// across seeds and expose mean/min/max statistics per complexity measure.
+// Seed-sweep aggregation used by every benchmark and the scenario runner:
+// collect BroadcastReports across trials and expose mean/min/max/quantile
+// statistics per complexity measure.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "core/report.hpp"
 
 namespace gossip::analysis {
 
+/// One complexity measure across trials: streaming moments (RunningStat)
+/// plus the raw per-trial samples, which is what makes quantiles and a
+/// bit-deterministic merge possible. merge() REPLAYS the other side's
+/// samples through add() in their original order, so merging k partial
+/// aggregates (split anywhere, merged left to right) is bit-identical to
+/// one serial pass - the contract the parallel TrialRunner relies on.
+class MetricStat {
+ public:
+  void add(double x) {
+    stat_.add(x);
+    samples_.push_back(x);
+  }
+
+  void merge(const MetricStat& other) {
+    // Index-based so self-merge is safe: add() may reallocate samples_, but
+    // the first `count` elements survive and operator[] re-reads the data
+    // pointer each iteration (a range-for here would be UB on &other == this).
+    const std::size_t count = other.samples_.size();
+    for (std::size_t i = 0; i < count; ++i) add(other.samples_[i]);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return stat_.count(); }
+  [[nodiscard]] double mean() const noexcept { return stat_.mean(); }
+  [[nodiscard]] double variance() const noexcept { return stat_.variance(); }
+  [[nodiscard]] double stddev() const noexcept { return stat_.stddev(); }
+  [[nodiscard]] double min() const noexcept { return stat_.min(); }
+  [[nodiscard]] double max() const noexcept { return stat_.max(); }
+  [[nodiscard]] double sum() const noexcept { return stat_.sum(); }
+
+  /// Linear-interpolated quantile over the collected samples; 0 when empty.
+  [[nodiscard]] double quantile(double q) const {
+    if (samples_.empty()) return 0.0;
+    return gossip::quantile(samples_, q);
+  }
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p90() const { return quantile(0.90); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+
+  /// Batch variant for report emission: sorts the samples ONCE and reads
+  /// every requested quantile off the sorted copy (quantile() above copies
+  /// and sorts per call, which adds up at 8 metrics x several quantiles).
+  [[nodiscard]] std::vector<double> quantiles(std::span<const double> qs) const {
+    std::vector<double> out(qs.size(), 0.0);
+    if (samples_.empty()) return out;
+    std::vector<double> sorted(samples_);
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+      out[i] = gossip::quantile_sorted(sorted, qs[i]);
+    }
+    return out;
+  }
+
+  [[nodiscard]] const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  RunningStat stat_;
+  std::vector<double> samples_;
+};
+
 /// Accumulates the complexity measures of repeated runs.
 struct ReportAggregate {
-  RunningStat rounds;
-  RunningStat payload_per_node;
-  RunningStat connections_per_node;
-  RunningStat bits_per_node;
-  RunningStat total_bits;
-  RunningStat max_delta;
-  RunningStat informed_fraction;
-  RunningStat uninformed;
+  MetricStat rounds;
+  MetricStat payload_per_node;
+  MetricStat connections_per_node;
+  MetricStat bits_per_node;
+  MetricStat total_bits;
+  MetricStat max_delta;
+  MetricStat informed_fraction;
+  MetricStat uninformed;
   std::uint64_t runs = 0;
   std::uint64_t failures = 0;  ///< runs that did not inform everyone
 
   void add(const core::BroadcastReport& r);
+
+  /// Appends `other`'s trials after this aggregate's, metric by metric, in
+  /// `other`'s original order. Deterministic: any contiguous split of a
+  /// report sequence, aggregated partially and merged in sequence order,
+  /// yields an aggregate bit-identical to serial add() of every report.
+  void merge(const ReportAggregate& other);
 };
 
 }  // namespace gossip::analysis

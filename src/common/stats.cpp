@@ -62,13 +62,18 @@ Summary summarize(std::vector<double> samples) {
 
 double quantile(std::vector<double> samples, double q) {
   GOSSIP_CHECK(!samples.empty());
-  q = std::clamp(q, 0.0, 1.0);
   std::sort(samples.begin(), samples.end());
-  const double pos = q * static_cast<double>(samples.size() - 1);
+  return quantile_sorted(samples, q);
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  GOSSIP_CHECK(!sorted.empty());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
   const double frac = pos - static_cast<double>(lo);
-  if (lo + 1 >= samples.size()) return samples.back();
-  return samples[lo] * (1.0 - frac) + samples[lo + 1] * frac;
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
 }
 
 }  // namespace gossip

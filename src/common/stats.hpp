@@ -4,6 +4,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace gossip {
@@ -50,5 +51,10 @@ struct Summary {
 /// Linear-interpolated quantile of a sample vector, q in [0, 1].
 /// Precondition: samples non-empty.
 [[nodiscard]] double quantile(std::vector<double> samples, double q);
+
+/// Same, over an ALREADY-SORTED sample range (no copy, no sort) - for
+/// callers evaluating several quantiles of one distribution.
+/// Precondition: sorted non-empty and ascending.
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q);
 
 }  // namespace gossip

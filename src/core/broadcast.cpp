@@ -22,6 +22,7 @@ BroadcastReport broadcast(sim::Network& net, const BroadcastOptions& options) {
   sim::Engine engine(net);
   cluster::DriverOptions driver_opts;
   driver_opts.validate = options.validate;
+  driver_opts.threads = options.threads;
 
   switch (options.algorithm) {
     case Algorithm::kCluster1: {

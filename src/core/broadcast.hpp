@@ -35,6 +35,10 @@ struct BroadcastOptions {
   std::uint64_t delta = 1024;
   /// Enable the O(n) structural invariant checks (tests/debugging).
   bool validate = false;
+  /// 0 = serial engine (default). >= 1 = sharded phase-1 execution across
+  /// this many threads (plumbed to DriverOptions.threads; see the Threading
+  /// model notes in sim/engine.hpp for the determinism contract).
+  unsigned threads = 0;
   Cluster1Options cluster1;
   Cluster2Options cluster2;
   Cluster3Options cluster3;

@@ -31,6 +31,11 @@
 #include "core/leader_election.hpp"
 #include "core/options.hpp"
 #include "core/schedules.hpp"
+#include "runner/json_report.hpp"
+#include "runner/json_writer.hpp"
+#include "runner/registry.hpp"
+#include "runner/scenario.hpp"
+#include "runner/trial_runner.hpp"
 #include "sim/engine.hpp"
 #include "sim/fault.hpp"
 #include "sim/network.hpp"

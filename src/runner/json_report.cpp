@@ -1,0 +1,81 @@
+#include "runner/json_report.hpp"
+
+#include "analysis/experiment.hpp"
+
+namespace gossip::runner {
+
+namespace {
+
+void write_metric(JsonWriter& w, std::string_view name,
+                  const analysis::MetricStat& m) {
+  constexpr double kQs[] = {0.50, 0.90, 0.99};
+  const std::vector<double> qs = m.quantiles(kQs);  // one sort for all three
+  w.key(name).begin_object();
+  w.kv("count", std::uint64_t{m.count()});
+  w.kv("mean", m.mean());
+  w.kv("stddev", m.stddev());
+  w.kv("min", m.min());
+  w.kv("max", m.max());
+  w.kv("p50", qs[0]);
+  w.kv("p90", qs[1]);
+  w.kv("p99", qs[2]);
+  w.end_object();
+}
+
+}  // namespace
+
+void write_scenario_members(JsonWriter& w, const ScenarioResult& result) {
+  const ScenarioSpec& s = result.spec;
+  w.key("scenario").begin_object();
+  w.kv("name", s.name);
+  w.kv("algorithm", s.algorithm);
+  w.kv("n", s.n);
+  w.kv("trials", std::uint64_t{s.trials});
+  w.kv("seed", s.seed);
+  w.kv("engine_threads", std::uint64_t{s.engine_threads});
+  w.kv("rumor_bits", s.rumor_bits);
+  w.kv("delta", s.delta);
+  w.kv("max_rounds", std::uint64_t{s.max_rounds});
+  w.kv("fault_fraction", s.fault_fraction);
+  w.kv("fault_strategy", strategy_key(s.fault_strategy));
+  w.kv("fault_count", s.fault_count());
+  w.end_object();
+
+  const analysis::ReportAggregate& a = result.aggregate;
+  w.kv("runs", a.runs);
+  w.kv("failures", a.failures);
+  w.key("metrics").begin_object();
+  write_metric(w, "rounds", a.rounds);
+  write_metric(w, "payload_messages_per_node", a.payload_per_node);
+  write_metric(w, "connections_per_node", a.connections_per_node);
+  write_metric(w, "bits_per_node", a.bits_per_node);
+  write_metric(w, "total_bits", a.total_bits);
+  write_metric(w, "max_delta", a.max_delta);
+  write_metric(w, "informed_fraction", a.informed_fraction);
+  write_metric(w, "uninformed", a.uninformed);
+  w.end_object();
+}
+
+void write_scenario_json(std::ostream& os, const ScenarioResult& result) {
+  JsonWriter w(os);
+  w.begin_object();
+  write_scenario_members(w, result);
+  w.end_object();
+}
+
+void write_scenarios_json(std::ostream& os, std::string_view bench_name,
+                          const std::vector<ScenarioResult>& results) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("bench", bench_name);
+  w.key("scenarios").begin_array();
+  for (const ScenarioResult& r : results) {
+    w.begin_object();
+    write_scenario_members(w, r);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace gossip::runner

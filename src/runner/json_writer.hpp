@@ -1,0 +1,141 @@
+// Minimal streaming JSON writer for the BENCH_*.json / gossip_run reports.
+//
+// Every bench used to hand-roll its `os << "{\n ..."` emitter; this is the
+// one shared implementation. Output is pretty-printed (2-space indent, keys
+// in insertion order) so reports diff cleanly - the scenario runner's
+// determinism CI check literally diffs two of these files. Doubles are
+// printed with max_digits10 precision ("%.17g"), so bit-identical values
+// always serialize to identical text.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace gossip::runner {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  /// Writes the member name; must be followed by a value or begin_*().
+  JsonWriter& key(std::string_view name) {
+    separate();
+    quote(name);
+    os_ << ": ";
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    separate();
+    quote(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) {
+    separate();
+    os_ << (v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    separate();
+    if (!std::isfinite(v)) {
+      os_ << "null";  // bare nan/inf tokens are not valid JSON
+      return *this;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os_ << buf;
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    separate();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    separate();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(std::uint32_t v) { return value(std::uint64_t{v}); }
+  JsonWriter& value(std::int32_t v) { return value(std::int64_t{v}); }
+
+  template <class T>
+  JsonWriter& kv(std::string_view name, const T& v) {
+    return key(name).value(v);
+  }
+
+ private:
+  JsonWriter& open(char c) {
+    separate();
+    os_ << c;
+    had_member_.push_back(false);
+    return *this;
+  }
+
+  JsonWriter& close(char c) {
+    const bool empty = !had_member_.back();
+    had_member_.pop_back();
+    if (!empty) {
+      os_ << '\n';
+      indent();
+    }
+    os_ << c;
+    if (had_member_.empty()) os_ << '\n';  // top-level value: newline-terminate
+    return *this;
+  }
+
+  /// Emits the comma/newline/indent that precedes a new member or element.
+  void separate() {
+    if (pending_key_) {  // value completing a "key": pair - no separator
+      pending_key_ = false;
+      return;
+    }
+    if (had_member_.empty()) return;  // top-level value
+    if (had_member_.back()) os_ << ',';
+    os_ << '\n';
+    had_member_.back() = true;
+    indent();
+  }
+
+  void indent() {
+    for (std::size_t i = 0; i < had_member_.size(); ++i) os_ << "  ";
+  }
+
+  void quote(std::string_view s) {
+    os_ << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\t': os_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            os_ << buf;
+          } else {
+            os_ << c;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+  std::vector<bool> had_member_;  ///< per open container: wrote a member yet?
+  bool pending_key_ = false;
+};
+
+}  // namespace gossip::runner

@@ -1,0 +1,102 @@
+#include "runner/registry.hpp"
+
+#include <sstream>
+
+#include "baselines/avin_elsasser.hpp"
+#include "baselines/rrs.hpp"
+#include "baselines/uniform.hpp"
+#include "core/broadcast.hpp"
+#include "sim/engine.hpp"
+
+namespace gossip::runner {
+
+namespace {
+
+core::BroadcastReport run_core(sim::Network& net, std::uint32_t source,
+                               const ScenarioSpec& spec, core::Algorithm which) {
+  core::BroadcastOptions o;
+  o.algorithm = which;
+  o.source = source;
+  o.delta = spec.delta;
+  o.threads = spec.engine_threads;
+  return core::broadcast(net, o);
+}
+
+baselines::UniformOptions uniform_opts(const ScenarioSpec& spec) {
+  baselines::UniformOptions o;
+  o.max_rounds = spec.max_rounds;
+  o.threads = spec.engine_threads;
+  return o;
+}
+
+}  // namespace
+
+const std::vector<AlgorithmEntry>& algorithms() {
+  static const std::vector<AlgorithmEntry> kRegistry = {
+      {"cluster1", "Cluster1",
+       "Algorithm 1: round-optimal O(log log n) broadcast",
+       [](sim::Network& net, std::uint32_t source, const ScenarioSpec& spec) {
+         return run_core(net, source, spec, core::Algorithm::kCluster1);
+       }},
+      {"cluster2", "Cluster2",
+       "Algorithm 2: round-, message- and bit-optimal broadcast",
+       [](sim::Network& net, std::uint32_t source, const ScenarioSpec& spec) {
+         return run_core(net, source, spec, core::Algorithm::kCluster2);
+       }},
+      {"cluster3_push_pull", "C3+CPP",
+       "Algorithms 4+3: Delta-bounded broadcast (uses the spec's delta)",
+       [](sim::Network& net, std::uint32_t source, const ScenarioSpec& spec) {
+         return run_core(net, source, spec, core::Algorithm::kCluster3PushPull);
+       }},
+      {"avin_elsasser", "AvinElsasser",
+       "DISC'13 baseline: O(sqrt(log n)) rounds via geometric merge phases",
+       [](sim::Network& net, std::uint32_t source, const ScenarioSpec& spec) {
+         sim::Engine engine(net);
+         cluster::DriverOptions driver_opts;
+         driver_opts.threads = spec.engine_threads;
+         baselines::AvinElsasser algo(engine, baselines::AvinElsasserOptions(),
+                                      driver_opts);
+         return algo.run(source);
+       }},
+      {"rrs", "RRS[10]",
+       "Karp et al. min-counter push-pull: O(log n) rounds, O(log log n) "
+       "transmissions per node",
+       [](sim::Network& net, std::uint32_t source, const ScenarioSpec& spec) {
+         baselines::RrsOptions o;
+         o.max_rounds = spec.max_rounds;
+         return baselines::run_rrs(net, source, o);
+       }},
+      {"push_pull", "PUSH-PULL",
+       "uniform baseline: informed push, uninformed pull",
+       [](sim::Network& net, std::uint32_t source, const ScenarioSpec& spec) {
+         return baselines::run_push_pull(net, source, uniform_opts(spec));
+       }},
+      {"push", "PUSH", "uniform baseline: every informed node pushes",
+       [](sim::Network& net, std::uint32_t source, const ScenarioSpec& spec) {
+         return baselines::run_push(net, source, uniform_opts(spec));
+       }},
+      {"pull", "PULL", "uniform baseline: every uninformed node pulls",
+       [](sim::Network& net, std::uint32_t source, const ScenarioSpec& spec) {
+         return baselines::run_pull(net, source, uniform_opts(spec));
+       }},
+  };
+  return kRegistry;
+}
+
+const AlgorithmEntry* find_algorithm(std::string_view id) {
+  for (const AlgorithmEntry& e : algorithms()) {
+    if (id == e.id) return &e;
+  }
+  return nullptr;
+}
+
+const AlgorithmEntry& require_algorithm(std::string_view id) {
+  if (const AlgorithmEntry* e = find_algorithm(id)) return *e;
+  std::ostringstream os;
+  os << "unknown algorithm '" << id << "' (known:";
+  for (const AlgorithmEntry& e : algorithms()) os << " " << e.id;
+  os << ")";
+  throw ScenarioError(os.str());
+}
+
+}  // namespace gossip::runner

@@ -1,0 +1,41 @@
+// Algorithm registry: string id -> runnable broadcast algorithm.
+//
+// One table covers the paper's broadcast cores (core::broadcast), the
+// cluster-based Avin-Elsasser baseline and the uniform / RRS baselines, so
+// the scenario runner (and any bench built on it) selects algorithms by
+// data. Every entry runs on a caller-provided Network - faults and seeding
+// are the TrialRunner's job - and honours the spec's delta / max_rounds /
+// engine_threads knobs where the underlying algorithm exposes them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "core/report.hpp"
+#include "runner/scenario.hpp"
+#include "sim/network.hpp"
+
+namespace gossip::runner {
+
+struct AlgorithmEntry {
+  const char* id;       ///< scenario-file / CLI name (e.g. "cluster2")
+  const char* display;  ///< table/report label (e.g. "Cluster2")
+  const char* summary;  ///< one-line description for --list
+  std::function<core::BroadcastReport(sim::Network&, std::uint32_t source,
+                                      const ScenarioSpec&)>
+      run;
+};
+
+/// The full registry, in canonical comparison order (paper algorithms
+/// first, then baselines by decreasing sophistication).
+[[nodiscard]] const std::vector<AlgorithmEntry>& algorithms();
+
+/// Looks up an entry by id; nullptr when unknown.
+[[nodiscard]] const AlgorithmEntry* find_algorithm(std::string_view id);
+
+/// find_algorithm that throws ScenarioError listing the known ids.
+[[nodiscard]] const AlgorithmEntry& require_algorithm(std::string_view id);
+
+}  // namespace gossip::runner

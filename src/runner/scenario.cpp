@@ -1,0 +1,206 @@
+#include "runner/scenario.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace gossip::runner {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+[[noreturn]] void bad_value(std::string_view key, std::string_view value,
+                            const char* want) {
+  std::ostringstream os;
+  os << "bad value for '" << key << "': '" << value << "' (want " << want << ")";
+  throw ScenarioError(os.str());
+}
+
+double parse_fraction(std::string_view key, std::string_view value) {
+  double d = 0.0;
+  try {
+    std::size_t used = 0;
+    const std::string s(value);
+    d = std::stod(s, &used);
+    if (used != s.size()) throw std::invalid_argument(s);
+  } catch (const std::exception&) {
+    bad_value(key, value, "a real number in [0, 1)");
+  }
+  // The range comparison alone would let NaN through (all comparisons false).
+  if (!std::isfinite(d) || d < 0.0 || d >= 1.0) {
+    bad_value(key, value, "a real number in [0, 1)");
+  }
+  return d;
+}
+
+sim::FaultStrategy parse_strategy(std::string_view key, std::string_view value) {
+  if (value == "random" || value == "random_subset") {
+    return sim::FaultStrategy::kRandomSubset;
+  }
+  if (value == "smallest" || value == "smallest_ids") {
+    return sim::FaultStrategy::kSmallestIds;
+  }
+  if (value == "stride" || value == "index_stride") {
+    return sim::FaultStrategy::kIndexStride;
+  }
+  bad_value(key, value, "random | smallest | stride");
+}
+
+}  // namespace
+
+std::uint64_t parse_count(std::string_view key, std::string_view value,
+                        std::uint64_t min, std::uint64_t max) {
+  std::uint64_t out = 0;
+  try {
+    std::size_t used = 0;
+    const std::string s(value);
+    if (s.empty() || s.front() == '-' || s.front() == '+') {
+      throw std::invalid_argument(s);
+    }
+    if (s.find_first_of("eE.") != std::string::npos) {
+      // Scientific/decimal notation (n = 1e6). Doubles are exact only up to
+      // 2^53, and a value rounding up to exactly 2^64 would pass a
+      // <= UINT64_MAX check (the max rounds UP in double) and then hit UB in
+      // the cast - so bound by 2^53, plenty for any count written in e-form.
+      const double d = std::stod(s, &used);
+      if (used != s.size() || d < 0 || d != std::floor(d) ||
+          d > 9007199254740992.0 /* 2^53 */) {
+        throw std::invalid_argument(s);
+      }
+      out = static_cast<std::uint64_t>(d);
+    } else {
+      out = std::stoull(s, &used);  // exact for the full uint64 range
+      if (used != s.size()) throw std::invalid_argument(s);
+    }
+  } catch (const std::exception&) {
+    bad_value(key, value, "a non-negative integer");
+  }
+  if (out < min || out > max) {
+    std::ostringstream os;
+    os << "an integer in [" << min << ", " << max << "]";
+    bad_value(key, value, os.str().c_str());
+  }
+  return out;
+}
+
+const char* strategy_key(sim::FaultStrategy s) noexcept {
+  switch (s) {
+    case sim::FaultStrategy::kRandomSubset: return "random";
+    case sim::FaultStrategy::kSmallestIds: return "smallest";
+    case sim::FaultStrategy::kIndexStride: return "stride";
+  }
+  return "?";
+}
+
+std::uint32_t ScenarioSpec::fault_count() const noexcept {
+  return static_cast<std::uint32_t>(
+      std::llround(fault_fraction * static_cast<double>(n)));
+}
+
+void ScenarioSpec::apply(std::string_view key, std::string_view value) {
+  if (key == "name") {
+    name = std::string(value);
+  } else if (key == "algorithm") {
+    algorithm = std::string(value);
+  } else if (key == "n") {
+    n = static_cast<std::uint32_t>(
+        parse_count(key, value, 2, std::numeric_limits<std::uint32_t>::max()));
+  } else if (key == "trials") {
+    trials = static_cast<unsigned>(parse_count(key, value, 1, 1u << 20));
+  } else if (key == "seed") {
+    seed = parse_count(key, value, 0, std::numeric_limits<std::uint64_t>::max());
+  } else if (key == "threads") {
+    threads = static_cast<unsigned>(parse_count(key, value, 1, 256));
+  } else if (key == "engine_threads") {
+    engine_threads = static_cast<unsigned>(parse_count(key, value, 0, 256));
+  } else if (key == "rumor_bits") {
+    rumor_bits = static_cast<std::uint32_t>(parse_count(key, value, 1, 1u << 30));
+  } else if (key == "delta") {
+    delta = parse_count(key, value, 16, std::numeric_limits<std::uint64_t>::max());
+  } else if (key == "max_rounds") {
+    max_rounds = static_cast<unsigned>(parse_count(key, value, 0, 1u << 30));
+  } else if (key == "fault_fraction") {
+    fault_fraction = parse_fraction(key, value);
+  } else if (key == "fault_strategy") {
+    fault_strategy = parse_strategy(key, value);
+  } else {
+    std::ostringstream os;
+    os << "unknown scenario key: '" << key << "'";
+    throw ScenarioError(os.str());
+  }
+}
+
+void ScenarioSpec::validate() const {
+  if (algorithm.empty()) throw ScenarioError("scenario has no algorithm");
+  if (n < 2) throw ScenarioError("scenario needs n >= 2");
+  if (trials < 1) throw ScenarioError("scenario needs trials >= 1");
+  if (fault_count() >= n) {
+    throw ScenarioError("fault_fraction leaves no alive node");
+  }
+}
+
+ScenarioSpec ScenarioSpec::from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ScenarioError("cannot open scenario file: " + path);
+  ScenarioSpec spec;
+  std::string line;
+  unsigned line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view sv(line);
+    if (const auto hash = sv.find('#'); hash != std::string_view::npos) {
+      sv = sv.substr(0, hash);
+    }
+    sv = trim(sv);
+    if (sv.empty()) continue;
+    const auto eq = sv.find('=');
+    if (eq == std::string_view::npos) {
+      std::ostringstream os;
+      os << path << ":" << line_no << ": expected 'key = value', got '" << sv << "'";
+      throw ScenarioError(os.str());
+    }
+    try {
+      spec.apply(trim(sv.substr(0, eq)), trim(sv.substr(eq + 1)));
+    } catch (const ScenarioError& e) {
+      std::ostringstream os;
+      os << path << ":" << line_no << ": " << e.what();
+      throw ScenarioError(os.str());
+    }
+  }
+  return spec;
+}
+
+void ScenarioSpec::apply_cli(const std::vector<std::string>& flags) {
+  for (const std::string& flag : flags) {
+    std::string_view sv(flag);
+    if (sv.rfind("--", 0) != 0) {
+      throw ScenarioError("expected --key=value, got '" + flag + "'");
+    }
+    sv.remove_prefix(2);
+    const auto eq = sv.find('=');
+    if (eq == std::string_view::npos) {
+      throw ScenarioError("expected --key=value, got '" + flag + "'");
+    }
+    apply(trim(sv.substr(0, eq)), trim(sv.substr(eq + 1)));
+  }
+}
+
+const std::vector<std::string>& ScenarioSpec::keys() {
+  static const std::vector<std::string> kKeys = {
+      "name",       "algorithm",  "n",          "trials",
+      "seed",       "threads",    "engine_threads", "rumor_bits",
+      "delta",      "max_rounds", "fault_fraction", "fault_strategy",
+  };
+  return kKeys;
+}
+
+}  // namespace gossip::runner

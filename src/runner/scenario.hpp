@@ -1,0 +1,90 @@
+// Declarative experiment specification for the scenario runner.
+//
+// A ScenarioSpec describes ONE experiment - which algorithm (by registry id,
+// see runner/registry.hpp), network size, fault model, delta bound, trial
+// count and seeding - as plain data. Specs are built from `key = value`
+// scenario files and/or `--key=value` CLI flags (flags override the file),
+// so new workloads are data, not new binaries:
+//
+//   # scenarios/smoke.scn
+//   algorithm = push_pull
+//   n         = 512
+//   trials    = 6
+//   seed      = 42
+//   fault_fraction = 0.05
+//   fault_strategy = random
+//
+// The `threads` key controls CROSS-TRIAL parallelism (TrialRunner workers)
+// and is deliberately excluded from the experiment's identity: the runner's
+// determinism contract is that aggregate output is bit-identical for every
+// worker count >= 1, so `threads` never appears in the JSON report.
+// `engine_threads` opts each trial's engine into sharded phase-1 execution
+// (a different trajectory universe - see sim/engine.hpp); it IS part of the
+// experiment identity and is echoed.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/fault.hpp"
+
+namespace gossip::runner {
+
+/// Thrown on malformed scenario input (unknown key, bad value, bad file).
+/// gossip_run turns this into usage + exit(2); tests assert on it.
+class ScenarioError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct ScenarioSpec {
+  std::string name = "scenario";   ///< label echoed in reports
+  std::string algorithm = "cluster2";  ///< registry id (runner/registry.hpp)
+  std::uint32_t n = 1024;          ///< network size
+  unsigned trials = 5;             ///< independent seeded runs
+  std::uint64_t seed = 1;          ///< base seed; trial t runs off Rng(seed).fork(t)
+  unsigned threads = 1;            ///< TrialRunner workers (not part of identity)
+  unsigned engine_threads = 0;     ///< sharded phase-1 threads per trial (0 = serial)
+  std::uint32_t rumor_bits = 256;  ///< payload size b
+  std::uint64_t delta = 1024;      ///< communication bound (cluster3_push_pull)
+  unsigned max_rounds = 0;         ///< round-schedule cap for uniform/rrs (0 = auto)
+  double fault_fraction = 0.0;     ///< F/n, oblivious failures per trial
+  sim::FaultStrategy fault_strategy = sim::FaultStrategy::kRandomSubset;
+
+  /// Number of failed nodes per trial (round(fault_fraction * n)).
+  [[nodiscard]] std::uint32_t fault_count() const noexcept;
+
+  /// Applies one `key = value` assignment. Throws ScenarioError on an
+  /// unknown key or a value that does not parse / violates a bound.
+  void apply(std::string_view key, std::string_view value);
+
+  /// Validates cross-field constraints (n >= 2, trials >= 1, ...).
+  /// Called by TrialRunner::run; throws ScenarioError.
+  void validate() const;
+
+  /// Parses a scenario file: `key = value` lines, `#` comments, blank lines.
+  static ScenarioSpec from_file(const std::string& path);
+
+  /// Applies `--key=value` CLI flags on top of this spec. Non-spec flags
+  /// (anything not matching a spec key) throw ScenarioError.
+  void apply_cli(const std::vector<std::string>& flags);
+
+  /// The keys apply() understands, for usage/help output.
+  [[nodiscard]] static const std::vector<std::string>& keys();
+};
+
+/// Canonical name for a fault strategy as accepted by apply("fault_strategy").
+[[nodiscard]] const char* strategy_key(sim::FaultStrategy s) noexcept;
+
+/// Strict non-negative integer parsing, shared by the scenario keys and the
+/// bench harness flags so every CLI accepts the same syntax: plain digits
+/// (exact over the full uint64 range) or decimal/scientific notation
+/// ("1e6"; exact-integer up to 2^53). Throws ScenarioError on malformed
+/// input or a value outside [min, max]; `key` names the flag in the error.
+[[nodiscard]] std::uint64_t parse_count(std::string_view key, std::string_view value,
+                                        std::uint64_t min, std::uint64_t max);
+
+}  // namespace gossip::runner

@@ -1,0 +1,59 @@
+#include "runner/trial_runner.hpp"
+
+#include "common/rng.hpp"
+#include "runner/registry.hpp"
+#include "sim/fault.hpp"
+#include "sim/network.hpp"
+
+namespace gossip::runner {
+
+TrialRunner::TrialRunner(unsigned workers) : pool_(workers == 0 ? 1 : workers) {}
+
+core::BroadcastReport TrialRunner::run_trial(const ScenarioSpec& spec,
+                                             unsigned trial) {
+  const AlgorithmEntry& algo = require_algorithm(spec.algorithm);
+  Rng trial_rng = Rng(spec.seed).fork(trial);
+  const std::uint64_t network_seed = trial_rng.next_u64();
+  const std::uint64_t adversary_seed = trial_rng.next_u64();
+
+  sim::NetworkOptions net_opts;
+  net_opts.n = spec.n;
+  net_opts.seed = network_seed;
+  net_opts.rumor_bits = spec.rumor_bits;
+  sim::Network net(net_opts);
+
+  if (const std::uint32_t f = spec.fault_count(); f > 0) {
+    Rng adversary(adversary_seed);  // oblivious: independent of the run's seed
+    for (std::uint32_t v :
+         sim::choose_failures(net, f, spec.fault_strategy, adversary)) {
+      net.fail(v);
+    }
+  }
+
+  auto source = static_cast<std::uint32_t>(trial_rng.uniform_below(spec.n));
+  while (!net.alive(source)) source = (source + 1) % spec.n;
+
+  return algo.run(net, source, spec);
+}
+
+ScenarioResult TrialRunner::run(const ScenarioSpec& spec) {
+  spec.validate();
+  (void)require_algorithm(spec.algorithm);  // fail fast, before any trial runs
+
+  ScenarioResult result;
+  result.spec = spec;
+  result.reports.resize(spec.trials);
+  pool_.parallel_for(spec.trials, [&](std::size_t t) {
+    result.reports[t] = run_trial(spec, static_cast<unsigned>(t));
+  });
+  // Trial-order merge: the aggregate never sees completion order, so it is
+  // bit-identical for every worker count.
+  for (const core::BroadcastReport& r : result.reports) result.aggregate.add(r);
+  return result;
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  return TrialRunner(spec.threads).run(spec);
+}
+
+}  // namespace gossip::runner

@@ -1,0 +1,66 @@
+// Cross-trial parallel execution of a ScenarioSpec.
+//
+// A scenario's trials are independent by construction - trial t builds its
+// own Network (and Engine) from a seed derived as Rng(spec.seed).fork(t), so
+// no state is shared between trials and WHICH worker runs a trial can never
+// influence WHAT the trial computes. TrialRunner fans the trials across a
+// parallel::ThreadPool and then merges the per-trial reports IN TRIAL ORDER,
+// which makes the aggregate (every moment and every quantile) bit-identical
+// for every worker count >= 1. That is the determinism contract CI enforces
+// by diffing --threads=1 against --threads=4 JSON reports.
+//
+// Per-trial derivation (all from the trial's forked stream, so independent
+// of both the worker count and the other trials):
+//   trial_rng   = Rng(spec.seed).fork(t)
+//   network seed, adversary seed, source draw <- successive trial_rng draws
+// The oblivious adversary (sim::choose_failures) picks fault_count() nodes
+// BEFORE the algorithm runs, from its own seed (obliviousness); the source
+// is a uniform draw advanced to the next alive node.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "core/report.hpp"
+#include "runner/scenario.hpp"
+#include "sim/parallel/thread_pool.hpp"
+
+namespace gossip::runner {
+
+/// Everything a scenario execution produces: the per-trial reports (in trial
+/// order) and their aggregate.
+struct ScenarioResult {
+  ScenarioSpec spec;
+  std::vector<core::BroadcastReport> reports;  ///< indexed by trial
+  analysis::ReportAggregate aggregate;         ///< merged in trial order
+};
+
+class TrialRunner {
+ public:
+  /// `workers` counts the caller (ThreadPool convention); 0 is normalised
+  /// to 1 (serial execution on the caller).
+  explicit TrialRunner(unsigned workers);
+
+  [[nodiscard]] unsigned workers() const noexcept { return pool_.size(); }
+
+  /// Runs every trial of `spec` across the pool. Throws ScenarioError on an
+  /// invalid spec or unknown algorithm id; exceptions thrown by a trial
+  /// propagate (first trial index deterministically, see ThreadPool).
+  /// spec.threads is ignored here - the pool size was fixed at construction
+  /// (run_scenario() below is the one-shot convenience that honours it).
+  [[nodiscard]] ScenarioResult run(const ScenarioSpec& spec);
+
+  /// Runs ONE trial of `spec` serially. Exposed so tests can pin the
+  /// trial <-> report mapping independently of the pool.
+  [[nodiscard]] static core::BroadcastReport run_trial(const ScenarioSpec& spec,
+                                                       unsigned trial);
+
+ private:
+  sim::parallel::ThreadPool pool_;
+};
+
+/// One-shot convenience: builds a TrialRunner with spec.threads workers.
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+}  // namespace gossip::runner

@@ -27,7 +27,12 @@ void ThreadPool::run_tickets(const std::function<void(std::size_t)>* fn,
       (*fn)(i);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);
-      if (!first_error_) first_error_ = std::current_exception();
+      // Keep the lowest-index exception so the one that propagates does not
+      // depend on the thread schedule.
+      if (!first_error_ || i < first_error_index_) {
+        first_error_ = std::current_exception();
+        first_error_index_ = i;
+      }
     }
     if (finished_.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
       // Empty critical section: pairs the completion signal with the
@@ -69,7 +74,18 @@ void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
   if (workers_.empty() || count == 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    // Same contract as the pooled path: every item runs even when one
+    // throws, and the lowest-index exception (here: the first, since the
+    // loop is in index order) is rethrown at the end.
+    std::exception_ptr error;
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
     return;
   }
   {
@@ -83,6 +99,7 @@ void ThreadPool::parallel_for(std::size_t count,
     next_ticket_.store(0, std::memory_order_relaxed);
     finished_.store(0, std::memory_order_relaxed);
     first_error_ = nullptr;
+    first_error_index_ = 0;
     ++generation_;
   }
   cv_work_.notify_all();

@@ -36,12 +36,15 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+  /// Alias for threads(): the pool's degree of parallelism, caller included.
+  [[nodiscard]] unsigned size() const noexcept { return threads_; }
 
   /// Invokes fn(i) exactly once for every i in [0, count), across the pool,
   /// and returns when all invocations have completed. fn runs concurrently
   /// on up to threads() threads and must be safe for that; if any invocation
-  /// throws, the first exception (in completion order) is rethrown here
-  /// after the remaining items finish.
+  /// throws, the exception of the LOWEST-index throwing item is rethrown
+  /// here after the remaining items finish - deterministic regardless of
+  /// thread schedule, so error behaviour cannot vary across worker counts.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
  private:
@@ -62,7 +65,8 @@ class ThreadPool {
   const std::function<void(std::size_t)>* job_fn_ = nullptr;
   std::size_t job_count_ = 0;
   unsigned busy_workers_ = 0;  ///< workers inside run_tickets (guarded by mu_)
-  std::exception_ptr first_error_;  ///< guarded by mu_
+  std::exception_ptr first_error_;   ///< lowest-index exception (guarded by mu_)
+  std::size_t first_error_index_ = 0;  ///< its item index (guarded by mu_)
 
   std::atomic<std::size_t> next_ticket_{0};
   std::atomic<std::size_t> finished_{0};

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 namespace gossip::analysis {
 namespace {
 
@@ -49,6 +52,136 @@ TEST(ReportAggregate, EmptyIsSafe) {
   ReportAggregate agg;
   EXPECT_EQ(agg.runs, 0u);
   EXPECT_DOUBLE_EQ(agg.rounds.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(agg.rounds.p50(), 0.0);
+}
+
+// A varied report sequence for the merge/quantile tests: deterministic but
+// irregular values so floating-point order sensitivity would be caught.
+std::vector<core::BroadcastReport> varied_reports(std::size_t count) {
+  std::vector<core::BroadcastReport> reports;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto k = static_cast<std::uint64_t>(i);
+    reports.push_back(make_report(1000, (i % 7 == 3) ? 997 - k : 1000,
+                                  3 + (k * 37) % 11, 100 + (k * k * 13) % 997,
+                                  10000 + (k * 7919) % 4801,
+                                  static_cast<std::uint32_t>(1 + (k * 31) % 17)));
+  }
+  return reports;
+}
+
+void expect_stat_identical(const MetricStat& a, const MetricStat& b,
+                           const char* name) {
+  EXPECT_EQ(a.count(), b.count()) << name;
+  EXPECT_EQ(a.mean(), b.mean()) << name;
+  EXPECT_EQ(a.variance(), b.variance()) << name;
+  EXPECT_EQ(a.min(), b.min()) << name;
+  EXPECT_EQ(a.max(), b.max()) << name;
+  EXPECT_EQ(a.sum(), b.sum()) << name;
+  EXPECT_EQ(a.p50(), b.p50()) << name;
+  EXPECT_EQ(a.p90(), b.p90()) << name;
+  EXPECT_EQ(a.p99(), b.p99()) << name;
+}
+
+void expect_identical(const ReportAggregate& a, const ReportAggregate& b) {
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.failures, b.failures);
+  expect_stat_identical(a.rounds, b.rounds, "rounds");
+  expect_stat_identical(a.payload_per_node, b.payload_per_node, "payload");
+  expect_stat_identical(a.connections_per_node, b.connections_per_node, "conns");
+  expect_stat_identical(a.bits_per_node, b.bits_per_node, "bits_per_node");
+  expect_stat_identical(a.total_bits, b.total_bits, "total_bits");
+  expect_stat_identical(a.max_delta, b.max_delta, "max_delta");
+  expect_stat_identical(a.informed_fraction, b.informed_fraction, "informed");
+  expect_stat_identical(a.uninformed, b.uninformed, "uninformed");
+}
+
+TEST(ReportAggregate, MergeInAnyGroupingIsBitIdenticalToSerial) {
+  const auto reports = varied_reports(24);
+  ReportAggregate serial;
+  for (const auto& r : reports) serial.add(r);
+
+  // Split the same sequence into contiguous partial aggregates at several
+  // granularities, merge in sequence order, and demand EXACT equality -
+  // the TrialRunner's every-worker-count contract rests on this.
+  for (const std::size_t group : {1u, 2u, 5u, 7u, 24u}) {
+    ReportAggregate merged;
+    std::size_t i = 0;
+    while (i < reports.size()) {
+      ReportAggregate partial;
+      for (std::size_t j = i; j < std::min(i + group, reports.size()); ++j) {
+        partial.add(reports[j]);
+      }
+      merged.merge(partial);
+      i += group;
+    }
+    expect_identical(serial, merged);
+  }
+}
+
+TEST(ReportAggregate, SelfMergeDoublesTheSamples) {
+  const auto reports = varied_reports(6);
+  ReportAggregate agg;
+  for (const auto& r : reports) agg.add(r);
+  ReportAggregate doubled;
+  for (int rep = 0; rep < 2; ++rep) {
+    for (const auto& r : reports) doubled.add(r);
+  }
+  agg.merge(agg);  // must not invalidate iterators mid-replay
+  expect_identical(doubled, agg);
+}
+
+TEST(ReportAggregate, MergeIntoEmptyAndFromEmpty) {
+  const auto reports = varied_reports(5);
+  ReportAggregate filled;
+  for (const auto& r : reports) filled.add(r);
+  ReportAggregate from_empty;
+  from_empty.merge(filled);
+  expect_identical(filled, from_empty);
+  ReportAggregate empty;
+  filled.merge(empty);  // no-op
+  EXPECT_EQ(filled.runs, 5u);
+  expect_identical(filled, from_empty);
+}
+
+TEST(MetricStat, QuantilesPinnedOnKnownDistribution) {
+  // rounds = 1..100: linear interpolation at pos q*(count-1) gives exact
+  // closed-form values.
+  ReportAggregate agg;
+  for (std::uint64_t r = 1; r <= 100; ++r) {
+    agg.add(make_report(100, 100, r, 1, 1, 1));
+  }
+  EXPECT_DOUBLE_EQ(agg.rounds.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(agg.rounds.p50(), 50.5);
+  EXPECT_DOUBLE_EQ(agg.rounds.p90(), 90.1);
+  EXPECT_DOUBLE_EQ(agg.rounds.p99(), 99.01);
+  EXPECT_DOUBLE_EQ(agg.rounds.quantile(1.0), 100.0);
+  // Insertion order must not matter (quantile sorts a copy).
+  ReportAggregate reversed;
+  for (std::uint64_t r = 100; r >= 1; --r) {
+    reversed.add(make_report(100, 100, r, 1, 1, 1));
+  }
+  EXPECT_DOUBLE_EQ(reversed.rounds.p50(), 50.5);
+  EXPECT_DOUBLE_EQ(reversed.rounds.p90(), 90.1);
+  EXPECT_DOUBLE_EQ(reversed.rounds.p99(), 99.01);
+}
+
+TEST(MetricStat, SingleSampleQuantiles) {
+  MetricStat m;
+  m.add(42.0);
+  EXPECT_DOUBLE_EQ(m.p50(), 42.0);
+  EXPECT_DOUBLE_EQ(m.p99(), 42.0);
+}
+
+TEST(MetricStat, BatchQuantilesMatchPerCallQuantiles) {
+  MetricStat m;
+  for (int i = 100; i >= 1; --i) m.add(static_cast<double>(i));
+  const double qs[] = {0.0, 0.5, 0.9, 0.99, 1.0};
+  const auto batch = m.quantiles(qs);
+  ASSERT_EQ(batch.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(batch[i], m.quantile(qs[i])) << "q=" << qs[i];
+  }
+  EXPECT_EQ(MetricStat().quantiles(qs), std::vector<double>(5, 0.0));
 }
 
 }  // namespace

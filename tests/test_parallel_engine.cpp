@@ -12,6 +12,7 @@
 #include <numeric>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "baselines/uniform.hpp"
@@ -67,6 +68,38 @@ TEST(ThreadPool, SingleThreadRunsInlineInOrder) {
   std::vector<std::size_t> order;
   pool.parallel_for(5, [&](std::size_t i) { order.push_back(i); });
   EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, SizeCountsCallerAndNormalisesZero) {
+  EXPECT_EQ(parallel::ThreadPool(4).size(), 4u);
+  EXPECT_EQ(parallel::ThreadPool(1).size(), 1u);
+  EXPECT_EQ(parallel::ThreadPool(0).size(), 1u);  // 0 normalised to inline
+}
+
+TEST(ThreadPool, PropagatesLowestIndexExceptionDeterministically) {
+  // Many items throw concurrently; the pool must always rethrow the
+  // LOWEST-index exception AND still run every item, independent of both
+  // the thread schedule and the worker count (the inline single-thread
+  // path shares the contract). Repeat to give a schedule-dependent
+  // implementation a chance to fail.
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    parallel::ThreadPool pool(threads);
+    for (int rep = 0; rep < (threads == 1 ? 1 : 25); ++rep) {
+      std::atomic<std::uint32_t> executed{0};
+      std::string caught;
+      try {
+        pool.parallel_for(200, [&](std::size_t i) {
+          executed.fetch_add(1);
+          if (i >= 7) throw std::runtime_error(std::to_string(i));
+        });
+        FAIL() << "expected an exception";
+      } catch (const std::runtime_error& e) {
+        caught = e.what();
+      }
+      EXPECT_EQ(caught, "7") << "threads " << threads << " rep " << rep;
+      EXPECT_EQ(executed.load(), 200u) << "threads " << threads << " rep " << rep;
+    }
+  }
 }
 
 TEST(ThreadPool, PropagatesFirstException) {

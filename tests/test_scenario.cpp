@@ -1,0 +1,131 @@
+// ScenarioSpec parsing: key=value files, CLI flag overrides, strict errors
+// (unknown keys / bad values throw ScenarioError), and the registry lookup.
+#include "runner/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "runner/registry.hpp"
+
+namespace gossip::runner {
+namespace {
+
+std::string write_temp(const std::string& name, const std::string& contents) {
+  const std::string path = testing::TempDir() + name;
+  std::ofstream f(path);
+  f << contents;
+  return path;
+}
+
+TEST(ScenarioSpec, ParsesFileWithCommentsAndWhitespace) {
+  const std::string path = write_temp("scenario_parse.scn",
+                                      "# full-line comment\n"
+                                      "algorithm = cluster2\n"
+                                      "\n"
+                                      "n=4096   # trailing comment\n"
+                                      "trials = 12\n"
+                                      "seed\t=\t99\n"
+                                      "fault_fraction = 0.25\n"
+                                      "fault_strategy = smallest\n");
+  const ScenarioSpec spec = ScenarioSpec::from_file(path);
+  EXPECT_EQ(spec.algorithm, "cluster2");
+  EXPECT_EQ(spec.n, 4096u);
+  EXPECT_EQ(spec.trials, 12u);
+  EXPECT_EQ(spec.seed, 99u);
+  EXPECT_DOUBLE_EQ(spec.fault_fraction, 0.25);
+  EXPECT_EQ(spec.fault_strategy, sim::FaultStrategy::kSmallestIds);
+  EXPECT_EQ(spec.fault_count(), 1024u);
+}
+
+TEST(ScenarioSpec, CliFlagsOverrideFile) {
+  const std::string path =
+      write_temp("scenario_override.scn", "algorithm = push\nn = 512\ntrials = 4\n");
+  ScenarioSpec spec = ScenarioSpec::from_file(path);
+  spec.apply_cli({"--n=2048", "--threads=8"});
+  EXPECT_EQ(spec.algorithm, "push");  // from the file
+  EXPECT_EQ(spec.n, 2048u);           // overridden
+  EXPECT_EQ(spec.threads, 8u);
+  EXPECT_EQ(spec.trials, 4u);
+}
+
+TEST(ScenarioSpec, ScientificNotationCounts) {
+  ScenarioSpec spec;
+  spec.apply("n", "1e6");
+  EXPECT_EQ(spec.n, 1000000u);
+}
+
+TEST(ScenarioSpec, PlainIntegersAreExactForTheFullSeedRange) {
+  ScenarioSpec spec;
+  // Values above 2^53 must not round-trip through double.
+  spec.apply("seed", "18446744073709551615");
+  EXPECT_EQ(spec.seed, 18446744073709551615ULL);
+  spec.apply("seed", "9007199254740993");  // 2^53 + 1
+  EXPECT_EQ(spec.seed, 9007199254740993ULL);
+  // Scientific notation beyond double's exact-integer range is rejected
+  // instead of silently rounded.
+  EXPECT_THROW(spec.apply("seed", "1e19"), ScenarioError);
+}
+
+TEST(ScenarioSpec, UnknownKeyThrows) {
+  ScenarioSpec spec;
+  EXPECT_THROW(spec.apply("algorthm", "cluster2"), ScenarioError);
+  EXPECT_THROW(spec.apply_cli({"--not-a-key=1"}), ScenarioError);
+  EXPECT_THROW(spec.apply_cli({"--n"}), ScenarioError);      // missing =value
+  EXPECT_THROW(spec.apply_cli({"n=1024"}), ScenarioError);   // missing --
+}
+
+TEST(ScenarioSpec, BadValuesThrow) {
+  ScenarioSpec spec;
+  EXPECT_THROW(spec.apply("n", "abc"), ScenarioError);
+  EXPECT_THROW(spec.apply("n", "1"), ScenarioError);          // n >= 2
+  EXPECT_THROW(spec.apply("n", "1.5"), ScenarioError);        // not integral
+  EXPECT_THROW(spec.apply("n", "-4"), ScenarioError);         // negative
+  EXPECT_THROW(spec.apply("n", "64x"), ScenarioError);        // trailing junk
+  EXPECT_THROW(spec.apply("trials", "0"), ScenarioError);
+  EXPECT_THROW(spec.apply("threads", "0"), ScenarioError);
+  EXPECT_THROW(spec.apply("delta", "8"), ScenarioError);      // delta >= 16
+  EXPECT_THROW(spec.apply("fault_fraction", "1.0"), ScenarioError);
+  EXPECT_THROW(spec.apply("fault_fraction", "-0.1"), ScenarioError);
+  EXPECT_THROW(spec.apply("fault_fraction", "nan"), ScenarioError);
+  EXPECT_THROW(spec.apply("fault_fraction", "inf"), ScenarioError);
+  EXPECT_THROW(spec.apply("fault_strategy", "malicious"), ScenarioError);
+}
+
+TEST(ScenarioSpec, MalformedFileLineReportsLineNumber) {
+  const std::string path =
+      write_temp("scenario_bad.scn", "algorithm = push\nthis line has no equals\n");
+  try {
+    (void)ScenarioSpec::from_file(path);
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(std::string(e.what()).find(":2:"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ScenarioSpec, MissingFileThrows) {
+  EXPECT_THROW((void)ScenarioSpec::from_file("/nonexistent/path.scn"), ScenarioError);
+}
+
+TEST(ScenarioSpec, StrategyKeysRoundTrip) {
+  for (const auto s :
+       {sim::FaultStrategy::kRandomSubset, sim::FaultStrategy::kSmallestIds,
+        sim::FaultStrategy::kIndexStride}) {
+    ScenarioSpec spec;
+    spec.apply("fault_strategy", strategy_key(s));
+    EXPECT_EQ(spec.fault_strategy, s);
+  }
+}
+
+TEST(Registry, FindsEveryIdAndRejectsUnknown) {
+  EXPECT_GE(algorithms().size(), 8u);
+  for (const AlgorithmEntry& e : algorithms()) {
+    EXPECT_EQ(find_algorithm(e.id), &e);
+  }
+  EXPECT_EQ(find_algorithm("nope"), nullptr);
+  EXPECT_THROW((void)require_algorithm("nope"), ScenarioError);
+}
+
+}  // namespace
+}  // namespace gossip::runner

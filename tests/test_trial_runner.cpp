@@ -1,0 +1,181 @@
+// TrialRunner determinism contract (runner/trial_runner.hpp): for a fixed
+// ScenarioSpec the aggregated report - every moment and every quantile - is
+// bit-identical across worker counts, and per-trial seeds depend only on the
+// trial index. These are exact (EXPECT_EQ on doubles) comparisons: the
+// runner merges in trial order, so not a single bit may move.
+#include "runner/trial_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runner/registry.hpp"
+
+namespace gossip::runner {
+namespace {
+
+ScenarioSpec fixed_spec() {
+  ScenarioSpec spec;
+  spec.name = "fixture";
+  spec.algorithm = "push_pull";
+  spec.n = 256;
+  spec.trials = 8;
+  spec.seed = 7;
+  spec.rumor_bits = 128;
+  spec.fault_fraction = 0.05;
+  spec.fault_strategy = sim::FaultStrategy::kRandomSubset;
+  return spec;
+}
+
+void expect_metric_identical(const analysis::MetricStat& a,
+                             const analysis::MetricStat& b, const char* name) {
+  EXPECT_EQ(a.count(), b.count()) << name;
+  EXPECT_EQ(a.mean(), b.mean()) << name;
+  EXPECT_EQ(a.stddev(), b.stddev()) << name;
+  EXPECT_EQ(a.min(), b.min()) << name;
+  EXPECT_EQ(a.max(), b.max()) << name;
+  EXPECT_EQ(a.sum(), b.sum()) << name;
+  EXPECT_EQ(a.p50(), b.p50()) << name;
+  EXPECT_EQ(a.p90(), b.p90()) << name;
+  EXPECT_EQ(a.p99(), b.p99()) << name;
+  EXPECT_EQ(a.samples(), b.samples()) << name;
+}
+
+void expect_aggregate_identical(const analysis::ReportAggregate& a,
+                                const analysis::ReportAggregate& b) {
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.failures, b.failures);
+  expect_metric_identical(a.rounds, b.rounds, "rounds");
+  expect_metric_identical(a.payload_per_node, b.payload_per_node, "payload");
+  expect_metric_identical(a.connections_per_node, b.connections_per_node,
+                          "connections");
+  expect_metric_identical(a.bits_per_node, b.bits_per_node, "bits_per_node");
+  expect_metric_identical(a.total_bits, b.total_bits, "total_bits");
+  expect_metric_identical(a.max_delta, b.max_delta, "max_delta");
+  expect_metric_identical(a.informed_fraction, b.informed_fraction,
+                          "informed_fraction");
+  expect_metric_identical(a.uninformed, b.uninformed, "uninformed");
+}
+
+void expect_reports_identical(const std::vector<core::BroadcastReport>& a,
+                              const std::vector<core::BroadcastReport>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    EXPECT_EQ(a[t].rounds, b[t].rounds) << "trial " << t;
+    EXPECT_EQ(a[t].informed, b[t].informed) << "trial " << t;
+    EXPECT_EQ(a[t].alive, b[t].alive) << "trial " << t;
+    EXPECT_EQ(a[t].stats.total.bits, b[t].stats.total.bits) << "trial " << t;
+    EXPECT_EQ(a[t].stats.total.connections, b[t].stats.total.connections)
+        << "trial " << t;
+    EXPECT_EQ(a[t].stats.total.max_involvement, b[t].stats.total.max_involvement)
+        << "trial " << t;
+  }
+}
+
+TEST(TrialRunner, AggregateBitIdenticalAcrossWorkerCounts) {
+  const ScenarioSpec spec = fixed_spec();
+  const ScenarioResult base = TrialRunner(1).run(spec);
+  EXPECT_EQ(base.aggregate.runs, spec.trials);
+  for (const unsigned workers : {2u, 8u}) {
+    const ScenarioResult parallel = TrialRunner(workers).run(spec);
+    expect_aggregate_identical(base.aggregate, parallel.aggregate);
+    expect_reports_identical(base.reports, parallel.reports);
+  }
+}
+
+TEST(TrialRunner, PerTrialSeedsIndependentOfWorkerCount) {
+  const ScenarioSpec spec = fixed_spec();
+  // run_trial(spec, t) is the ground truth for trial t: the pooled runs must
+  // hand every trial exactly this report, regardless of which worker ran it.
+  std::vector<core::BroadcastReport> expected;
+  for (unsigned t = 0; t < spec.trials; ++t) {
+    expected.push_back(TrialRunner::run_trial(spec, t));
+  }
+  for (const unsigned workers : {1u, 2u, 8u}) {
+    const ScenarioResult result = TrialRunner(workers).run(spec);
+    expect_reports_identical(expected, result.reports);
+  }
+}
+
+TEST(TrialRunner, TrialsDrawDistinctSeeds) {
+  ScenarioSpec spec = fixed_spec();
+  spec.fault_fraction = 0.0;
+  spec.trials = 4;
+  const ScenarioResult result = TrialRunner(1).run(spec);
+  // Forked per-trial streams: at least one pair of trials must differ in
+  // total traffic (identical trajectories would mean seed aliasing).
+  const auto& bits = result.aggregate.total_bits.samples();
+  bool any_differ = false;
+  for (double x : bits) any_differ |= (x != bits.front());
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(TrialRunner, FaultModelAppliedPerTrial) {
+  ScenarioSpec spec = fixed_spec();
+  spec.fault_fraction = 0.1;
+  const ScenarioResult result = TrialRunner(2).run(spec);
+  for (const core::BroadcastReport& r : result.reports) {
+    EXPECT_EQ(r.n, spec.n);
+    EXPECT_EQ(r.alive, spec.n - spec.fault_count());
+  }
+}
+
+TEST(TrialRunner, ShardedEnginesInsideParallelTrials) {
+  // engine_threads nests a per-trial engine pool inside the cross-trial
+  // pool; the determinism contract must survive the nesting.
+  ScenarioSpec spec = fixed_spec();
+  spec.algorithm = "push";
+  spec.engine_threads = 2;
+  spec.trials = 4;
+  const ScenarioResult serial = TrialRunner(1).run(spec);
+  const ScenarioResult parallel = TrialRunner(4).run(spec);
+  expect_aggregate_identical(serial.aggregate, parallel.aggregate);
+  expect_reports_identical(serial.reports, parallel.reports);
+}
+
+TEST(TrialRunner, EveryRegistryAlgorithmRuns) {
+  for (const AlgorithmEntry& entry : algorithms()) {
+    ScenarioSpec spec;
+    spec.algorithm = entry.id;
+    spec.n = 128;
+    spec.trials = 2;
+    spec.seed = 3;
+    spec.delta = 64;  // cluster3_push_pull needs delta <= n
+    const ScenarioResult result = TrialRunner(2).run(spec);
+    EXPECT_EQ(result.aggregate.runs, 2u) << entry.id;
+    EXPECT_GT(result.aggregate.informed_fraction.mean(), 0.9) << entry.id;
+    EXPECT_GT(result.aggregate.rounds.mean(), 0.0) << entry.id;
+  }
+}
+
+TEST(TrialRunner, UnknownAlgorithmThrows) {
+  ScenarioSpec spec = fixed_spec();
+  spec.algorithm = "does_not_exist";
+  EXPECT_THROW((void)TrialRunner(1).run(spec), ScenarioError);
+}
+
+TEST(TrialRunner, InvalidSpecThrows) {
+  ScenarioSpec spec = fixed_spec();
+  spec.fault_fraction = 0.999;  // rounds to n failures: nobody left alive
+  EXPECT_THROW((void)TrialRunner(1).run(spec), ScenarioError);
+}
+
+TEST(TrialRunner, WorkersReflectConstructionAndNormaliseZero) {
+  EXPECT_EQ(TrialRunner(3).workers(), 3u);
+  EXPECT_EQ(TrialRunner(1).workers(), 1u);
+  EXPECT_EQ(TrialRunner(0).workers(), 1u);
+}
+
+TEST(TrialRunner, RunScenarioMatchesExplicitRunner) {
+  // Note the determinism contract makes the aggregate identical for every
+  // worker count by design, so this pins the convenience wrapper's output,
+  // not that it actually used spec.threads workers (workers() above covers
+  // the pool size; the wrapper is one line - see run_scenario()).
+  ScenarioSpec spec = fixed_spec();
+  spec.threads = 3;
+  const ScenarioResult result = run_scenario(spec);
+  expect_aggregate_identical(TrialRunner(1).run(spec).aggregate, result.aggregate);
+}
+
+}  // namespace
+}  // namespace gossip::runner

@@ -1,0 +1,149 @@
+// gossip_run - the declarative scenario-runner CLI.
+//
+// One entry point for every algorithm in the registry (paper cores +
+// baselines), driven by a scenario file and/or CLI flags:
+//
+//   gossip_run --list
+//   gossip_run --algorithm=cluster2 --n=4096 --trials=10 --threads=4
+//   gossip_run --scenario=scenarios/smoke.scn --threads=4 --out=report.json
+//
+// Flags override the scenario file. The JSON report goes to stdout (and
+// --out=FILE); a human summary table goes to stderr. The report is
+// bit-identical for every --threads value - CI diffs --threads=1 against
+// --threads=4 to enforce it (see runner/trial_runner.hpp).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "runner/json_report.hpp"
+#include "runner/registry.hpp"
+#include "runner/scenario.hpp"
+#include "runner/trial_runner.hpp"
+
+namespace {
+
+using namespace gossip;
+
+void print_usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: gossip_run [--scenario=FILE] [--KEY=VALUE ...] [--out=FILE]\n"
+               "                  [--list] [--quiet] [--help]\n\n"
+               "  --scenario=FILE  load a 'key = value' scenario file (# comments)\n"
+               "  --KEY=VALUE      set/override a scenario key. Keys:\n");
+  for (const std::string& k : runner::ScenarioSpec::keys()) {
+    std::fprintf(to, "                     %s\n", k.c_str());
+  }
+  std::fprintf(to,
+               "  --out=FILE       also write the JSON report to FILE\n"
+               "  --list           list registry algorithm ids and exit\n"
+               "  --quiet          suppress the stderr summary table\n\n"
+               "JSON schema: see src/runner/json_report.hpp. The report is\n"
+               "bit-identical for every --threads value >= 1.\n");
+}
+
+void print_algorithms() {
+  Table t("registered algorithms (--algorithm=ID)", {"id", "label", "summary"});
+  for (const runner::AlgorithmEntry& e : runner::algorithms()) {
+    t.row().add(e.id).add(e.display).add(e.summary);
+  }
+  t.print(std::cout);
+}
+
+void print_summary(const runner::ScenarioResult& result) {
+  const runner::ScenarioSpec& s = result.spec;
+  const analysis::ReportAggregate& a = result.aggregate;
+  Table t(s.name + ": " + s.algorithm + " on n=" + std::to_string(s.n) + ", " +
+              std::to_string(s.trials) + " trials (seed " + std::to_string(s.seed) +
+              ", F=" + std::to_string(s.fault_count()) + ")",
+          {"metric", "mean", "stddev", "min", "p50", "p90", "p99", "max"});
+  const auto add_metric = [&](const char* name, const analysis::MetricStat& m,
+                              int precision) {
+    constexpr double kQs[] = {0.50, 0.90, 0.99};
+    const std::vector<double> qs = m.quantiles(kQs);
+    t.row()
+        .add(name)
+        .add(m.mean(), precision)
+        .add(m.stddev(), precision)
+        .add(m.min(), precision)
+        .add(qs[0], precision)
+        .add(qs[1], precision)
+        .add(qs[2], precision)
+        .add(m.max(), precision);
+  };
+  add_metric("rounds", a.rounds, 1);
+  add_metric("payload msg/node", a.payload_per_node, 2);
+  add_metric("connections/node", a.connections_per_node, 2);
+  add_metric("bits/node", a.bits_per_node, 1);
+  add_metric("max delta", a.max_delta, 1);
+  add_metric("informed fraction", a.informed_fraction, 4);
+  add_metric("uninformed", a.uninformed, 1);
+  std::ostringstream os;
+  t.print(os);
+  os << "failures: " << a.failures << "/" << a.runs << " trials left nodes uninformed\n";
+  std::fputs(os.str().c_str(), stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario_path;
+  std::string out_path;
+  bool quiet = false;
+  std::vector<std::string> spec_flags;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(stdout);
+      return 0;
+    } else if (arg == "--list") {
+      print_algorithms();
+      return 0;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg.rfind("--scenario=", 0) == 0) {
+      scenario_path = arg.substr(11);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else {
+      spec_flags.push_back(arg);
+    }
+  }
+
+  try {
+    runner::ScenarioSpec spec;
+    if (!scenario_path.empty()) {
+      spec = runner::ScenarioSpec::from_file(scenario_path);
+    }
+    spec.apply_cli(spec_flags);  // flags override the file
+
+    // run_scenario validates the spec and resolves the algorithm itself.
+    const runner::ScenarioResult result = runner::run_scenario(spec);
+
+    runner::write_scenario_json(std::cout, result);
+    if (!out_path.empty()) {
+      std::ofstream f(out_path);
+      if (!f) {
+        std::fprintf(stderr, "gossip_run: cannot write %s\n", out_path.c_str());
+        return 1;
+      }
+      runner::write_scenario_json(f, result);
+      std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+    }
+    if (!quiet) print_summary(result);
+  } catch (const runner::ScenarioError& e) {
+    std::fprintf(stderr, "gossip_run: %s\n\n", e.what());
+    print_usage(stderr);
+    return 2;
+  } catch (const std::exception& e) {
+    // Algorithm-level preconditions (e.g. delta <= n, minimum n) surface as
+    // contract violations; report them cleanly instead of std::terminate.
+    std::fprintf(stderr, "gossip_run: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
