@@ -9,6 +9,11 @@
 //                      serial, the default - see sim/engine.hpp)
 //   --trial-threads=N  cross-trial workers for TrialRunner-based benches
 //                      (aggregates are bit-identical for every value)
+//   --loss-prob=P      TrialRunner-based benches: per-contact payload loss
+//                      probability in [0, 1) (sim/fault.hpp LossyChannel)
+//   --crash-round=R    TrialRunner-based benches: defer the crash set to the
+//                      start of engine round R (ScheduledCrash) instead of
+//                      the legacy pre-run crash
 //   --out=FILE         TrialRunner-based benches: write a JSON report
 // and prints self-describing tables (common/table.hpp) with a paper-vs-
 // measured note, so bench_output.txt reads as the experiment record.
@@ -43,6 +48,9 @@ struct Config {
   unsigned max_exp = 18;  ///< largest network is 2^max_exp (20 with --full)
   unsigned threads = 0;   ///< sharded phase-1 engine threads (0 = serial)
   unsigned trial_threads = 1;  ///< TrialRunner workers (migrated benches)
+  double loss_prob = 0.0; ///< per-contact payload loss (TrialRunner benches)
+  /// Crash timing for the fault keys (kCrashPreRun = legacy pre-run crash).
+  std::int64_t crash_round = runner::ScenarioSpec::kCrashPreRun;
   std::string out;        ///< JSON report path (migrated benches; "" = none)
 
   /// `message` explains what went wrong ("unknown argument: ..." or the
@@ -51,9 +59,11 @@ struct Config {
     std::fprintf(stderr,
                  "%s\n"
                  "usage: bench_* [--full] [--seeds=N] [--max-exp=K] [--threads=N]\n"
-                 "               [--trial-threads=N] [--out=FILE]\n"
-                 "(--trial-threads and --out only act on TrialRunner-based benches;\n"
-                 " see the flag list at the top of bench_util.hpp)\n",
+                 "               [--trial-threads=N] [--loss-prob=P] [--crash-round=R]\n"
+                 "               [--out=FILE]\n"
+                 "(--trial-threads, --loss-prob, --crash-round and --out only act on\n"
+                 " TrialRunner-based benches; see the flag list at the top of\n"
+                 " bench_util.hpp)\n",
                  message.c_str());
     std::exit(2);
   }
@@ -81,6 +91,19 @@ struct Config {
         c.seeds = 5;
       } else if (arg.rfind("--out=", 0) == 0) {
         c.out = arg.substr(6);
+      } else if (arg.rfind("--loss-prob=", 0) == 0) {
+        try {
+          c.loss_prob = runner::parse_fraction("--loss-prob=", arg.substr(12));
+        } catch (const std::exception& e) {
+          usage_and_exit(e.what());
+        }
+      } else if (arg.rfind("--crash-round=", 0) == 0) {
+        try {
+          c.crash_round = static_cast<std::int64_t>(
+              runner::parse_count("--crash-round=", arg.substr(14), 0, 1u << 30));
+        } catch (const std::exception& e) {
+          usage_and_exit(e.what());
+        }
       } else if (uint_flag("--seeds=", c.seeds) || uint_flag("--max-exp=", c.max_exp) ||
                  uint_flag("--threads=", c.threads) ||
                  uint_flag("--trial-threads=", c.trial_threads)) {
@@ -97,6 +120,16 @@ struct Config {
     std::vector<std::uint32_t> sizes;
     for (unsigned e = min_exp; e <= max_exp; e += 2) sizes.push_back(1u << e);
     return sizes;
+  }
+
+  /// Copies the fault flags onto a TrialRunner spec, so any migrated bench
+  /// can be rerun under loss / mid-run crashes (e.g. --loss-prob=0.2 on the
+  /// round-complexity sweep). --crash-round only retimes an existing crash
+  /// set: on a spec without one (fault_count() == 0) it is skipped, since
+  /// deferring an empty crash would just be a spec error.
+  void apply_faults(runner::ScenarioSpec& spec) const {
+    spec.loss_prob = loss_prob;
+    if (spec.fault_count() > 0) spec.crash_round = crash_round;
   }
 };
 
@@ -121,7 +154,7 @@ inline std::vector<NamedAlgorithm> standard_algorithms(std::uint64_t delta = 102
   for (const runner::AlgorithmEntry& entry : runner::algorithms()) {
     out.push_back({entry.display,
                    [spec, run = &entry.run](sim::Network& net, std::uint32_t source) {
-                     return (*run)(net, source, spec);
+                     return (*run)(net, source, spec, /*fault=*/nullptr);
                    }});
   }
   return out;

@@ -1,31 +1,92 @@
-// Scenario: broadcasting through a partial outage (Theorem 19).
+// Scenario: broadcasting through partial outages, on the pluggable
+// sim::FaultModel timeline.
 //
-// An oblivious adversary takes down a fraction of the fleet before the
-// update goes out - a rack loses power, an AZ drops. The paper's guarantee:
-// with F failed nodes, still all but o(F) of the survivors learn the update,
-// with unchanged round/message bounds. This example injects increasing
-// failure fractions under three adversary strategies and reports what
-// actually happens to coverage.
+// Part 1 (Theorem 19): an oblivious adversary takes down a fraction of the
+// fleet before the update goes out - a rack loses power, an AZ drops. The
+// paper's guarantee: with F failed nodes, still all but o(F) of the
+// survivors learn the update, with unchanged round/message bounds.
+//
+// Part 2 (beyond the paper): the outage happens mid-broadcast - a
+// ScheduledCrash fires at the start of round t, and can even take the
+// source down. On PUSH-PULL every round the rumor survives multiplies the
+// informed set, so the damage shrinks geometrically with t. (The cluster
+// algorithms funnel the rumor through the final merged-cluster share, so a
+// mid-run crash of that skeleton is far more damaging - see
+// bench_fault_tolerance's scheduled-crash sweep.)
+//
+// Part 3: lossy channels - every contact's payload is dropped independently
+// with probability p (Doerr-Fouz style transmission failures), composed
+// with a crash via CompositeFault.
 //
 //   $ ./examples/fault_injection [n]
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 
+#include "baselines/uniform.hpp"
 #include "common/table.hpp"
 #include "core/broadcast.hpp"
 #include "sim/fault.hpp"
 
+namespace {
+
+using namespace gossip;
+
+// Builds a fresh network, runs the model's oblivious setup (the harness's
+// job - TrialRunner does the same per trial; the adversary's choices come
+// from an independent stream, fixed before the algorithm draws anything),
+// picks an alive source, and hands (net, source) to the algorithm.
+template <class RunAlgorithm>
+core::BroadcastReport run_with_model(std::uint32_t n, std::uint64_t seed,
+                                     sim::FaultModel& model, RunAlgorithm&& run) {
+  sim::NetworkOptions o;
+  o.n = n;
+  o.seed = seed;
+  sim::Network net(o);
+  Rng adversary(mix64(seed * 65537ULL));
+  model.on_run_begin(net, adversary);
+  std::uint32_t source = 0;
+  while (!net.alive(source)) ++source;
+  return run(net, source);
+}
+
+/// Cluster2 broadcast with the model on the engine's timeline.
+core::BroadcastReport run_cluster2_with_model(std::uint32_t n, std::uint64_t seed,
+                                              sim::FaultModel& model) {
+  return run_with_model(n, seed, model,
+                        [&](sim::Network& net, std::uint32_t source) {
+                          core::BroadcastOptions bo;
+                          bo.source = source;
+                          bo.fault_model = &model;
+                          return core::broadcast(net, bo);
+                        });
+}
+
+/// Same harness, PUSH-PULL baseline (the fault surface is uniform across
+/// algorithms: UniformOptions carries the same non-owning model pointer).
+core::BroadcastReport run_push_pull_with_model(std::uint32_t n, std::uint64_t seed,
+                                               sim::FaultModel& model) {
+  return run_with_model(n, seed, model,
+                        [&](sim::Network& net, std::uint32_t source) {
+                          baselines::UniformOptions uo;
+                          uo.fault = &model;
+                          return baselines::run_push_pull(net, source, uo);
+                        });
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace gossip;
   const std::uint32_t n = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1]))
                                    : (1u << 16);
+  constexpr unsigned kSeeds = 3;
 
-  std::cout << "Fault injection: Cluster2 broadcast with F oblivious failures, n = "
-            << n << "\n";
+  std::cout << "Fault injection: Cluster2 broadcast under sim::FaultModel scenarios, "
+               "n = " << n << "\n";
 
-  Table t("coverage under failures (3 seeds each)",
-          {"F/n", "adversary", "survivors", "uninformed", "uninformed/F", "rounds"});
-
+  // --- Part 1: Theorem 19 - pre-run oblivious crashes (StaticCrash). ------
+  Table t1("coverage under pre-run failures (" + std::to_string(kSeeds) + " seeds each)",
+           {"F/n", "adversary", "survivors", "uninformed", "uninformed/F", "rounds"});
   for (const double frac : {0.05, 0.15, 0.30}) {
     for (const auto strategy :
          {sim::FaultStrategy::kRandomSubset, sim::FaultStrategy::kSmallestIds,
@@ -34,41 +95,144 @@ int main(int argc, char** argv) {
       double uninformed_sum = 0;
       std::uint64_t rounds = 0;
       std::uint64_t survivors = 0;
-      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
-        sim::NetworkOptions o;
-        o.n = n;
-        o.seed = seed;
-        sim::Network net(o);
-        // Oblivious: the failure set is fixed before the run, from an
-        // independent random stream.
-        Rng adversary(mix64(seed * 65537ULL));
-        for (std::uint32_t v : sim::choose_failures(net, f, strategy, adversary)) {
-          net.fail(v);
-        }
-        std::uint32_t source = 0;
-        while (!net.alive(source)) ++source;
-        core::BroadcastOptions bo;
-        bo.source = source;
-        const auto report = core::broadcast(net, bo);
+      for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        sim::StaticCrash model(f, strategy);
+        const auto report = run_cluster2_with_model(n, seed, model);
         uninformed_sum += static_cast<double>(report.uninformed());
         rounds = report.rounds;
         survivors = report.alive;
       }
-      t.row()
+      t1.row()
           .add(frac, 2)
           .add(sim::to_string(strategy))
           .add(survivors)
-          .add(uninformed_sum / 3.0, 1)
-          .add(uninformed_sum / 3.0 / static_cast<double>(f), 5)
+          .add(uninformed_sum / kSeeds, 1)
+          .add(uninformed_sum / kSeeds / static_cast<double>(f), 5)
           .add(rounds);
     }
   }
-  t.print(std::cout);
+  t1.print(std::cout);
 
   std::cout << "\nHow to read this: 'uninformed/F' near zero is Theorem 19's\n"
                "all-but-o(F) guarantee; the adversary's strategy does not matter\n"
                "(the algorithms are symmetric in the nodes, so oblivious failures\n"
                "act like random ones), and the round count never changes - the\n"
                "schedule is deterministic and failures only silence dead nodes.\n";
+
+  // --- Part 2: scheduled mid-broadcast crashes (PUSH-PULL). ---------------
+  // 2a: kill ONLY THE SOURCE at round t (explicit victim set). Once the
+  // rumor escapes the source, losing it no longer matters.
+  Table t2a("PUSH-PULL: kill the source at round t (" + std::to_string(kSeeds) +
+                " seeds each)",
+            {"crash round", "informed frac", "uninformed", "rounds"});
+  for (const std::uint64_t t_crash : {0ull, 1ull, 2ull, 4ull, 8ull}) {
+    double informed_frac_sum = 0;
+    double uninformed_sum = 0;
+    double rounds_sum = 0;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      // The source is always node 0 here: no pre-run crash leaves it alive,
+      // and the harness picks the first alive node.
+      sim::ScheduledCrash model(t_crash, std::vector<std::uint32_t>{0});
+      const auto report = run_push_pull_with_model(n, seed, model);
+      informed_frac_sum += report.informed_fraction();
+      uninformed_sum += static_cast<double>(report.uninformed());
+      rounds_sum += static_cast<double>(report.rounds);
+    }
+    t2a.row()
+        .add(std::to_string(t_crash))
+        .add(informed_frac_sum / kSeeds, 5)
+        .add(uninformed_sum / kSeeds, 1)
+        .add(rounds_sum / kSeeds, 1);
+  }
+  t2a.print(std::cout);
+
+  // 2b: a 20% oblivious crash set fired at round t.
+  Table t2b("PUSH-PULL: 20% random crash at round t (" + std::to_string(kSeeds) +
+                " seeds each)",
+            {"crash round", "survivors", "informed frac", "uninformed", "rounds"});
+  const auto f20 = static_cast<std::uint32_t>(0.2 * n);
+  for (const std::uint64_t t_crash : {0ull, 2ull, 4ull, 8ull, 16ull}) {
+    double informed_frac_sum = 0;
+    double uninformed_sum = 0;
+    double rounds_sum = 0;
+    std::uint64_t survivors = 0;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      sim::ScheduledCrash model(t_crash, f20, sim::FaultStrategy::kRandomSubset);
+      const auto report = run_push_pull_with_model(n, seed, model);
+      informed_frac_sum += report.informed_fraction();
+      uninformed_sum += static_cast<double>(report.uninformed());
+      rounds_sum += static_cast<double>(report.rounds);
+      survivors = report.alive;
+    }
+    t2b.row()
+        .add(std::to_string(t_crash))
+        .add(survivors)
+        .add(informed_frac_sum / kSeeds, 5)
+        .add(uninformed_sum / kSeeds, 1)
+        .add(rounds_sum / kSeeds, 1);
+  }
+  t2b.print(std::cout);
+
+  std::cout << "\nHow to read this: a crash at round 0 can strand everyone (the\n"
+               "source dies before its first call - runs to the round cap with\n"
+               "nobody informed); from round 1 on the rumor has escaped and every\n"
+               "surviving copy multiplies, so the same outage costs only a few\n"
+               "extra rounds and coverage of the survivors returns to 1.\n";
+
+  // --- Part 3: lossy channels, alone and composed with a crash. -----------
+  Table t3("lossy channels: drop each payload w.p. p (" + std::to_string(kSeeds) +
+               " seeds each)",
+           {"model", "informed frac", "uninformed", "rounds"});
+  for (const double p : {0.1, 0.3, 0.5}) {
+    double informed_frac_sum = 0;
+    double uninformed_sum = 0;
+    std::uint64_t rounds = 0;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      sim::LossyChannel model(p);
+      const auto report = run_cluster2_with_model(n, seed, model);
+      informed_frac_sum += report.informed_fraction();
+      uninformed_sum += static_cast<double>(report.uninformed());
+      rounds = report.rounds;
+    }
+    sim::LossyChannel label(p);
+    t3.row()
+        .add(label.describe())
+        .add(informed_frac_sum / kSeeds, 5)
+        .add(uninformed_sum / kSeeds, 1)
+        .add(rounds);
+  }
+  {
+    // Composite: 10% crash at round 4 on top of a 20% lossy fabric.
+    double informed_frac_sum = 0;
+    double uninformed_sum = 0;
+    std::uint64_t rounds = 0;
+    std::string label;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      sim::CompositeFault model;
+      model.add(std::make_unique<sim::ScheduledCrash>(
+                   4, static_cast<std::uint32_t>(0.1 * n),
+                   sim::FaultStrategy::kRandomSubset))
+          .add(std::make_unique<sim::LossyChannel>(0.2));
+      label = model.describe();
+      const auto report = run_cluster2_with_model(n, seed, model);
+      informed_frac_sum += report.informed_fraction();
+      uninformed_sum += static_cast<double>(report.uninformed());
+      rounds = report.rounds;
+    }
+    t3.row()
+        .add(label)
+        .add(informed_frac_sum / kSeeds, 5)
+        .add(uninformed_sum / kSeeds, 1)
+        .add(rounds);
+  }
+  t3.print(std::cout);
+
+  std::cout << "\nHow to read this: the cluster schedule is fixed, so loss never\n"
+               "changes the round count - it converts dropped payloads into\n"
+               "uninformed stragglers. Degradation is graceful while the multi-hop\n"
+               "coordination (grow/merge/relay chains) still mostly gets through\n"
+               "(p <= ~0.3); at p = 0.5 those chains break and coverage collapses -\n"
+               "PUSH-PULL under the same loss merely slows down (bench_fault_\n"
+               "tolerance's lossy sweep shows the contrast).\n";
   return 0;
 }

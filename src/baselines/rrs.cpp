@@ -62,6 +62,7 @@ core::BroadcastReport run_rrs(sim::Network& net, std::uint32_t source, RrsOption
   const unsigned cap = detail::auto_round_cap(n, options.max_rounds);
 
   sim::Engine engine(net);
+  engine.set_fault_model(options.fault);
   // ctr == 0: uninformed; 1..ctr_max: state B; > ctr_max: state C.
   std::vector<std::uint32_t> ctr(n, 0);
   std::vector<std::uint32_t> partner_max(n, 0);  // largest counter met this round
@@ -71,7 +72,9 @@ core::BroadcastReport run_rrs(sim::Network& net, std::uint32_t source, RrsOption
 
   RrsHooks hooks{ctr, partner_max, met_informed, informed_count, ctr_max};
 
-  while (informed_count < net.alive_count() && engine.rounds() < cap) {
+  const auto is_informed = [&](std::uint32_t v) { return ctr[v] != 0; };
+  while (!detail::all_alive_informed(net, informed_count, is_informed) &&
+         engine.rounds() < cap) {
     std::fill(partner_max.begin(), partner_max.end(), 0);
     std::fill(met_informed.begin(), met_informed.end(), 0);
     engine.run_round(hooks);
@@ -84,7 +87,8 @@ core::BroadcastReport run_rrs(sim::Network& net, std::uint32_t source, RrsOption
     }
   }
 
-  return detail::finish_report(net, engine, informed_count, "rrs");
+  return detail::finish_report(net, engine, detail::count_informed_alive(net, is_informed),
+                               "rrs");
 }
 
 }  // namespace gossip::baselines

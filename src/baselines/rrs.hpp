@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "core/report.hpp"
+#include "sim/fault.hpp"
 #include "sim/network.hpp"
 
 namespace gossip::baselines {
@@ -24,6 +25,9 @@ struct RrsOptions {
   unsigned ctr_max = 0;
   /// 0 = auto: 10 * ceil(log2 n) + 50.
   unsigned max_rounds = 0;
+  /// Fault scenario on the round timeline (sim/fault.hpp; nullable,
+  /// non-owning; the caller invokes on_run_begin itself).
+  sim::FaultModel* fault = nullptr;
 };
 
 [[nodiscard]] core::BroadcastReport run_rrs(sim::Network& net, std::uint32_t source,

@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "core/report.hpp"
+#include "sim/fault.hpp"
 #include "sim/network.hpp"
 
 namespace gossip::baselines {
@@ -28,6 +29,11 @@ struct UniformOptions {
   /// streams, so they differ from the serial trajectory (see the Threading
   /// model notes in sim/engine.hpp).
   unsigned threads = 0;
+  /// Fault scenario on the run's round timeline (sim/fault.hpp). Non-owning;
+  /// the caller invokes on_run_begin itself. Null = fault-free. With mid-run
+  /// crashes the oracle stop condition ("every alive node informed") is
+  /// evaluated exactly - informed nodes that later crash no longer count.
+  sim::FaultModel* fault = nullptr;
 };
 
 [[nodiscard]] core::BroadcastReport run_push(sim::Network& net, std::uint32_t source,

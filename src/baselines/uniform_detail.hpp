@@ -13,6 +13,35 @@
 
 namespace gossip::baselines::detail {
 
+/// Exact oracle stop predicate: every alive node is informed. The counter
+/// comparison alone is exact only while informed nodes cannot crash (then
+/// informed is a subset of alive); with a dynamic fault model the counter
+/// may include crashed nodes, so once it reaches the alive count the claim
+/// is verified by scanning. Fault-free runs scan at most once (the final
+/// round), so trajectories and stop rounds are unchanged.
+template <class IsInformed>
+[[nodiscard]] bool all_alive_informed(const sim::Network& net,
+                                      std::uint64_t informed_count,
+                                      IsInformed&& is_informed) {
+  if (informed_count < net.alive_count()) return false;  // pigeonhole: exact
+  for (std::uint32_t v = 0; v < net.n(); ++v) {
+    if (net.alive(v) && !is_informed(v)) return false;
+  }
+  return true;
+}
+
+/// Informed nodes still alive at termination (what BroadcastReport::informed
+/// means; under mid-run crashes the raw counter over-counts).
+template <class IsInformed>
+[[nodiscard]] std::uint64_t count_informed_alive(const sim::Network& net,
+                                                 IsInformed&& is_informed) {
+  std::uint64_t count = 0;
+  for (std::uint32_t v = 0; v < net.n(); ++v) {
+    if (net.alive(v) && is_informed(v)) ++count;
+  }
+  return count;
+}
+
 /// Assembles the standard single-phase report after a run.
 [[nodiscard]] inline core::BroadcastReport finish_report(const sim::Network& net,
                                                          const sim::Engine& engine,
@@ -40,24 +69,31 @@ namespace gossip::baselines::detail {
 /// `make_hooks(informed, informed_count)` returns the hooks object for the
 /// whole run; it may be any static-dispatch hooks type (see sim/engine.hpp),
 /// so each baseline's per-round work is resolved at compile time.
-/// `threads` >= 1 opts the run into the sharded phase-1 executor.
+/// `threads` >= 1 opts the run into the sharded phase-1 executor. `fault`
+/// (nullable) is installed on the engine's round timeline; its on_run_begin
+/// is the caller's job.
 template <class MakeHooks>
 core::BroadcastReport run_until_informed(sim::Network& net, std::uint32_t source,
                                          unsigned max_rounds, unsigned threads,
+                                         sim::FaultModel* fault,
                                          std::string phase_name,
                                          MakeHooks&& make_hooks) {
   GOSSIP_CHECK_MSG(net.alive(source), "source node must be alive");
   sim::Engine engine(net);
   if (threads) engine.set_threads(threads);
+  engine.set_fault_model(fault);
   std::vector<std::uint8_t> informed(net.n(), 0);
   informed[source] = 1;
   std::uint64_t informed_count = 1;
 
   auto hooks = make_hooks(informed, informed_count);
-  while (informed_count < net.alive_count() && engine.rounds() < max_rounds) {
+  const auto is_informed = [&](std::uint32_t v) { return informed[v] != 0; };
+  while (!all_alive_informed(net, informed_count, is_informed) &&
+         engine.rounds() < max_rounds) {
     engine.run_round(hooks);
   }
-  return finish_report(net, engine, informed_count, std::move(phase_name));
+  return finish_report(net, engine, count_informed_alive(net, is_informed),
+                       std::move(phase_name));
 }
 
 [[nodiscard]] inline unsigned auto_round_cap(std::uint64_t n, unsigned requested) {

@@ -20,6 +20,7 @@ const char* to_string(Algorithm a) noexcept {
 
 BroadcastReport broadcast(sim::Network& net, const BroadcastOptions& options) {
   sim::Engine engine(net);
+  engine.set_fault_model(options.fault_model);
   cluster::DriverOptions driver_opts;
   driver_opts.validate = options.validate;
   driver_opts.threads = options.threads;

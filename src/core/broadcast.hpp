@@ -16,6 +16,7 @@
 #include "core/options.hpp"
 #include "core/phase_observer.hpp"
 #include "core/report.hpp"
+#include "sim/fault.hpp"
 #include "sim/network.hpp"
 
 namespace gossip::core {
@@ -39,6 +40,11 @@ struct BroadcastOptions {
   /// this many threads (plumbed to DriverOptions.threads; see the Threading
   /// model notes in sim/engine.hpp for the determinism contract).
   unsigned threads = 0;
+  /// Fault scenario on the run's round timeline (scheduled crashes, lossy
+  /// channels; see sim/fault.hpp). Non-owning - must outlive the call. The
+  /// caller invokes on_run_begin itself (faults and seeding are harness
+  /// concerns; TrialRunner does both). Null = fault-free.
+  sim::FaultModel* fault_model = nullptr;
   Cluster1Options cluster1;
   Cluster2Options cluster2;
   Cluster3Options cluster3;

@@ -39,6 +39,9 @@ void write_scenario_members(JsonWriter& w, const ScenarioResult& result) {
   w.kv("fault_fraction", s.fault_fraction);
   w.kv("fault_strategy", strategy_key(s.fault_strategy));
   w.kv("fault_count", s.fault_count());
+  w.kv("fault_model", s.fault_model_name());
+  w.kv("crash_round", std::int64_t{s.crash_round});
+  w.kv("loss_prob", s.loss_prob);
   w.end_object();
 
   const analysis::ReportAggregate& a = result.aggregate;

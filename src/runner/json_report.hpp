@@ -5,7 +5,9 @@
 //   {
 //     "scenario": { name, algorithm, n, trials, seed, engine_threads,
 //                   rumor_bits, delta, max_rounds, fault_fraction,
-//                   fault_strategy, fault_count },
+//                   fault_strategy, fault_count, fault_model (resolved
+//                   composition, e.g. "scheduled_crash+lossy"),
+//                   crash_round (-1 = pre-run), loss_prob },
 //     "runs": N, "failures": M,
 //     "metrics": { "<metric>": { count, mean, stddev, min, max,
 //                                p50, p90, p99 }, ... }

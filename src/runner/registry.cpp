@@ -13,19 +13,22 @@ namespace gossip::runner {
 namespace {
 
 core::BroadcastReport run_core(sim::Network& net, std::uint32_t source,
-                               const ScenarioSpec& spec, core::Algorithm which) {
+                               const ScenarioSpec& spec, sim::FaultModel* fault,
+                               core::Algorithm which) {
   core::BroadcastOptions o;
   o.algorithm = which;
   o.source = source;
   o.delta = spec.delta;
   o.threads = spec.engine_threads;
+  o.fault_model = fault;
   return core::broadcast(net, o);
 }
 
-baselines::UniformOptions uniform_opts(const ScenarioSpec& spec) {
+baselines::UniformOptions uniform_opts(const ScenarioSpec& spec, sim::FaultModel* fault) {
   baselines::UniformOptions o;
   o.max_rounds = spec.max_rounds;
   o.threads = spec.engine_threads;
+  o.fault = fault;
   return o;
 }
 
@@ -35,23 +38,28 @@ const std::vector<AlgorithmEntry>& algorithms() {
   static const std::vector<AlgorithmEntry> kRegistry = {
       {"cluster1", "Cluster1",
        "Algorithm 1: round-optimal O(log log n) broadcast",
-       [](sim::Network& net, std::uint32_t source, const ScenarioSpec& spec) {
-         return run_core(net, source, spec, core::Algorithm::kCluster1);
+       [](sim::Network& net, std::uint32_t source, const ScenarioSpec& spec,
+          sim::FaultModel* fault) {
+         return run_core(net, source, spec, fault, core::Algorithm::kCluster1);
        }},
       {"cluster2", "Cluster2",
        "Algorithm 2: round-, message- and bit-optimal broadcast",
-       [](sim::Network& net, std::uint32_t source, const ScenarioSpec& spec) {
-         return run_core(net, source, spec, core::Algorithm::kCluster2);
+       [](sim::Network& net, std::uint32_t source, const ScenarioSpec& spec,
+          sim::FaultModel* fault) {
+         return run_core(net, source, spec, fault, core::Algorithm::kCluster2);
        }},
       {"cluster3_push_pull", "C3+CPP",
        "Algorithms 4+3: Delta-bounded broadcast (uses the spec's delta)",
-       [](sim::Network& net, std::uint32_t source, const ScenarioSpec& spec) {
-         return run_core(net, source, spec, core::Algorithm::kCluster3PushPull);
+       [](sim::Network& net, std::uint32_t source, const ScenarioSpec& spec,
+          sim::FaultModel* fault) {
+         return run_core(net, source, spec, fault, core::Algorithm::kCluster3PushPull);
        }},
       {"avin_elsasser", "AvinElsasser",
        "DISC'13 baseline: O(sqrt(log n)) rounds via geometric merge phases",
-       [](sim::Network& net, std::uint32_t source, const ScenarioSpec& spec) {
+       [](sim::Network& net, std::uint32_t source, const ScenarioSpec& spec,
+          sim::FaultModel* fault) {
          sim::Engine engine(net);
+         engine.set_fault_model(fault);
          cluster::DriverOptions driver_opts;
          driver_opts.threads = spec.engine_threads;
          baselines::AvinElsasser algo(engine, baselines::AvinElsasserOptions(),
@@ -61,23 +69,28 @@ const std::vector<AlgorithmEntry>& algorithms() {
       {"rrs", "RRS[10]",
        "Karp et al. min-counter push-pull: O(log n) rounds, O(log log n) "
        "transmissions per node",
-       [](sim::Network& net, std::uint32_t source, const ScenarioSpec& spec) {
+       [](sim::Network& net, std::uint32_t source, const ScenarioSpec& spec,
+          sim::FaultModel* fault) {
          baselines::RrsOptions o;
          o.max_rounds = spec.max_rounds;
+         o.fault = fault;
          return baselines::run_rrs(net, source, o);
        }},
       {"push_pull", "PUSH-PULL",
        "uniform baseline: informed push, uninformed pull",
-       [](sim::Network& net, std::uint32_t source, const ScenarioSpec& spec) {
-         return baselines::run_push_pull(net, source, uniform_opts(spec));
+       [](sim::Network& net, std::uint32_t source, const ScenarioSpec& spec,
+          sim::FaultModel* fault) {
+         return baselines::run_push_pull(net, source, uniform_opts(spec, fault));
        }},
       {"push", "PUSH", "uniform baseline: every informed node pushes",
-       [](sim::Network& net, std::uint32_t source, const ScenarioSpec& spec) {
-         return baselines::run_push(net, source, uniform_opts(spec));
+       [](sim::Network& net, std::uint32_t source, const ScenarioSpec& spec,
+          sim::FaultModel* fault) {
+         return baselines::run_push(net, source, uniform_opts(spec, fault));
        }},
       {"pull", "PULL", "uniform baseline: every uninformed node pulls",
-       [](sim::Network& net, std::uint32_t source, const ScenarioSpec& spec) {
-         return baselines::run_pull(net, source, uniform_opts(spec));
+       [](sim::Network& net, std::uint32_t source, const ScenarioSpec& spec,
+          sim::FaultModel* fault) {
+         return baselines::run_pull(net, source, uniform_opts(spec, fault));
        }},
   };
   return kRegistry;

@@ -3,9 +3,11 @@
 // One table covers the paper's broadcast cores (core::broadcast), the
 // cluster-based Avin-Elsasser baseline and the uniform / RRS baselines, so
 // the scenario runner (and any bench built on it) selects algorithms by
-// data. Every entry runs on a caller-provided Network - faults and seeding
-// are the TrialRunner's job - and honours the spec's delta / max_rounds /
-// engine_threads knobs where the underlying algorithm exposes them.
+// data. Every entry runs on a caller-provided Network - fault-model setup
+// and seeding are the TrialRunner's job; the entry installs the (nullable)
+// FaultModel on its engine's round timeline - and honours the spec's
+// delta / max_rounds / engine_threads knobs where the underlying algorithm
+// exposes them.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +17,7 @@
 
 #include "core/report.hpp"
 #include "runner/scenario.hpp"
+#include "sim/fault.hpp"
 #include "sim/network.hpp"
 
 namespace gossip::runner {
@@ -23,8 +26,10 @@ struct AlgorithmEntry {
   const char* id;       ///< scenario-file / CLI name (e.g. "cluster2")
   const char* display;  ///< table/report label (e.g. "Cluster2")
   const char* summary;  ///< one-line description for --list
+  /// Runs the algorithm. `fault` (nullable, non-owning, on_run_begin already
+  /// invoked by the caller) is installed on the run's engine.
   std::function<core::BroadcastReport(sim::Network&, std::uint32_t source,
-                                      const ScenarioSpec&)>
+                                      const ScenarioSpec&, sim::FaultModel* fault)>
       run;
 };
 

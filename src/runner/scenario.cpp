@@ -25,6 +25,34 @@ std::string_view trim(std::string_view s) {
   throw ScenarioError(os.str());
 }
 
+sim::FaultStrategy parse_strategy(std::string_view key, std::string_view value) {
+  if (value == "random" || value == "random_subset") {
+    return sim::FaultStrategy::kRandomSubset;
+  }
+  if (value == "smallest" || value == "smallest_ids") {
+    return sim::FaultStrategy::kSmallestIds;
+  }
+  if (value == "stride" || value == "index_stride") {
+    return sim::FaultStrategy::kIndexStride;
+  }
+  bad_value(key, value, "one of: random | smallest | stride");
+}
+
+FaultModelKind parse_fault_model(std::string_view key, std::string_view value) {
+  if (value == "auto") return FaultModelKind::kAuto;
+  if (value == "none") return FaultModelKind::kNone;
+  if (value == "static_crash" || value == "static") return FaultModelKind::kStaticCrash;
+  if (value == "scheduled_crash" || value == "scheduled") {
+    return FaultModelKind::kScheduledCrash;
+  }
+  if (value == "lossy") return FaultModelKind::kLossy;
+  if (value == "composite") return FaultModelKind::kComposite;
+  bad_value(key, value,
+            "one of: auto | none | static_crash | scheduled_crash | lossy | composite");
+}
+
+}  // namespace
+
 double parse_fraction(std::string_view key, std::string_view value) {
   double d = 0.0;
   try {
@@ -41,21 +69,6 @@ double parse_fraction(std::string_view key, std::string_view value) {
   }
   return d;
 }
-
-sim::FaultStrategy parse_strategy(std::string_view key, std::string_view value) {
-  if (value == "random" || value == "random_subset") {
-    return sim::FaultStrategy::kRandomSubset;
-  }
-  if (value == "smallest" || value == "smallest_ids") {
-    return sim::FaultStrategy::kSmallestIds;
-  }
-  if (value == "stride" || value == "index_stride") {
-    return sim::FaultStrategy::kIndexStride;
-  }
-  bad_value(key, value, "random | smallest | stride");
-}
-
-}  // namespace
 
 std::uint64_t parse_count(std::string_view key, std::string_view value,
                         std::uint64_t min, std::uint64_t max) {
@@ -101,6 +114,18 @@ const char* strategy_key(sim::FaultStrategy s) noexcept {
   return "?";
 }
 
+const char* fault_model_key(FaultModelKind kind) noexcept {
+  switch (kind) {
+    case FaultModelKind::kAuto: return "auto";
+    case FaultModelKind::kNone: return "none";
+    case FaultModelKind::kStaticCrash: return "static_crash";
+    case FaultModelKind::kScheduledCrash: return "scheduled_crash";
+    case FaultModelKind::kLossy: return "lossy";
+    case FaultModelKind::kComposite: return "composite";
+  }
+  return "?";
+}
+
 std::uint32_t ScenarioSpec::fault_count() const noexcept {
   return static_cast<std::uint32_t>(
       std::llround(fault_fraction * static_cast<double>(n)));
@@ -132,6 +157,18 @@ void ScenarioSpec::apply(std::string_view key, std::string_view value) {
     fault_fraction = parse_fraction(key, value);
   } else if (key == "fault_strategy") {
     fault_strategy = parse_strategy(key, value);
+  } else if (key == "crash_round") {
+    // "pre_run" (or -1) restores the default, so a CLI flag can override a
+    // scenario file's mid-run crash back to the legacy pre-run one.
+    if (value == "pre_run" || value == "-1") {
+      crash_round = kCrashPreRun;
+    } else {
+      crash_round = static_cast<std::int64_t>(parse_count(key, value, 0, 1u << 30));
+    }
+  } else if (key == "loss_prob") {
+    loss_prob = parse_fraction(key, value);
+  } else if (key == "fault_model") {
+    fault_model = parse_fault_model(key, value);
   } else {
     std::ostringstream os;
     os << "unknown scenario key: '" << key << "'";
@@ -146,6 +183,89 @@ void ScenarioSpec::validate() const {
   if (fault_count() >= n) {
     throw ScenarioError("fault_fraction leaves no alive node");
   }
+  if (!(loss_prob >= 0.0 && loss_prob < 1.0)) {
+    throw ScenarioError("loss_prob must be in [0, 1)");
+  }
+  const bool has_crash = fault_count() > 0;
+  const bool has_loss = loss_prob > 0.0;
+  const bool scheduled = crash_round != kCrashPreRun;
+  switch (fault_model) {
+    case FaultModelKind::kAuto:
+      if (scheduled && !has_crash) {
+        throw ScenarioError("crash_round is set but fault_fraction = 0 crashes nobody");
+      }
+      break;
+    case FaultModelKind::kNone:
+      break;  // explicit off-switch: other fault keys are deliberately inert
+    case FaultModelKind::kStaticCrash:
+      if (!has_crash) {
+        throw ScenarioError("fault_model = static_crash needs fault_fraction > 0");
+      }
+      if (scheduled || has_loss) {
+        throw ScenarioError(
+            "fault_model = static_crash excludes crash_round/loss_prob "
+            "(use scheduled_crash, lossy or composite)");
+      }
+      break;
+    case FaultModelKind::kScheduledCrash:
+      if (!has_crash || !scheduled) {
+        throw ScenarioError(
+            "fault_model = scheduled_crash needs fault_fraction > 0 and crash_round");
+      }
+      if (has_loss) {
+        throw ScenarioError("fault_model = scheduled_crash excludes loss_prob "
+                            "(use composite)");
+      }
+      break;
+    case FaultModelKind::kLossy:
+      if (!has_loss) throw ScenarioError("fault_model = lossy needs loss_prob > 0");
+      if (has_crash || scheduled) {
+        throw ScenarioError(
+            "fault_model = lossy excludes fault_fraction/crash_round (use composite)");
+      }
+      break;
+    case FaultModelKind::kComposite:
+      if (!has_crash || !has_loss) {
+        throw ScenarioError(
+            "fault_model = composite needs both a crash component "
+            "(fault_fraction > 0) and loss_prob > 0");
+      }
+      break;
+  }
+}
+
+std::unique_ptr<sim::FaultModel> ScenarioSpec::make_fault_model() const {
+  if (fault_model == FaultModelKind::kNone) return nullptr;
+  std::unique_ptr<sim::FaultModel> crash;
+  if (const std::uint32_t f = fault_count(); f > 0) {
+    if (crash_round != kCrashPreRun) {
+      crash = std::make_unique<sim::ScheduledCrash>(
+          static_cast<std::uint64_t>(crash_round), f, fault_strategy);
+    } else {
+      crash = std::make_unique<sim::StaticCrash>(f, fault_strategy);
+    }
+  }
+  std::unique_ptr<sim::FaultModel> loss;
+  if (loss_prob > 0.0) loss = std::make_unique<sim::LossyChannel>(loss_prob);
+  if (crash && loss) {
+    auto composite = std::make_unique<sim::CompositeFault>();
+    composite->add(std::move(crash)).add(std::move(loss));
+    return composite;
+  }
+  return crash ? std::move(crash) : std::move(loss);
+}
+
+std::string ScenarioSpec::fault_model_name() const {
+  if (fault_model == FaultModelKind::kNone) return "none";
+  std::string out;
+  if (fault_count() > 0) {
+    out = crash_round != kCrashPreRun ? "scheduled_crash" : "static_crash";
+  }
+  if (loss_prob > 0.0) {
+    if (!out.empty()) out += "+";
+    out += "lossy";
+  }
+  return out.empty() ? "none" : out;
 }
 
 ScenarioSpec ScenarioSpec::from_file(const std::string& path) {
@@ -199,6 +319,7 @@ const std::vector<std::string>& ScenarioSpec::keys() {
       "name",       "algorithm",  "n",          "trials",
       "seed",       "threads",    "engine_threads", "rumor_bits",
       "delta",      "max_rounds", "fault_fraction", "fault_strategy",
+      "crash_round", "loss_prob", "fault_model",
   };
   return kKeys;
 }

@@ -13,6 +13,20 @@
 //   seed      = 42
 //   fault_fraction = 0.05
 //   fault_strategy = random
+//   crash_round    = 4     # crash the set mid-run instead of pre-run
+//   loss_prob      = 0.2   # drop each contact's payload w.p. 0.2
+//
+// Fault keys build a sim::FaultModel per trial (make_fault_model):
+//   fault_fraction + fault_strategy  choose the oblivious crash set;
+//   crash_round (default: pre-run)   defers the crash to the start of that
+//                                    engine round (ScheduledCrash) - the
+//                                    source may die mid-broadcast;
+//   loss_prob                        arms a per-contact LossyChannel;
+//   fault_model                      auto (compose from the keys above,
+//                                    the default) | none (off-switch) | an
+//                                    explicit kind that validates the shape.
+// Legacy scenarios (fault_fraction/fault_strategy only) map to StaticCrash
+// and reproduce the PR 3 trial trajectories bit-for-bit.
 //
 // The `threads` key controls CROSS-TRIAL parallelism (TrialRunner workers)
 // and is deliberately excluded from the experiment's identity: the runner's
@@ -24,6 +38,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -40,6 +55,21 @@ class ScenarioError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// How the spec's fault keys combine into a sim::FaultModel. kAuto composes
+/// whatever is configured; the explicit kinds additionally validate that
+/// exactly the matching keys are set (validate() throws otherwise).
+enum class FaultModelKind {
+  kAuto,            ///< derive from fault_fraction / crash_round / loss_prob
+  kNone,            ///< off-switch: run fault-free regardless of other keys
+  kStaticCrash,     ///< pre-run oblivious crash set (the Section 8 adversary)
+  kScheduledCrash,  ///< crash the set at the start of round `crash_round`
+  kLossy,           ///< per-contact payload loss only
+  kComposite,       ///< crash component + lossy channel together
+};
+
+/// Canonical key for a kind as accepted by apply("fault_model").
+[[nodiscard]] const char* fault_model_key(FaultModelKind kind) noexcept;
+
 struct ScenarioSpec {
   std::string name = "scenario";   ///< label echoed in reports
   std::string algorithm = "cluster2";  ///< registry id (runner/registry.hpp)
@@ -53,9 +83,27 @@ struct ScenarioSpec {
   unsigned max_rounds = 0;         ///< round-schedule cap for uniform/rrs (0 = auto)
   double fault_fraction = 0.0;     ///< F/n, oblivious failures per trial
   sim::FaultStrategy fault_strategy = sim::FaultStrategy::kRandomSubset;
+  /// Engine round (0-based) at which the crash set fires; kCrashPreRun (the
+  /// default) keeps the legacy pre-run crash (applied before the source is
+  /// chosen, so the source never starts dead). apply() accepts "pre_run" or
+  /// "-1" to restore the default over a scenario file's value.
+  static constexpr std::int64_t kCrashPreRun = -1;
+  std::int64_t crash_round = kCrashPreRun;
+  double loss_prob = 0.0;          ///< per-contact payload-drop probability
+  FaultModelKind fault_model = FaultModelKind::kAuto;
 
   /// Number of failed nodes per trial (round(fault_fraction * n)).
   [[nodiscard]] std::uint32_t fault_count() const noexcept;
+
+  /// Builds the trial's fault model from the fault keys (see the header
+  /// comment), or null when the spec is effectively fault-free. The caller
+  /// owns the model and invokes on_run_begin with the trial's adversary
+  /// stream (TrialRunner does both).
+  [[nodiscard]] std::unique_ptr<sim::FaultModel> make_fault_model() const;
+
+  /// Resolved fault composition for reports: "none", "static_crash",
+  /// "scheduled_crash", "lossy", "static_crash+lossy", ...
+  [[nodiscard]] std::string fault_model_name() const;
 
   /// Applies one `key = value` assignment. Throws ScenarioError on an
   /// unknown key or a value that does not parse / violates a bound.
@@ -86,5 +134,9 @@ struct ScenarioSpec {
 /// input or a value outside [min, max]; `key` names the flag in the error.
 [[nodiscard]] std::uint64_t parse_count(std::string_view key, std::string_view value,
                                         std::uint64_t min, std::uint64_t max);
+
+/// Strict probability/fraction parsing shared with the bench flags: a finite
+/// real in [0, 1). Throws ScenarioError otherwise; `key` names the flag.
+[[nodiscard]] double parse_fraction(std::string_view key, std::string_view value);
 
 }  // namespace gossip::runner

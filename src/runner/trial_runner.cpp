@@ -1,5 +1,7 @@
 #include "runner/trial_runner.hpp"
 
+#include <memory>
+
 #include "common/rng.hpp"
 #include "runner/registry.hpp"
 #include "sim/fault.hpp"
@@ -22,18 +24,21 @@ core::BroadcastReport TrialRunner::run_trial(const ScenarioSpec& spec,
   net_opts.rumor_bits = spec.rumor_bits;
   sim::Network net(net_opts);
 
-  if (const std::uint32_t f = spec.fault_count(); f > 0) {
+  // Fault setup before any algorithm randomness (obliviousness): a
+  // StaticCrash fails its set here; a ScheduledCrash only commits to its
+  // victims and fires later on the engine's round timeline. Legacy
+  // fault_fraction/fault_strategy specs map to StaticCrash and consume the
+  // adversary stream exactly as the old choose_failures recipe did.
+  const std::unique_ptr<sim::FaultModel> fault = spec.make_fault_model();
+  if (fault) {
     Rng adversary(adversary_seed);  // oblivious: independent of the run's seed
-    for (std::uint32_t v :
-         sim::choose_failures(net, f, spec.fault_strategy, adversary)) {
-      net.fail(v);
-    }
+    fault->on_run_begin(net, adversary);
   }
 
   auto source = static_cast<std::uint32_t>(trial_rng.uniform_below(spec.n));
   while (!net.alive(source)) source = (source + 1) % spec.n;
 
-  return algo.run(net, source, spec);
+  return algo.run(net, source, spec, fault.get());
 }
 
 ScenarioResult TrialRunner::run(const ScenarioSpec& spec) {

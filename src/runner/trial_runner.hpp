@@ -13,8 +13,12 @@
 // of both the worker count and the other trials):
 //   trial_rng   = Rng(spec.seed).fork(t)
 //   network seed, adversary seed, source draw <- successive trial_rng draws
-// The oblivious adversary (sim::choose_failures) picks fault_count() nodes
-// BEFORE the algorithm runs, from its own seed (obliviousness); the source
+// The trial's sim::FaultModel (spec.make_fault_model()) gets its
+// on_run_begin BEFORE the algorithm runs, with an adversary stream from its
+// own seed (obliviousness); scheduled crashes then fire on the engine's
+// round timeline, and loss decisions come from (network seed, round,
+// initiator) counter streams - so the whole fault trajectory is independent
+// of the worker count AND of the per-trial engine thread count. The source
 // is a uniform draw advanced to the next alive node.
 #pragma once
 

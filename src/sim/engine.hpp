@@ -52,6 +52,19 @@
 //     are identical; only mid-phase-1 reads could tell the difference.
 // Phases 2 and 3 (delivery, pull resolution) always run on the calling
 // thread: they mutate user state through the hooks.
+//
+// Fault timeline (sim/fault.hpp). set_fault_model(m) installs a pluggable
+// fault scenario the engine consults per round: before each round it calls
+// m->on_round_begin(round, net) - which may crash nodes mid-run (the alive
+// set is dynamic but monotone) - and arms a per-contact LossChannel when
+// m->loss_probability(round) > 0. A lossy contact's connection still happens
+// (metered; the handshake reveals both endpoints' IDs) but its payload -
+// push content, pull response, both exchange directions - is dropped,
+// exactly as if the target had failed. Loss decisions are keyed by (network
+// seed, round, initiator) counter-based streams, never by the engine's draw
+// path, so they are identical for the serial and sharded executors and for
+// every thread count. `round` is the engine-lifetime round index (it starts
+// at 0 and never resets with the metrics).
 #pragma once
 
 #include <algorithm>
@@ -65,6 +78,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "sim/fault.hpp"
 #include "sim/message.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
@@ -243,10 +257,13 @@ struct LegacyHooksAdapter {
 ///   void enqueue_pull(u32 from, u32 responder)
 /// `want_payloads` skips queueing when nothing observes deliveries (no
 /// on_push hook, no knowledge tracking) - queueing would be dead work.
+/// `loss` is the round's armed LossChannel, or null for a lossless round
+/// (the common case pays one predictable branch per contact). Drop decisions
+/// are keyed by the initiator, so serial and sharded execution agree.
 template <class Hooks, class Sink>
 void run_phase1(Network& net, Hooks& hooks, Sink& sink,
                 std::span<const std::uint32_t> initiators, bool no_failures,
-                bool want_payloads) {
+                bool want_payloads, const LossChannel* loss) {
   for (const std::uint32_t node : initiators) {
     if (no_failures) {
       // alive() would bounds-check a caller-supplied initiator; keep that
@@ -269,18 +286,22 @@ void run_phase1(Network& net, Hooks& hooks, Sink& sink,
 
     sink.on_contact(node, target);
 
+    // Lossy channel: the connection succeeds (metered; IDs exchanged in the
+    // handshake) but the payload in every direction is dropped - the same
+    // observable consequences as contacting a failed node.
+    const bool lost = loss != nullptr && loss->drop(node);
     if (contact->kind == ContactKind::kPush || contact->kind == ContactKind::kExchange) {
       // Meter before the payload is moved into the pending-push queue.
       const std::uint64_t bits = contact->payload.bits(net.costs());
       const bool has_payload = !contact->payload.is_empty();
       sink.record_push(node, target, bits, has_payload);
-      if (no_failures || net.alive(target)) {
+      if (!lost && (no_failures || net.alive(target))) {
         if (contact->kind == ContactKind::kExchange) sink.enqueue_pull(node, target);
         if (want_payloads) sink.enqueue_push(target, std::move(contact->payload));
       }
     } else {
       sink.record_pull_request(node, target);
-      if (no_failures || net.alive(target)) sink.enqueue_pull(node, target);
+      if (!lost && (no_failures || net.alive(target))) sink.enqueue_pull(node, target);
     }
   }
 }
@@ -321,6 +342,14 @@ class Engine {
   }
   /// Worker count of the sharded executor, or 0 in serial mode.
   [[nodiscard]] unsigned threads() const noexcept { return par_ ? par_->threads() : 0; }
+
+  /// Installs (or clears, with nullptr) a fault model consulted on the round
+  /// timeline - see the Fault timeline notes above. Non-owning: the model
+  /// must outlive every subsequent run_round. The caller is responsible for
+  /// invoking the model's on_run_begin hook before the algorithm starts
+  /// (TrialRunner does this per trial).
+  void set_fault_model(FaultModel* fault) noexcept { fault_ = fault; }
+  [[nodiscard]] FaultModel* fault_model() const noexcept { return fault_; }
 
   /// Runs one round with every node as a potential initiator (static
   /// dispatch; hooks resolved at compile time). RoundHooks is excluded so a
@@ -453,9 +482,12 @@ class Engine {
   /// the pool, then merge metrics deltas, involvement, knowledge and pull
   /// queues in shard-index (= initiator) order. Push queues stay per shard;
   /// phase 2 replays them in the same order without re-copying the streams.
+  /// The loss channel is shared read-only across the workers (drop() forks
+  /// from a const base, so it is thread-safe and thread-count-invariant).
   template <class Hooks>
   void run_phase1_sharded(Hooks& hooks, std::span<const std::uint32_t> initiators,
-                          bool no_failures, bool track, bool want_payloads) {
+                          bool no_failures, bool track, bool want_payloads,
+                          const LossChannel* loss) {
     parallel::Phase1Sharder& par = *par_;
     const std::size_t n_shards = par.shard_count(initiators.size());
     const std::span<parallel::ShardBuffer> shards = par.acquire(n_shards);
@@ -474,7 +506,7 @@ class Engine {
       sb.begin_round(par.stream_base(), round_key, s, len);
       parallel::ShardSink sink{sb, draw_bound, want_endpoints};
       detail::run_phase1(net_, hooks, sink, initiators.subspan(lo, len), no_failures,
-                         want_payloads);
+                         want_payloads, loss);
     });
     // Deterministic merge. Endpoint replay preserves the serial executor's
     // learn/bump order because shards are contiguous initiator ranges.
@@ -509,6 +541,9 @@ class Engine {
   std::unique_ptr<parallel::Phase1Sharder> par_;
   std::size_t active_shards_ = 0;  ///< shards filled by the current round
   std::uint64_t sharded_round_key_ = 0;  ///< engine-lifetime stream key
+  // Fault timeline (null = fault-free; see sim/fault.hpp).
+  FaultModel* fault_ = nullptr;          ///< non-owning
+  std::uint64_t fault_clock_ = 0;        ///< engine-lifetime round index
 };
 
 template <class Hooks>
@@ -523,6 +558,19 @@ void Engine::run_round(Hooks&& hooks, std::span<const std::uint32_t> initiators)
                     HasOnPushHook<H> == HasOnPushHook<std::remove_const_t<H>> &&
                     HasOnPullReplyHook<H> == HasOnPullReplyHook<std::remove_const_t<H>>,
                 "const hooks object hides non-const hook members; pass it non-const");
+
+  // ---- Fault timeline: scheduled crashes, per-round loss channel. --------
+  // Runs before anything else so a crash at this round's boundary silences
+  // the node as an initiator AND as a target, and before the no_failures
+  // probe below so the fast path stays correct when the alive set shrinks.
+  const std::uint64_t fault_round = fault_clock_++;
+  LossChannel loss_channel;
+  if (fault_ != nullptr) {
+    fault_->on_round_begin(fault_round, net_);
+    loss_channel =
+        LossChannel(net_.options().seed, fault_round, fault_->loss_probability(fault_round));
+  }
+  const LossChannel* loss = loss_channel.active() ? &loss_channel : nullptr;
 
   metrics_.begin_round();
   pushes_.clear();
@@ -546,10 +594,10 @@ void Engine::run_round(Hooks&& hooks, std::span<const std::uint32_t> initiators)
   const bool want_payloads = track || HasOnPushHook<H>;
   const bool sharded = par_ != nullptr;
   if (sharded) {
-    run_phase1_sharded(hooks, initiators, no_failures, track, want_payloads);
+    run_phase1_sharded(hooks, initiators, no_failures, track, want_payloads, loss);
   } else {
     SerialSink sink{*this, track};
-    detail::run_phase1(net_, hooks, sink, initiators, no_failures, want_payloads);
+    detail::run_phase1(net_, hooks, sink, initiators, no_failures, want_payloads, loss);
   }
 
   // ---- Phase 2: deliver pushes. ------------------------------------------

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <sstream>
 
 #include "common/assert.hpp"
 #include "sim/network.hpp"
@@ -56,6 +57,149 @@ std::vector<std::uint32_t> choose_failures(const Network& net, std::uint32_t f,
     }
   }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// LossChannel
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Keys the loss streams away from every other seed-derived stream in the
+/// simulator (network master/node/id streams, shard streams).
+constexpr std::uint64_t kLossStreamSalt = 0x10551e55c4a77e1aULL;
+}  // namespace
+
+LossChannel::LossChannel(std::uint64_t network_seed, std::uint64_t round, double p)
+    : round_rng_(Rng(mix64(network_seed ^ kLossStreamSalt)).fork(round)) {
+  if (p <= 0.0) {
+    threshold_ = 0;
+  } else if (p >= 1.0) {
+    threshold_ = ~0ULL;  // drops all but the all-ones draw (p = 1 - 2^-64)
+  } else {
+    // Exact for every representable p < 1: p * 2^64 < 2^64, so the cast is
+    // defined and next_u64() < threshold has probability p up to 2^-64.
+    threshold_ = static_cast<std::uint64_t>(p * 0x1p64);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FaultModel defaults
+// ---------------------------------------------------------------------------
+
+void FaultModel::on_run_begin(Network&, Rng&) {}
+void FaultModel::on_round_begin(std::uint64_t, Network&) {}
+double FaultModel::loss_probability(std::uint64_t) const { return 0.0; }
+
+// ---------------------------------------------------------------------------
+// StaticCrash
+// ---------------------------------------------------------------------------
+
+StaticCrash::StaticCrash(std::uint32_t count, FaultStrategy strategy)
+    : count_(count), strategy_(strategy) {}
+
+void StaticCrash::on_run_begin(Network& net, Rng& adversary) {
+  if (count_ == 0) return;  // consume nothing, as the legacy f == 0 path did
+  for (std::uint32_t v : choose_failures(net, count_, strategy_, adversary)) {
+    net.fail(v);
+  }
+}
+
+std::string StaticCrash::describe() const {
+  std::ostringstream os;
+  os << "static_crash(f=" << count_ << ", strategy=" << to_string(strategy_) << ")";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// ScheduledCrash
+// ---------------------------------------------------------------------------
+
+ScheduledCrash::ScheduledCrash(std::uint64_t crash_round, std::uint32_t count,
+                               FaultStrategy strategy)
+    : crash_round_(crash_round),
+      count_(count),
+      strategy_(strategy),
+      explicit_victims_(false) {}
+
+ScheduledCrash::ScheduledCrash(std::uint64_t crash_round,
+                               std::vector<std::uint32_t> victims)
+    : crash_round_(crash_round),
+      explicit_victims_(true),
+      victims_(std::move(victims)) {}
+
+void ScheduledCrash::on_run_begin(Network& net, Rng& adversary) {
+  if (explicit_victims_ || count_ == 0) return;
+  // Oblivious: the set is fixed before the algorithm runs, from the
+  // adversary's own stream - only the crash is deferred to the timeline.
+  victims_ = choose_failures(net, count_, strategy_, adversary);
+}
+
+void ScheduledCrash::on_round_begin(std::uint64_t round, Network& net) {
+  if (fired_ || round < crash_round_) return;
+  fired_ = true;  // monotone: the set crashes exactly once
+  for (std::uint32_t v : victims_) net.fail(v);
+}
+
+std::string ScheduledCrash::describe() const {
+  std::ostringstream os;
+  os << "scheduled_crash(round=" << crash_round_;
+  if (explicit_victims_) {
+    os << ", victims=" << victims_.size();
+  } else {
+    os << ", f=" << count_ << ", strategy=" << to_string(strategy_);
+  }
+  os << ")";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// LossyChannel
+// ---------------------------------------------------------------------------
+
+LossyChannel::LossyChannel(double p) : p_(p) {
+  GOSSIP_CHECK_MSG(p >= 0.0 && p < 1.0, "loss probability must be in [0, 1)");
+}
+
+double LossyChannel::loss_probability(std::uint64_t) const { return p_; }
+
+std::string LossyChannel::describe() const {
+  std::ostringstream os;
+  os << "lossy(p=" << p_ << ")";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// CompositeFault
+// ---------------------------------------------------------------------------
+
+CompositeFault& CompositeFault::add(std::unique_ptr<FaultModel> part) {
+  GOSSIP_CHECK(part != nullptr);
+  parts_.push_back(std::move(part));
+  return *this;
+}
+
+void CompositeFault::on_run_begin(Network& net, Rng& adversary) {
+  for (const auto& part : parts_) part->on_run_begin(net, adversary);
+}
+
+void CompositeFault::on_round_begin(std::uint64_t round, Network& net) {
+  for (const auto& part : parts_) part->on_round_begin(round, net);
+}
+
+double CompositeFault::loss_probability(std::uint64_t round) const {
+  // Independent channels: a payload survives only if every part keeps it.
+  double keep = 1.0;
+  for (const auto& part : parts_) keep *= 1.0 - part->loss_probability(round);
+  return 1.0 - keep;
+}
+
+std::string CompositeFault::describe() const {
+  std::string out;
+  for (const auto& part : parts_) {
+    if (!out.empty()) out += " + ";
+    out += part->describe();
+  }
+  return out.empty() ? "composite()" : out;
 }
 
 }  // namespace gossip::sim

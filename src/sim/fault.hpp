@@ -1,15 +1,37 @@
-// Oblivious node-failure adversary (paper Section 8).
+// Pluggable fault models on a deterministic round timeline.
 //
-// The adversary fixes a set of F nodes *before* the execution begins,
-// independent of the algorithm's randomness; failed nodes never initiate,
-// respond, relay or get informed. Theorem 19: the algorithms still cluster /
-// inform all but o(F) surviving nodes. Because all algorithms are symmetric
-// in the nodes, any oblivious choice is equivalent to a random one - we
-// nevertheless provide several concrete strategies so the benchmarks can
-// demonstrate that the choice does not matter.
+// The paper's Section 8 adversary fixes a crash set *before* round 1; the
+// rumor-spreading literature treats robustness more richly (Avin-Elsasser:
+// node failures; Doerr-Fouz: independently failing transmissions). This
+// header generalises the one-shot fail-set into a first-class FaultModel the
+// Engine consults on a round timeline:
+//
+//   * on_run_begin(net, adversary)  - once, before the algorithm draws any
+//     randomness (obliviousness: the adversary's choices come from its own
+//     dedicated stream). TrialRunner calls this; direct Engine users call it
+//     themselves.
+//   * on_round_begin(round, net)    - before every engine round (0-based,
+//     engine-lifetime count). May call Network::fail(): the alive set is
+//     DYNAMIC but MONOTONE - nodes crash, they never come back.
+//   * loss_probability(round)       - arms a per-contact LossChannel for the
+//     round. A lossy contact's connection still happens (it is metered and
+//     the handshake reveals both endpoints' IDs) but its payload - push
+//     content, pull response, both exchange directions - is dropped, exactly
+//     as if the target had failed.
+//
+// Determinism: loss decisions are drawn from counter-based streams keyed by
+// (network seed, round, initiator) via Rng::fork, never from the engine's
+// draw path, so they are bit-identical for the serial and sharded executors
+// and for every engine/trial thread count.
+//
+// Concrete models: StaticCrash (wraps the Section 8 adversary - the
+// back-compat default), ScheduledCrash (crash a set at round t, e.g. kill
+// the source mid-broadcast), LossyChannel(p), and CompositeFault.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -31,5 +53,138 @@ class Network;  // fwd
 /// depends on the same seed (obliviousness); callers pass a dedicated RNG.
 [[nodiscard]] std::vector<std::uint32_t> choose_failures(const Network& net, std::uint32_t f,
                                                          FaultStrategy strategy, Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Per-round loss channel (value type the Engine arms when a model reports a
+// positive loss probability).
+// ---------------------------------------------------------------------------
+
+/// Decides, per contact, whether the connection's payload is dropped this
+/// round. Decisions are a pure function of (network seed, round, initiator):
+/// any executor - serial, sharded with any thread count, any trial worker -
+/// reproduces the same drops. Probabilities below 2^-64 are lossless.
+class LossChannel {
+ public:
+  LossChannel() = default;
+  LossChannel(std::uint64_t network_seed, std::uint64_t round, double p);
+
+  /// True when this round actually drops anything (p rounded above 0).
+  [[nodiscard]] bool active() const noexcept { return threshold_ != 0; }
+
+  /// Drop decision for the (single) contact `initiator` opened this round.
+  [[nodiscard]] bool drop(std::uint32_t initiator) const noexcept {
+    return round_rng_.fork(initiator).next_u64() < threshold_;
+  }
+
+ private:
+  Rng round_rng_{0};  ///< Rng(mix64(seed ^ salt)).fork(round)
+  std::uint64_t threshold_ = 0;  ///< p mapped onto the u64 range
+};
+
+// ---------------------------------------------------------------------------
+// FaultModel interface.
+// ---------------------------------------------------------------------------
+
+/// A fault scenario consulted by the Engine on the round timeline. Crashes
+/// must be monotone (Network::fail only; nodes never revive); the loss
+/// probability may vary per round. Models are installed non-owning via
+/// Engine::set_fault_model and must outlive the rounds they run.
+class FaultModel {
+ public:
+  virtual ~FaultModel() = default;
+
+  /// Called once, before the algorithm runs and before the source is chosen.
+  /// `adversary` is a dedicated stream (obliviousness: independent of the
+  /// run's randomness). Models that pre-commit to a victim set draw it here.
+  virtual void on_run_begin(Network& net, Rng& adversary);
+
+  /// Called before every round; `round` counts this engine's rounds from 0
+  /// (engine lifetime - it never resets with the metrics). May crash nodes.
+  virtual void on_round_begin(std::uint64_t round, Network& net);
+
+  /// Per-contact payload-drop probability for `round`, in [0, 1]. 0 (the
+  /// default) keeps the round lossless and costs nothing on the hot path.
+  [[nodiscard]] virtual double loss_probability(std::uint64_t round) const;
+
+  /// Human-readable summary, e.g. "static_crash(f=32, strategy=random)".
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+/// The Section 8 oblivious adversary as a FaultModel: crashes `count` nodes
+/// chosen by `strategy` at run begin (before round 0, before the source is
+/// picked). This is the back-compat default for legacy fault_fraction /
+/// fault_strategy scenarios - it consumes the adversary stream exactly as
+/// the old choose_failures + Network::fail recipe did.
+class StaticCrash final : public FaultModel {
+ public:
+  StaticCrash(std::uint32_t count, FaultStrategy strategy);
+
+  void on_run_begin(Network& net, Rng& adversary) override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  std::uint32_t count_;
+  FaultStrategy strategy_;
+};
+
+/// Crashes a set of nodes at the start of round `crash_round` (0-based:
+/// crash_round = 0 kills them before any communication, after the source is
+/// chosen - so the source itself may die mid-broadcast). The set is either
+/// chosen obliviously at run begin (count + strategy, same adversary-stream
+/// consumption as StaticCrash) or given explicitly by index.
+class ScheduledCrash final : public FaultModel {
+ public:
+  ScheduledCrash(std::uint64_t crash_round, std::uint32_t count, FaultStrategy strategy);
+  ScheduledCrash(std::uint64_t crash_round, std::vector<std::uint32_t> victims);
+
+  void on_run_begin(Network& net, Rng& adversary) override;
+  void on_round_begin(std::uint64_t round, Network& net) override;
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] std::uint64_t crash_round() const noexcept { return crash_round_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& victims() const noexcept {
+    return victims_;
+  }
+
+ private:
+  std::uint64_t crash_round_;
+  std::uint32_t count_ = 0;
+  FaultStrategy strategy_ = FaultStrategy::kRandomSubset;
+  bool explicit_victims_;
+  bool fired_ = false;
+  std::vector<std::uint32_t> victims_;
+};
+
+/// Independent per-contact payload loss with probability `p` in [0, 1),
+/// every round (Doerr-Fouz style transmission failures).
+class LossyChannel final : public FaultModel {
+ public:
+  explicit LossyChannel(double p);
+
+  [[nodiscard]] double loss_probability(std::uint64_t round) const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  double p_;
+};
+
+/// Runs several models on one timeline: setup and round hooks forward in
+/// insertion order; loss channels compose as independent failures
+/// (1 - prod(1 - p_i)).
+class CompositeFault final : public FaultModel {
+ public:
+  CompositeFault() = default;
+
+  CompositeFault& add(std::unique_ptr<FaultModel> part);
+  [[nodiscard]] std::size_t size() const noexcept { return parts_.size(); }
+
+  void on_run_begin(Network& net, Rng& adversary) override;
+  void on_round_begin(std::uint64_t round, Network& net) override;
+  [[nodiscard]] double loss_probability(std::uint64_t round) const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  std::vector<std::unique_ptr<FaultModel>> parts_;
+};
 
 }  // namespace gossip::sim

@@ -1,7 +1,8 @@
 // The complete n-node network of the random phone call model (Section 2).
 //
-// Owns node identity (index <-> random unique ID maps), the alive set under
-// oblivious failures, the master RNG and derived per-node random streams,
+// Owns node identity (index <-> random unique ID maps), the alive set
+// (monotone-shrinking under fault-model crashes, see sim/fault.hpp), the
+// master RNG and derived per-node random streams,
 // message bit costs, and (optionally) the knowledge tracker. The Engine
 // executes rounds against this state.
 #pragma once
@@ -54,8 +55,10 @@ class Network {
     return index;
   }
 
-  // --- failures (oblivious adversary, Section 8) -----------------------
-  /// Marks a node failed. Must happen before the algorithm runs.
+  // --- failures (sim/fault.hpp fault models; Section 8 adversary) -------
+  /// Marks a node failed. The alive set is dynamic but MONOTONE: a fault
+  /// model may crash nodes between rounds (Engine consults it at each round
+  /// boundary), but a failed node never revives. Idempotent.
   void fail(std::uint32_t index);
   [[nodiscard]] bool alive(std::uint32_t index) const {
     GOSSIP_CHECK(index < n_);

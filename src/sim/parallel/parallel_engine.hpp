@@ -14,7 +14,11 @@
 // tests/test_parallel_engine.cpp pins threads in {1, 2, 8} against each
 // other. Trajectories differ from the serial Engine's whenever a round
 // consumes uniform draws (shard streams vs. one master stream); rounds that
-// only direct-address are bit-identical to the serial path too.
+// only direct-address are bit-identical to the serial path too. Fault models
+// (sim/fault.hpp) keep the contract: scheduled crashes fire on the engine's
+// round clock and loss decisions come from (seed, round, initiator) streams,
+// so neither varies with the thread count - and both agree with the serial
+// executor's.
 #pragma once
 
 #include <cstdint>

@@ -1,12 +1,18 @@
-// Unit tests for the oblivious failure adversary (sim/fault.hpp).
+// Unit tests for the fault models (sim/fault.hpp): the oblivious failure
+// adversary, the round-timeline FaultModel API (StaticCrash/ScheduledCrash/
+// LossyChannel/CompositeFault) and the counter-keyed LossChannel.
 #include "sim/fault.hpp"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 #include <set>
+#include <vector>
 
 #include "common/assert.hpp"
+#include "sim/engine.hpp"
 #include "sim/network.hpp"
 
 namespace gossip::sim {
@@ -85,6 +91,200 @@ TEST(Fault, StringNames) {
   EXPECT_STREQ(to_string(FaultStrategy::kRandomSubset), "random");
   EXPECT_STREQ(to_string(FaultStrategy::kSmallestIds), "smallest-ids");
   EXPECT_STREQ(to_string(FaultStrategy::kIndexStride), "stride");
+}
+
+// ---------------------------------------------------------------------------
+// FaultModel API.
+// ---------------------------------------------------------------------------
+
+/// A round in which nobody initiates (drives the timeline without traffic).
+inline auto silent_hooks() {
+  return make_hooks([](std::uint32_t) { return std::nullopt; });
+}
+
+TEST(StaticCrash, MatchesTheLegacyChooseFailuresRecipe) {
+  Network via_model = make_net(200, 5);
+  Rng model_rng(42);
+  StaticCrash model(20, FaultStrategy::kRandomSubset);
+  model.on_run_begin(via_model, model_rng);
+
+  Network via_recipe = make_net(200, 5);
+  Rng recipe_rng(42);
+  for (std::uint32_t v :
+       choose_failures(via_recipe, 20, FaultStrategy::kRandomSubset, recipe_rng)) {
+    via_recipe.fail(v);
+  }
+
+  EXPECT_EQ(via_model.alive_count(), via_recipe.alive_count());
+  for (std::uint32_t v = 0; v < via_model.n(); ++v) {
+    EXPECT_EQ(via_model.alive(v), via_recipe.alive(v)) << "node " << v;
+  }
+  // Bit-compatible adversary-stream consumption (PR 3 trial trajectories
+  // depend on it).
+  EXPECT_EQ(model_rng.next_u64(), recipe_rng.next_u64());
+}
+
+TEST(StaticCrash, ZeroCountConsumesNothing) {
+  Network net = make_net(50);
+  Rng a(9), b(9);
+  StaticCrash model(0, FaultStrategy::kRandomSubset);
+  model.on_run_begin(net, a);
+  EXPECT_EQ(net.alive_count(), 50u);
+  EXPECT_EQ(a.next_u64(), b.next_u64());  // stream untouched, like legacy f == 0
+}
+
+TEST(ScheduledCrash, FiresExactlyAtItsRound) {
+  Network net = make_net(16);
+  Engine engine(net);
+  ScheduledCrash model(3, std::vector<std::uint32_t>{1, 2, 5});
+  engine.set_fault_model(&model);
+  auto hooks = silent_hooks();
+  for (int r = 0; r < 3; ++r) {
+    engine.run_round(hooks);  // on_round_begin(0..2): before the crash round
+    EXPECT_EQ(net.alive_count(), 16u) << "after round " << r;
+  }
+  engine.run_round(hooks);  // on_round_begin(3): the set crashes
+  EXPECT_EQ(net.alive_count(), 13u);
+  EXPECT_FALSE(net.alive(1));
+  EXPECT_FALSE(net.alive(2));
+  EXPECT_FALSE(net.alive(5));
+  engine.run_round(hooks);  // monotone: fires once, nobody else dies
+  EXPECT_EQ(net.alive_count(), 13u);
+}
+
+TEST(ScheduledCrash, ObliviousSetMatchesStaticCrashChoice) {
+  Network net = make_net(100, 3);
+  Rng scheduled_rng(7), reference_rng(7);
+  ScheduledCrash model(5, 10, FaultStrategy::kSmallestIds);
+  model.on_run_begin(net, scheduled_rng);
+  EXPECT_EQ(net.alive_count(), 100u);  // deferred: nothing crashed yet
+  const auto expected =
+      choose_failures(net, 10, FaultStrategy::kSmallestIds, reference_rng);
+  EXPECT_EQ(model.victims(), expected);
+}
+
+TEST(LossChannel, DeterministicAndKeyedByRoundAndInitiator) {
+  const LossChannel a(123, /*round=*/4, 0.5);
+  const LossChannel b(123, /*round=*/4, 0.5);
+  const LossChannel other_round(123, /*round=*/5, 0.5);
+  bool any_differs_across_rounds = false;
+  for (std::uint32_t v = 0; v < 512; ++v) {
+    EXPECT_EQ(a.drop(v), b.drop(v)) << "initiator " << v;
+    any_differs_across_rounds |= a.drop(v) != other_round.drop(v);
+  }
+  EXPECT_TRUE(any_differs_across_rounds) << "round key ignored";
+}
+
+TEST(LossChannel, DropFrequencyTracksProbability) {
+  const LossChannel channel(99, 0, 0.3);
+  std::uint32_t drops = 0;
+  constexpr std::uint32_t kSamples = 20000;
+  for (std::uint32_t v = 0; v < kSamples; ++v) drops += channel.drop(v) ? 1 : 0;
+  const double rate = static_cast<double>(drops) / kSamples;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(LossChannel, InactiveAtZeroProbability) {
+  EXPECT_FALSE(LossChannel(1, 0, 0.0).active());
+  EXPECT_TRUE(LossChannel(1, 0, 0.25).active());
+  EXPECT_FALSE(LossChannel().active());
+}
+
+TEST(CompositeFault, ComposesIndependentLossAndForwardsHooks) {
+  CompositeFault composite;
+  composite.add(std::make_unique<LossyChannel>(0.5))
+      .add(std::make_unique<LossyChannel>(0.5));
+  EXPECT_DOUBLE_EQ(composite.loss_probability(0), 0.75);
+
+  composite.add(std::make_unique<ScheduledCrash>(1, std::vector<std::uint32_t>{0}));
+  Network net = make_net(8);
+  composite.on_round_begin(0, net);
+  EXPECT_EQ(net.alive_count(), 8u);
+  composite.on_round_begin(1, net);
+  EXPECT_EQ(net.alive_count(), 7u);
+  EXPECT_FALSE(net.alive(0));
+}
+
+TEST(FaultModel, DescribeStrings) {
+  EXPECT_EQ(StaticCrash(32, FaultStrategy::kRandomSubset).describe(),
+            "static_crash(f=32, strategy=random)");
+  EXPECT_EQ(ScheduledCrash(4, 10, FaultStrategy::kIndexStride).describe(),
+            "scheduled_crash(round=4, f=10, strategy=stride)");
+  EXPECT_EQ(ScheduledCrash(2, std::vector<std::uint32_t>{0, 1}).describe(),
+            "scheduled_crash(round=2, victims=2)");
+  EXPECT_EQ(LossyChannel(0.25).describe(), "lossy(p=0.25)");
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration: lossy rounds.
+// ---------------------------------------------------------------------------
+
+/// Drops (nearly) every payload: p = 1 maps to threshold 2^64 - 1, so only
+/// an all-ones draw survives - never observed in a small test.
+struct TotalLoss final : FaultModel {
+  double loss_probability(std::uint64_t) const override { return 1.0; }
+  std::string describe() const override { return "total_loss"; }
+};
+
+TEST(EngineFaults, LossDropsPayloadsButMetersConnections) {
+  Network net = make_net(16, 11);
+  Engine engine(net);
+  TotalLoss model;
+  engine.set_fault_model(&model);
+  std::vector<std::uint8_t> informed(net.n(), 0);
+  informed[0] = 1;
+  auto hooks = make_hooks(
+      [&](std::uint32_t v) -> std::optional<Contact> {
+        if (!informed[v]) return std::nullopt;
+        return Contact::push_random(Message::rumor());
+      },
+      no_hook,
+      [&](std::uint32_t r, const Message&) { informed[r] = 1; });
+  for (int r = 0; r < 5; ++r) engine.run_round(hooks);
+  // The sender still pays for its transmissions...
+  EXPECT_EQ(engine.metrics().run().total.payload_messages, 5u);
+  EXPECT_EQ(engine.metrics().run().total.connections, 5u);
+  // ...but nothing ever arrives.
+  std::uint32_t informed_count = 0;
+  for (std::uint8_t b : informed) informed_count += b;
+  EXPECT_EQ(informed_count, 1u);
+}
+
+/// Direct-addressed ring pushes consume no engine randomness, so the serial
+/// and sharded executors must agree bit-for-bit - including every loss
+/// decision (keyed by (seed, round, initiator), not by the draw path).
+std::vector<std::uint8_t> run_lossy_ring(unsigned threads) {
+  NetworkOptions o;
+  o.n = 64;
+  o.seed = 21;
+  Network net(o);
+  Engine engine(net);
+  if (threads) engine.set_threads(threads, /*shard_size=*/8);
+  LossyChannel model(0.5);
+  engine.set_fault_model(&model);
+  std::vector<std::uint8_t> got(net.n(), 0);
+  auto hooks = make_hooks(
+      [&](std::uint32_t v) -> std::optional<Contact> {
+        return Contact::push_direct(net.id_of((v + 1) % net.n()), Message::rumor());
+      },
+      no_hook, [&](std::uint32_t r, const Message&) { got[r] = 1; });
+  for (int r = 0; r < 4; ++r) {
+    std::fill(got.begin(), got.end(), 0);
+    engine.run_round(hooks);
+  }
+  return got;
+}
+
+TEST(EngineFaults, LossDecisionsAgreeAcrossSerialAndShardedExecutors) {
+  const std::vector<std::uint8_t> serial = run_lossy_ring(0);
+  // ~50% of the final round's pushes dropped: the pattern is non-trivial.
+  const auto received = static_cast<std::uint32_t>(
+      std::count(serial.begin(), serial.end(), std::uint8_t{1}));
+  EXPECT_GT(received, 16u);
+  EXPECT_LT(received, 48u);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    EXPECT_EQ(run_lossy_ring(threads), serial) << "threads " << threads;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,130 @@
+// Fault determinism under parallelism: a scenario with a lossy channel AND
+// a scheduled mid-run crash must produce bit-identical trajectories across
+// engine thread counts {1, 2, 8} (sharded phase-1 executors) and TrialRunner
+// worker counts {1, 2, 8} - including when both nest. Loss decisions come
+// from (network seed, round, initiator) counter streams and crashes fire on
+// the engine's round clock, so neither may depend on who runs what (see
+// sim/fault.hpp and runner/trial_runner.hpp; CI additionally diffs
+// gossip_run JSON on scenarios/lossy_crash.scn).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runner/trial_runner.hpp"
+
+namespace gossip::runner {
+namespace {
+
+ScenarioSpec faulty_spec() {
+  ScenarioSpec spec;
+  spec.name = "fault-determinism";
+  spec.algorithm = "push_pull";
+  spec.n = 256;
+  spec.trials = 6;
+  spec.seed = 7;
+  spec.rumor_bits = 128;
+  spec.fault_fraction = 0.1;
+  spec.fault_strategy = sim::FaultStrategy::kRandomSubset;
+  spec.crash_round = 3;   // fire the crash set mid-broadcast
+  spec.loss_prob = 0.15;  // on a lossy fabric
+  return spec;
+}
+
+void expect_reports_identical(const std::vector<core::BroadcastReport>& a,
+                              const std::vector<core::BroadcastReport>& b,
+                              const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    EXPECT_EQ(a[t].rounds, b[t].rounds) << what << " trial " << t;
+    EXPECT_EQ(a[t].informed, b[t].informed) << what << " trial " << t;
+    EXPECT_EQ(a[t].alive, b[t].alive) << what << " trial " << t;
+    EXPECT_EQ(a[t].stats.total.bits, b[t].stats.total.bits) << what << " trial " << t;
+    EXPECT_EQ(a[t].stats.total.payload_messages, b[t].stats.total.payload_messages)
+        << what << " trial " << t;
+    EXPECT_EQ(a[t].stats.total.connections, b[t].stats.total.connections)
+        << what << " trial " << t;
+    EXPECT_EQ(a[t].stats.total.max_involvement, b[t].stats.total.max_involvement)
+        << what << " trial " << t;
+  }
+}
+
+void expect_aggregates_identical(const analysis::ReportAggregate& a,
+                                 const analysis::ReportAggregate& b,
+                                 const char* what) {
+  EXPECT_EQ(a.runs, b.runs) << what;
+  EXPECT_EQ(a.failures, b.failures) << what;
+  EXPECT_EQ(a.rounds.samples(), b.rounds.samples()) << what;
+  EXPECT_EQ(a.uninformed.samples(), b.uninformed.samples()) << what;
+  EXPECT_EQ(a.total_bits.samples(), b.total_bits.samples()) << what;
+  EXPECT_EQ(a.informed_fraction.samples(), b.informed_fraction.samples()) << what;
+}
+
+TEST(FaultDeterminism, TrialWorkerCountsAreBitIdentical) {
+  const ScenarioSpec spec = faulty_spec();
+  const ScenarioResult base = TrialRunner(1).run(spec);
+  // The faults actually engage: the crash set fires (alive < n) on a lossy
+  // fabric, otherwise this suite pins nothing interesting.
+  EXPECT_EQ(base.reports.front().alive, spec.n - spec.fault_count());
+  for (const unsigned workers : {2u, 8u}) {
+    const ScenarioResult result = TrialRunner(workers).run(spec);
+    expect_reports_identical(base.reports, result.reports, "workers");
+    expect_aggregates_identical(base.aggregate, result.aggregate, "workers");
+  }
+}
+
+TEST(FaultDeterminism, EngineThreadCountsAreBitIdentical) {
+  ScenarioSpec spec = faulty_spec();
+  spec.engine_threads = 1;
+  const ScenarioResult base = TrialRunner(1).run(spec);
+  for (const unsigned engine_threads : {2u, 8u}) {
+    spec.engine_threads = engine_threads;
+    const ScenarioResult result = TrialRunner(1).run(spec);
+    expect_reports_identical(base.reports, result.reports, "engine_threads");
+    expect_aggregates_identical(base.aggregate, result.aggregate, "engine_threads");
+  }
+}
+
+TEST(FaultDeterminism, NestedEngineAndTrialParallelism) {
+  ScenarioSpec spec = faulty_spec();
+  spec.engine_threads = 2;
+  const ScenarioResult base = TrialRunner(1).run(spec);
+  for (const unsigned workers : {2u, 8u}) {
+    const ScenarioResult result = TrialRunner(workers).run(spec);
+    expect_reports_identical(base.reports, result.reports, "nested");
+    expect_aggregates_identical(base.aggregate, result.aggregate, "nested");
+  }
+}
+
+TEST(FaultDeterminism, CrashBeyondTerminationEqualsFaultFreeRun) {
+  // A scheduled crash that never fires must leave the trajectory untouched:
+  // the timeline hooks consume no engine randomness and the victims only
+  // commit from the adversary's own stream.
+  ScenarioSpec never = faulty_spec();
+  never.loss_prob = 0.0;
+  never.crash_round = 1 << 20;  // far beyond any push_pull run
+  ScenarioSpec fault_free = faulty_spec();
+  fault_free.loss_prob = 0.0;
+  fault_free.fault_fraction = 0.0;
+  fault_free.crash_round = ScenarioSpec::kCrashPreRun;
+  const ScenarioResult a = TrialRunner(1).run(never);
+  const ScenarioResult b = TrialRunner(1).run(fault_free);
+  expect_reports_identical(a.reports, b.reports, "never-fired crash");
+}
+
+TEST(FaultDeterminism, LossSlowsPushPullDown) {
+  ScenarioSpec lossless = faulty_spec();
+  lossless.fault_fraction = 0.0;
+  lossless.crash_round = ScenarioSpec::kCrashPreRun;
+  lossless.loss_prob = 0.0;
+  ScenarioSpec lossy = lossless;
+  lossy.loss_prob = 0.4;
+  const ScenarioResult fast = TrialRunner(2).run(lossless);
+  const ScenarioResult slow = TrialRunner(2).run(lossy);
+  // Dropping 40% of payloads must cost rounds - and still complete (the
+  // oracle stop retries until every alive node is informed).
+  EXPECT_GT(slow.aggregate.rounds.mean(), fast.aggregate.rounds.mean());
+  EXPECT_DOUBLE_EQ(slow.aggregate.informed_fraction.mean(), 1.0);
+}
+
+}  // namespace
+}  // namespace gossip::runner

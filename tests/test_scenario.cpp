@@ -108,6 +108,196 @@ TEST(ScenarioSpec, MissingFileThrows) {
   EXPECT_THROW((void)ScenarioSpec::from_file("/nonexistent/path.scn"), ScenarioError);
 }
 
+TEST(ScenarioSpec, ParsesFaultModelKeys) {
+  const std::string path = write_temp("scenario_fault.scn",
+                                      "algorithm = push_pull\n"
+                                      "n = 512\n"
+                                      "fault_fraction = 0.1\n"
+                                      "crash_round = 4\n"
+                                      "loss_prob = 0.2\n"
+                                      "fault_model = auto\n");
+  ScenarioSpec spec = ScenarioSpec::from_file(path);
+  EXPECT_EQ(spec.crash_round, 4);
+  EXPECT_DOUBLE_EQ(spec.loss_prob, 0.2);
+  EXPECT_EQ(spec.fault_model, FaultModelKind::kAuto);
+  spec.apply_cli({"--crash_round=7", "--loss_prob=0.05"});  // flags override
+  EXPECT_EQ(spec.crash_round, 7);
+  EXPECT_DOUBLE_EQ(spec.loss_prob, 0.05);
+}
+
+TEST(ScenarioSpec, FaultModelValueSpellings) {
+  ScenarioSpec spec;
+  spec.apply("fault_model", "none");
+  EXPECT_EQ(spec.fault_model, FaultModelKind::kNone);
+  spec.apply("fault_model", "static_crash");
+  EXPECT_EQ(spec.fault_model, FaultModelKind::kStaticCrash);
+  spec.apply("fault_model", "static");
+  EXPECT_EQ(spec.fault_model, FaultModelKind::kStaticCrash);
+  spec.apply("fault_model", "scheduled_crash");
+  EXPECT_EQ(spec.fault_model, FaultModelKind::kScheduledCrash);
+  spec.apply("fault_model", "lossy");
+  EXPECT_EQ(spec.fault_model, FaultModelKind::kLossy);
+  spec.apply("fault_model", "composite");
+  EXPECT_EQ(spec.fault_model, FaultModelKind::kComposite);
+  for (const auto kind :
+       {FaultModelKind::kAuto, FaultModelKind::kNone, FaultModelKind::kStaticCrash,
+        FaultModelKind::kScheduledCrash, FaultModelKind::kLossy,
+        FaultModelKind::kComposite}) {
+    spec.apply("fault_model", fault_model_key(kind));
+    EXPECT_EQ(spec.fault_model, kind);
+  }
+}
+
+TEST(ScenarioSpec, UnknownFaultModelListsTheValidChoices) {
+  ScenarioSpec spec;
+  try {
+    spec.apply("fault_model", "byzantine");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    const std::string msg = e.what();
+    for (const char* choice :
+         {"auto", "none", "static_crash", "scheduled_crash", "lossy", "composite"}) {
+      EXPECT_NE(msg.find(choice), std::string::npos)
+          << "'" << choice << "' missing from: " << msg;
+    }
+    EXPECT_NE(msg.find("byzantine"), std::string::npos) << msg;
+  }
+}
+
+TEST(ScenarioSpec, UnknownFaultStrategyListsTheValidChoices) {
+  ScenarioSpec spec;
+  try {
+    spec.apply("fault_strategy", "malicious");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    const std::string msg = e.what();
+    for (const char* choice : {"random", "smallest", "stride"}) {
+      EXPECT_NE(msg.find(choice), std::string::npos)
+          << "'" << choice << "' missing from: " << msg;
+    }
+    EXPECT_NE(msg.find("malicious"), std::string::npos) << msg;
+  }
+}
+
+TEST(ScenarioSpec, BadFaultValuesThrow) {
+  ScenarioSpec spec;
+  EXPECT_THROW(spec.apply("loss_prob", "1.0"), ScenarioError);
+  EXPECT_THROW(spec.apply("loss_prob", "-0.1"), ScenarioError);
+  EXPECT_THROW(spec.apply("loss_prob", "nan"), ScenarioError);
+  EXPECT_THROW(spec.apply("crash_round", "-2"), ScenarioError);
+  EXPECT_THROW(spec.apply("crash_round", "abc"), ScenarioError);
+}
+
+TEST(ScenarioSpec, CrashRoundCanBeResetToPreRunByAFlag) {
+  // Flags win over the scenario file for every key - including restoring
+  // crash_round's pre-run default over a file that set a mid-run crash.
+  ScenarioSpec spec;
+  spec.apply("crash_round", "4");
+  EXPECT_EQ(spec.crash_round, 4);
+  spec.apply_cli({"--crash_round=pre_run"});
+  EXPECT_EQ(spec.crash_round, ScenarioSpec::kCrashPreRun);
+  spec.apply("crash_round", "4");
+  spec.apply("crash_round", "-1");  // spelled as the echoed JSON value
+  EXPECT_EQ(spec.crash_round, ScenarioSpec::kCrashPreRun);
+}
+
+TEST(ScenarioSpec, ValidateEnforcesFaultModelShapes) {
+  const auto valid_base = [] {
+    ScenarioSpec spec;
+    spec.algorithm = "push_pull";
+    spec.n = 256;
+    return spec;
+  };
+  {
+    ScenarioSpec spec = valid_base();
+    spec.crash_round = 3;  // crash_round without a crash set
+    EXPECT_THROW(spec.validate(), ScenarioError);
+    spec.fault_fraction = 0.1;
+    EXPECT_NO_THROW(spec.validate());
+  }
+  {
+    ScenarioSpec spec = valid_base();
+    spec.fault_model = FaultModelKind::kStaticCrash;
+    EXPECT_THROW(spec.validate(), ScenarioError);  // needs fault_fraction
+    spec.fault_fraction = 0.1;
+    EXPECT_NO_THROW(spec.validate());
+    spec.loss_prob = 0.2;  // static_crash excludes loss
+    EXPECT_THROW(spec.validate(), ScenarioError);
+  }
+  {
+    ScenarioSpec spec = valid_base();
+    spec.fault_model = FaultModelKind::kScheduledCrash;
+    spec.fault_fraction = 0.1;
+    EXPECT_THROW(spec.validate(), ScenarioError);  // needs crash_round
+    spec.crash_round = 2;
+    EXPECT_NO_THROW(spec.validate());
+  }
+  {
+    ScenarioSpec spec = valid_base();
+    spec.fault_model = FaultModelKind::kLossy;
+    EXPECT_THROW(spec.validate(), ScenarioError);  // needs loss_prob
+    spec.loss_prob = 0.3;
+    EXPECT_NO_THROW(spec.validate());
+    spec.fault_fraction = 0.1;  // lossy excludes a crash component
+    EXPECT_THROW(spec.validate(), ScenarioError);
+  }
+  {
+    ScenarioSpec spec = valid_base();
+    spec.fault_model = FaultModelKind::kComposite;
+    spec.fault_fraction = 0.1;
+    EXPECT_THROW(spec.validate(), ScenarioError);  // needs loss too
+    spec.loss_prob = 0.3;
+    EXPECT_NO_THROW(spec.validate());
+  }
+  {
+    ScenarioSpec spec = valid_base();  // kNone ignores the other fault keys
+    spec.fault_model = FaultModelKind::kNone;
+    spec.fault_fraction = 0.1;
+    spec.crash_round = 2;
+    spec.loss_prob = 0.5;
+    EXPECT_NO_THROW(spec.validate());
+  }
+}
+
+TEST(ScenarioSpec, FaultModelNameResolvesTheComposition) {
+  ScenarioSpec spec;
+  EXPECT_EQ(spec.fault_model_name(), "none");
+  spec.fault_fraction = 0.1;
+  spec.n = 512;
+  EXPECT_EQ(spec.fault_model_name(), "static_crash");
+  spec.crash_round = 4;
+  EXPECT_EQ(spec.fault_model_name(), "scheduled_crash");
+  spec.loss_prob = 0.2;
+  EXPECT_EQ(spec.fault_model_name(), "scheduled_crash+lossy");
+  spec.fault_fraction = 0.0;
+  spec.crash_round = ScenarioSpec::kCrashPreRun;
+  EXPECT_EQ(spec.fault_model_name(), "lossy");
+  spec.fault_model = FaultModelKind::kNone;
+  EXPECT_EQ(spec.fault_model_name(), "none");
+}
+
+TEST(ScenarioSpec, MakeFaultModelBuildsTheRightShape) {
+  ScenarioSpec spec;
+  spec.n = 512;
+  EXPECT_EQ(spec.make_fault_model(), nullptr);  // fault-free
+
+  spec.fault_fraction = 0.1;
+  auto static_model = spec.make_fault_model();
+  ASSERT_NE(static_model, nullptr);
+  EXPECT_NE(static_model->describe().find("static_crash"), std::string::npos);
+
+  spec.crash_round = 3;
+  spec.loss_prob = 0.25;
+  auto combo = spec.make_fault_model();
+  ASSERT_NE(combo, nullptr);
+  EXPECT_NE(combo->describe().find("scheduled_crash"), std::string::npos);
+  EXPECT_NE(combo->describe().find("lossy"), std::string::npos);
+  EXPECT_DOUBLE_EQ(combo->loss_probability(0), 0.25);
+
+  spec.fault_model = FaultModelKind::kNone;  // off-switch wins
+  EXPECT_EQ(spec.make_fault_model(), nullptr);
+}
+
 TEST(ScenarioSpec, StrategyKeysRoundTrip) {
   for (const auto s :
        {sim::FaultStrategy::kRandomSubset, sim::FaultStrategy::kSmallestIds,

@@ -110,6 +110,43 @@ TEST(TrialRunner, TrialsDrawDistinctSeeds) {
   EXPECT_TRUE(any_differ);
 }
 
+TEST(TrialRunner, LegacyFaultSpecReproducesTheOneShotFailSetRecipe) {
+  // Back-compat contract: fault_fraction/fault_strategy map to StaticCrash
+  // and must replay the pre-FaultModel trial byte-for-byte. This hand-rolls
+  // the old recipe (choose_failures + Network::fail before the source draw,
+  // no model installed on the engine) and pins run_trial against it.
+  const ScenarioSpec spec = fixed_spec();
+  const AlgorithmEntry& algo = *find_algorithm(spec.algorithm);
+  for (unsigned trial = 0; trial < 3; ++trial) {
+    Rng trial_rng = Rng(spec.seed).fork(trial);
+    const std::uint64_t network_seed = trial_rng.next_u64();
+    const std::uint64_t adversary_seed = trial_rng.next_u64();
+    sim::NetworkOptions net_opts;
+    net_opts.n = spec.n;
+    net_opts.seed = network_seed;
+    net_opts.rumor_bits = spec.rumor_bits;
+    sim::Network net(net_opts);
+    Rng adversary(adversary_seed);
+    for (std::uint32_t v : sim::choose_failures(net, spec.fault_count(),
+                                                spec.fault_strategy, adversary)) {
+      net.fail(v);
+    }
+    auto source = static_cast<std::uint32_t>(trial_rng.uniform_below(spec.n));
+    while (!net.alive(source)) source = (source + 1) % spec.n;
+    const core::BroadcastReport legacy = algo.run(net, source, spec, nullptr);
+
+    const core::BroadcastReport current = TrialRunner::run_trial(spec, trial);
+    EXPECT_EQ(current.rounds, legacy.rounds) << "trial " << trial;
+    EXPECT_EQ(current.informed, legacy.informed) << "trial " << trial;
+    EXPECT_EQ(current.alive, legacy.alive) << "trial " << trial;
+    EXPECT_EQ(current.stats.total.bits, legacy.stats.total.bits) << "trial " << trial;
+    EXPECT_EQ(current.stats.total.connections, legacy.stats.total.connections)
+        << "trial " << trial;
+    EXPECT_EQ(current.stats.total.max_involvement, legacy.stats.total.max_involvement)
+        << "trial " << trial;
+  }
+}
+
 TEST(TrialRunner, FaultModelAppliedPerTrial) {
   ScenarioSpec spec = fixed_spec();
   spec.fault_fraction = 0.1;
