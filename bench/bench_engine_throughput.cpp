@@ -11,10 +11,15 @@
 //   exchange   - every node exchanges (push + oblivious response)
 //
 // Output: machine-readable JSON on stdout (optionally --out=FILE), one
-// record per (n, workload, path) with contacts/sec, plus the static/legacy
-// speedup per (n, workload). This seeds the BENCH_*.json tracking files:
+// record per (n, workload, path) with MEDIAN-of-repeats contacts/sec and a
+// per-phase wall-clock breakdown (phase 1 initiate/draw/queue, phase 2 push
+// delivery, phase 3 pull resolution - the receiver-bucketed delivery work
+// lives in phases 2-3), plus the static/legacy speedup per (n, workload).
+// This seeds the BENCH_*.json tracking files:
 //   ./bench_engine_throughput --out=BENCH_engine_throughput.json
 // Options: --rounds=R (default 12), --sizes=1e5,1e6,4e6 (comma list),
+//          --repeats=K (default 3; median-of-K per configuration),
+//          --delivery-buckets=N (0 = engine auto, 1 = the flat PR 4 sweep),
 //          --quick (100k only, for CI smoke).
 #include <chrono>
 #include <cstdint>
@@ -31,6 +36,8 @@
 
 #include <algorithm>
 #include <numeric>
+
+#include "bench_util.hpp"
 
 namespace {
 
@@ -52,6 +59,10 @@ class ReferenceEngine {
   }
 
   [[nodiscard]] sim::MetricsCollector& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const sim::Engine::PhaseTimes& phase_times() const noexcept {
+    return phase_times_;
+  }
+  void reset_phase_times() noexcept { phase_times_ = sim::Engine::PhaseTimes{}; }
 
   std::uint32_t random_other(std::uint32_t self) {
     const std::uint32_t n = net_.n();
@@ -61,6 +72,7 @@ class ReferenceEngine {
   }
 
   void run_round(const sim::RoundHooks& hooks) {
+    const auto t_begin = Clock::now();
     metrics_.begin_round();
     pushes_.clear();
     pulls_.clear();
@@ -88,9 +100,13 @@ class ReferenceEngine {
       }
     }
 
+    const auto t_phase1 = Clock::now();
+
     if (hooks.on_push) {
       for (const PendingPush& p : pushes_) hooks.on_push(p.to, p.msg);
     }
+
+    const auto t_phase2 = Clock::now();
 
     if (!pulls_.empty()) {
       std::sort(pulls_.begin(), pulls_.end(),
@@ -111,6 +127,10 @@ class ReferenceEngine {
       }
     }
 
+    phase_times_.phase1_seconds += std::chrono::duration<double>(t_phase1 - t_begin).count();
+    phase_times_.phase2_seconds += std::chrono::duration<double>(t_phase2 - t_phase1).count();
+    phase_times_.phase3_seconds +=
+        std::chrono::duration<double>(Clock::now() - t_phase2).count();
     metrics_.end_round();
   }
 
@@ -127,6 +147,7 @@ class ReferenceEngine {
 
   sim::Network& net_;
   sim::MetricsCollector metrics_;
+  sim::Engine::PhaseTimes phase_times_;
   std::vector<PendingPush> pushes_;
   std::vector<PendingPull> pulls_;
   std::vector<std::uint32_t> all_nodes_;
@@ -135,10 +156,12 @@ class ReferenceEngine {
 struct Result {
   std::uint64_t n;
   std::string workload;
-  std::string path;  // "static" | "legacy"
+  std::string path;  // "static" | "legacy_adapter" | "reference_stdfunction"
   std::uint64_t rounds;
   std::uint64_t contacts;
-  double seconds;
+  unsigned repeats;
+  double seconds;  ///< median-of-repeats wall clock for `rounds` rounds
+  sim::Engine::PhaseTimes phases;  ///< phase breakdown of the median repeat
   [[nodiscard]] double contacts_per_sec() const { return contacts / seconds; }
 };
 
@@ -197,74 +220,105 @@ sim::RoundHooks legacy_hooks(const std::string& workload) {
   return h;
 }
 
-template <class Metrics, class RunRound>
-Result timed_run(Metrics& metrics, std::uint64_t n, const std::string& workload,
-                 const std::string& path, unsigned rounds, RunRound&& run_round) {
-  // One untimed warm-up round sizes every scratch buffer.
+struct Sample {
+  double seconds = 0;
+  std::uint64_t contacts = 0;
+  sim::Engine::PhaseTimes phases;
+};
+
+/// One measured repeat of any engine: one untimed warm-up round (sizes the
+/// scratch buffers), then `rounds` timed rounds.
+template <class EngineT, class RunRound>
+Sample one_repeat(EngineT& engine, unsigned rounds, RunRound&& run_round) {
   run_round();
-  metrics.reset();
+  engine.metrics().reset();
+  engine.reset_phase_times();
   const auto start = Clock::now();
   for (unsigned r = 0; r < rounds; ++r) run_round();
   const auto stop = Clock::now();
+  Sample s;
+  s.seconds = std::chrono::duration<double>(stop - start).count();
+  s.contacts = engine.metrics().run().total.connections;
+  s.phases = engine.phase_times();
+  return s;
+}
+
+/// Median-of-repeats measurement: each repeat builds a fresh same-seed
+/// network + engine (identical workloads, so every repeat counts the same
+/// contacts); the headline is the repeat with the MEDIAN wall clock, whose
+/// phase breakdown is reported alongside. Cuts single-core host noise.
+template <class RunRepeat>
+Result measure(std::uint64_t n, const std::string& workload, const std::string& path,
+               unsigned rounds, unsigned repeats, RunRepeat&& run_repeat) {
+  const Sample median = bench::median_sample(repeats, run_repeat,
+                                             [](const Sample& s) { return s.seconds; });
   Result res;
   res.n = n;
   res.workload = workload;
   res.path = path;
   res.rounds = rounds;
-  res.contacts = metrics.run().total.connections;
-  res.seconds = std::chrono::duration<double>(stop - start).count();
+  res.repeats = repeats;
+  res.contacts = median.contacts;
+  res.seconds = median.seconds;
+  res.phases = median.phases;
   return res;
 }
 
 template <class Hooks>
 std::vector<Result> bench_size(std::uint32_t n, const std::string& workload, Hooks hooks,
-                               unsigned rounds, bool delta_metering) {
+                               unsigned rounds, unsigned repeats, bool delta_metering,
+                               unsigned delivery_buckets) {
   std::vector<Result> out;
   // Fresh same-seed networks per path: identical workloads, so the
   // contacts/sec ratio isolates the executor implementations.
-  {
+  const auto make_net = [n] {
+    sim::NetworkOptions o;
+    o.n = n;
+    o.seed = 42;
+    return sim::Network(o);
+  };
+  out.push_back(measure(n, workload, "static", rounds, repeats, [&] {
     // New executor, hooks resolved at compile time.
-    sim::NetworkOptions o;
-    o.n = n;
-    o.seed = 42;
-    sim::Network net(o);
+    sim::Network net = make_net();
     sim::Engine engine(net);
+    engine.set_delivery_buckets(delivery_buckets);
+    engine.set_phase_timing(true);
     engine.metrics().set_track_involvement(delta_metering);
-    out.push_back(timed_run(engine.metrics(), n, workload, "static", rounds,
-                            [&] { engine.run_round(hooks); }));
-  }
-  {
+    return one_repeat(engine, rounds, [&] { engine.run_round(hooks); });
+  }));
+  out.push_back(measure(n, workload, "legacy_adapter", rounds, repeats, [&] {
     // New executor behind the RoundHooks std::function adapter.
-    sim::NetworkOptions o;
-    o.n = n;
-    o.seed = 42;
-    sim::Network net(o);
+    sim::Network net = make_net();
     sim::Engine engine(net);
+    engine.set_delivery_buckets(delivery_buckets);
+    engine.set_phase_timing(true);
     engine.metrics().set_track_involvement(delta_metering);
     const sim::RoundHooks hooks_legacy = legacy_hooks(workload);
-    out.push_back(timed_run(engine.metrics(), n, workload, "legacy_adapter", rounds,
-                            [&] { engine.run_round(hooks_legacy); }));
-  }
-  {
+    return one_repeat(engine, rounds, [&] { engine.run_round(hooks_legacy); });
+  }));
+  out.push_back(measure(n, workload, "reference_stdfunction", rounds, repeats, [&] {
     // The seed's std::function executor (always meters Delta; it had no
     // opt-out).
-    sim::NetworkOptions o;
-    o.n = n;
-    o.seed = 42;
-    sim::Network net(o);
+    sim::Network net = make_net();
     ReferenceEngine engine(net);
     const sim::RoundHooks hooks_legacy = legacy_hooks(workload);
-    out.push_back(timed_run(engine.metrics(), n, workload, "reference_stdfunction",
-                            rounds, [&] { engine.run_round(hooks_legacy); }));
-  }
+    return one_repeat(engine, rounds, [&] { engine.run_round(hooks_legacy); });
+  }));
   return out;
 }
 
-void emit_json(std::ostream& os, const std::vector<Result>& results, bool delta_metering) {
+void emit_json(std::ostream& os, const std::vector<Result>& results, bool delta_metering,
+               unsigned repeats, unsigned delivery_buckets) {
   os << "{\n  \"bench\": \"engine_throughput\",\n  \"unit\": \"contacts_per_sec\",\n"
      << "  \"knowledge_tracking\": false,\n"
      << "  \"delta_metering_static_legacy\": " << (delta_metering ? "true" : "false")
      << ",\n"
+     << "  \"repeats\": " << repeats << ",\n"
+     << "  \"delivery_buckets\": " << delivery_buckets << ",\n"
+     << "  \"note\": \"seconds/contacts_per_sec are the MEDIAN repeat; "
+     << "phase*_seconds break that repeat down (1 = initiate+draw+queue, "
+     << "2 = push delivery, 3 = pull resolution); delivery_buckets 0 = "
+     << "auto-bucketed receiver-local delivery (sim/engine.hpp)\",\n"
      << "  \"paths\": {\"static\": \"templated executor, compile-time hooks\", "
      << "\"legacy_adapter\": \"RoundHooks std::functions over the new executor\", "
      << "\"reference_stdfunction\": \"the seed engine: std::function dispatch, "
@@ -275,7 +329,10 @@ void emit_json(std::ostream& os, const std::vector<Result>& results, bool delta_
     os << "    {\"n\": " << r.n << ", \"workload\": \"" << r.workload << "\", \"path\": \""
        << r.path << "\", \"rounds\": " << r.rounds << ", \"contacts\": " << r.contacts
        << ", \"seconds\": " << r.seconds << ", \"contacts_per_sec\": "
-       << static_cast<std::uint64_t>(r.contacts_per_sec()) << "}"
+       << static_cast<std::uint64_t>(r.contacts_per_sec())
+       << ", \"phase1_seconds\": " << r.phases.phase1_seconds
+       << ", \"phase2_seconds\": " << r.phases.phase2_seconds
+       << ", \"phase3_seconds\": " << r.phases.phase3_seconds << "}"
        << (i + 1 < results.size() ? "," : "") << "\n";
   }
   os << "  ],\n  \"speedup_static_over_stdfunction_path\": [\n";
@@ -319,20 +376,32 @@ std::vector<std::uint32_t> parse_sizes(const std::string& spec) {
 
 int main(int argc, char** argv) {
   unsigned rounds = 12;
+  unsigned repeats = 3;
+  unsigned delivery_buckets = 0;  // 0 = engine auto
   std::vector<std::uint32_t> sizes{100000, 1000000, 4000000};
   std::string out_path;
   bool delta_metering = false;
+  const auto parse_uint = [](const std::string& arg, std::size_t prefix_len,
+                             unsigned long min, unsigned long max,
+                             const char* what) -> unsigned {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(arg.c_str() + prefix_len, &end, 10);
+    if (end == arg.c_str() + prefix_len || *end != '\0' || v < min || v > max) {
+      std::fprintf(stderr, "bad %s value: '%s' (want an integer in [%lu, %lu])\n", what,
+                   arg.c_str() + prefix_len, min, max);
+      std::exit(2);
+    }
+    return static_cast<unsigned>(v);
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--rounds=", 0) == 0) {
-      char* end = nullptr;
-      const unsigned long v = std::strtoul(arg.c_str() + 9, &end, 10);
-      if (end == arg.c_str() + 9 || *end != '\0' || v == 0) {
-        std::fprintf(stderr, "bad --rounds value: '%s' (want a positive integer)\n",
-                     arg.c_str() + 9);
-        return 2;
-      }
-      rounds = static_cast<unsigned>(v);
+      rounds = parse_uint(arg, 9, 1, 1u << 20, "--rounds");
+    } else if (arg.rfind("--repeats=", 0) == 0) {
+      repeats = parse_uint(arg, 10, 1, 1000, "--repeats");
+    } else if (arg.rfind("--delivery-buckets=", 0) == 0) {
+      delivery_buckets =
+          parse_uint(arg, 19, 0, sim::kMaxDeliveryBuckets, "--delivery-buckets");
     } else if (arg.rfind("--sizes=", 0) == 0) {
       sizes = parse_sizes(arg.substr(8));
     } else if (arg.rfind("--out=", 0) == 0) {
@@ -342,6 +411,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--quick") {
       sizes = {100000};
       rounds = 6;
+      repeats = 1;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return 2;
@@ -366,25 +436,31 @@ int main(int argc, char** argv) {
       std::vector<Result> triple;
       const std::string w = workload;
       if (w == "push") {
-        triple = bench_size(n, w, PushWorkload{}, rounds, delta_metering);
+        triple = bench_size(n, w, PushWorkload{}, rounds, repeats, delta_metering,
+                            delivery_buckets);
       } else if (w == "push_pull") {
-        triple = bench_size(n, w, PushPullWorkload{}, rounds, delta_metering);
+        triple = bench_size(n, w, PushPullWorkload{}, rounds, repeats, delta_metering,
+                            delivery_buckets);
       } else {
-        triple = bench_size(n, w, ExchangeWorkload{}, rounds, delta_metering);
+        triple = bench_size(n, w, ExchangeWorkload{}, rounds, repeats, delta_metering,
+                            delivery_buckets);
       }
       for (Result& r : triple) {
-        std::fprintf(stderr, "n=%-9llu %-10s %-22s %8.2f Mcontacts/s\n",
+        std::fprintf(stderr,
+                     "n=%-9llu %-10s %-22s %8.2f Mcontacts/s (p1 %.3fs p2 %.3fs p3 %.3fs)\n",
                      static_cast<unsigned long long>(r.n), r.workload.c_str(),
-                     r.path.c_str(), r.contacts_per_sec() / 1e6);
+                     r.path.c_str(), r.contacts_per_sec() / 1e6,
+                     r.phases.phase1_seconds, r.phases.phase2_seconds,
+                     r.phases.phase3_seconds);
         results.push_back(std::move(r));
       }
     }
   }
 
-  emit_json(std::cout, results, delta_metering);
+  emit_json(std::cout, results, delta_metering, repeats, delivery_buckets);
   if (!out_path.empty()) {
     std::ofstream f(out_path);
-    emit_json(f, results, delta_metering);
+    emit_json(f, results, delta_metering, repeats, delivery_buckets);
     std::fprintf(stderr, "wrote %s\n", out_path.c_str());
   }
   return 0;

@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
         spec.n = n;
         spec.trials = cfg.seeds;
         spec.seed = 500;
-        spec.engine_threads = cfg.threads;
+        cfg.apply_engine(spec);
         spec.fault_fraction = frac;
         spec.fault_strategy = strategy;
         // Overlay flags: --loss-prob / --crash-round rerun this sweep under
@@ -109,7 +109,7 @@ int main(int argc, char** argv) {
       spec.n = n;
       spec.trials = cfg.seeds;
       spec.seed = 600;
-      spec.engine_threads = cfg.threads;
+      cfg.apply_engine(spec);
       spec.loss_prob = p;
       const auto result = run_cell(std::move(spec));
       const auto& agg = result.aggregate;
@@ -147,7 +147,7 @@ int main(int argc, char** argv) {
       spec.n = n;
       spec.trials = cfg.seeds;
       spec.seed = 700;
-      spec.engine_threads = cfg.threads;
+      cfg.apply_engine(spec);
       spec.fault_fraction = 0.2;
       spec.fault_strategy = sim::FaultStrategy::kRandomSubset;
       spec.crash_round = t_crash;

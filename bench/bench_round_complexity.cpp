@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
       spec.n = n;
       spec.trials = cfg.seeds;
       spec.seed = 1000;
-      spec.engine_threads = cfg.threads;
+      cfg.apply_engine(spec);
       cfg.apply_faults(spec);  // e.g. --loss-prob=0.2: the sweep under loss
       auto result = trials.run(spec);
       const auto& agg = result.aggregate;

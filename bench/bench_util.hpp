@@ -7,8 +7,18 @@
 //   --threads=N        per-run sharded phase-1 engine execution (plumbed to
 //                      DriverOptions.threads / UniformOptions.threads; 0 =
 //                      serial, the default - see sim/engine.hpp)
+//   --shard-size=N     initiators per phase-1 shard when --threads >= 1
+//                      (0 = default width; re-keys the shard draw streams)
+//   --delivery-buckets=N  receiver buckets for the engine's delivery phases
+//                      (0 = auto by network size, 1 = flat; results are
+//                      bit-identical for every value - this is a pure
+//                      locality knob for sweeps)
 //   --trial-threads=N  cross-trial workers for TrialRunner-based benches
 //                      (aggregates are bit-identical for every value)
+// The wall-clock benches (bench_engine_throughput, bench_parallel_scaling;
+// they carry their own flag sets) additionally take --repeats=N and report
+// the MEDIAN repeat per configuration via bench::median_sample below,
+// cutting single-core noise on the bench host.
 //   --loss-prob=P      TrialRunner-based benches: per-contact payload loss
 //                      probability in [0, 1) (sim/fault.hpp LossyChannel)
 //   --crash-round=R    TrialRunner-based benches: defer the crash set to the
@@ -20,6 +30,7 @@
 // Unknown flags are an error (usage + exit 2).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -47,6 +58,8 @@ struct Config {
   unsigned seeds = 5;
   unsigned max_exp = 18;  ///< largest network is 2^max_exp (20 with --full)
   unsigned threads = 0;   ///< sharded phase-1 engine threads (0 = serial)
+  unsigned shard_size = 0;        ///< initiators per shard (0 = default width)
+  unsigned delivery_buckets = 0;  ///< delivery receiver buckets (0 = auto)
   unsigned trial_threads = 1;  ///< TrialRunner workers (migrated benches)
   double loss_prob = 0.0; ///< per-contact payload loss (TrialRunner benches)
   /// Crash timing for the fault keys (kCrashPreRun = legacy pre-run crash).
@@ -59,6 +72,7 @@ struct Config {
     std::fprintf(stderr,
                  "%s\n"
                  "usage: bench_* [--full] [--seeds=N] [--max-exp=K] [--threads=N]\n"
+                 "               [--shard-size=N] [--delivery-buckets=N]\n"
                  "               [--trial-threads=N] [--loss-prob=P] [--crash-round=R]\n"
                  "               [--out=FILE]\n"
                  "(--trial-threads, --loss-prob, --crash-round and --out only act on\n"
@@ -104,6 +118,20 @@ struct Config {
         } catch (const std::exception& e) {
           usage_and_exit(e.what());
         }
+      } else if (arg.rfind("--delivery-buckets=", 0) == 0) {
+        try {
+          c.delivery_buckets = static_cast<unsigned>(runner::parse_count(
+              "--delivery-buckets=", arg.substr(19), 0, sim::kMaxDeliveryBuckets));
+        } catch (const std::exception& e) {
+          usage_and_exit(e.what());  // names the valid range [0, 4096]
+        }
+      } else if (arg.rfind("--shard-size=", 0) == 0) {
+        try {
+          c.shard_size = static_cast<unsigned>(
+              runner::parse_count("--shard-size=", arg.substr(13), 0, 1u << 20));
+        } catch (const std::exception& e) {
+          usage_and_exit(e.what());
+        }
       } else if (uint_flag("--seeds=", c.seeds) || uint_flag("--max-exp=", c.max_exp) ||
                  uint_flag("--threads=", c.threads) ||
                  uint_flag("--trial-threads=", c.trial_threads)) {
@@ -131,7 +159,35 @@ struct Config {
     spec.loss_prob = loss_prob;
     if (spec.fault_count() > 0) spec.crash_round = crash_round;
   }
+
+  /// Copies the engine-execution flags (--threads / --shard-size /
+  /// --delivery-buckets) onto a TrialRunner spec, so every migrated bench
+  /// exposes the same locality/parallelism sweep surface.
+  void apply_engine(runner::ScenarioSpec& spec) const {
+    spec.engine_threads = threads;
+    spec.shard_size = shard_size;
+    spec.delivery_buckets = delivery_buckets;
+  }
 };
+
+/// Median-of-N harness for wall-clock measurements (the --repeats flag of
+/// bench_engine_throughput / bench_parallel_scaling): runs `measure`
+/// `repeats` times and returns the sample whose key(sample) double is the
+/// median. Returning the whole sample lets a bench report the median run's
+/// secondary readings (per-phase seconds, contact counts) consistently with
+/// its headline. Single-core bench hosts are noisy (+-2x at small n); the
+/// median of a few repeats is stable enough to track release-over-release
+/// deltas.
+template <class Measure, class Key>
+[[nodiscard]] auto median_sample(unsigned repeats, Measure&& measure, Key&& key) {
+  using Sample = decltype(measure());
+  std::vector<Sample> samples;
+  samples.reserve(repeats);
+  for (unsigned r = 0; r < repeats; ++r) samples.push_back(measure());
+  std::sort(samples.begin(), samples.end(),
+            [&](const Sample& a, const Sample& b) { return key(a) < key(b); });
+  return samples[samples.size() / 2];
+}
 
 /// A named broadcast algorithm runnable on a fresh network.
 struct NamedAlgorithm {
@@ -144,12 +200,18 @@ struct NamedAlgorithm {
 /// a thin adapter over runner::algorithms() so the set exists in ONE place.
 /// `threads` >= 1 opts every run's engine into sharded phase-1 execution
 /// (DriverOptions.threads / UniformOptions.threads; changes same-seed
-/// trajectories once, see sim/engine.hpp).
+/// trajectories once, see sim/engine.hpp). `shard_size` pins the shard
+/// width; `delivery_buckets` pins the delivery decomposition (trajectory-
+/// invariant).
 inline std::vector<NamedAlgorithm> standard_algorithms(std::uint64_t delta = 1024,
-                                                       unsigned threads = 0) {
+                                                       unsigned threads = 0,
+                                                       unsigned shard_size = 0,
+                                                       unsigned delivery_buckets = 0) {
   runner::ScenarioSpec spec;
   spec.delta = delta;
   spec.engine_threads = threads;
+  spec.shard_size = shard_size;
+  spec.delivery_buckets = delivery_buckets;
   std::vector<NamedAlgorithm> out;
   for (const runner::AlgorithmEntry& entry : runner::algorithms()) {
     out.push_back({entry.display,

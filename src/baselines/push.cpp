@@ -29,7 +29,7 @@ core::BroadcastReport run_push(sim::Network& net, std::uint32_t source,
                                UniformOptions options) {
   const unsigned cap = detail::auto_round_cap(net.n(), options.max_rounds);
   return detail::run_until_informed(
-      net, source, cap, options.threads, options.fault, "push",
+      net, source, cap, options, "push",
       [](std::vector<std::uint8_t>& informed, std::uint64_t& informed_count) {
         return PushHooks{informed, informed_count};
       });

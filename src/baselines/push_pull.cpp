@@ -34,7 +34,7 @@ core::BroadcastReport run_push_pull(sim::Network& net, std::uint32_t source,
                                     UniformOptions options) {
   const unsigned cap = detail::auto_round_cap(net.n(), options.max_rounds);
   return detail::run_until_informed(
-      net, source, cap, options.threads, options.fault, "push_pull",
+      net, source, cap, options, "push_pull",
       [](std::vector<std::uint8_t>& informed, std::uint64_t& informed_count) {
         return PushPullHooks{informed, informed_count};
       });

@@ -28,6 +28,9 @@ struct RrsOptions {
   /// Fault scenario on the round timeline (sim/fault.hpp; nullable,
   /// non-owning; the caller invokes on_run_begin itself).
   sim::FaultModel* fault = nullptr;
+  /// Receiver buckets for the delivery phases (0 = the engine's auto
+  /// default; Engine::set_delivery_buckets). Trajectory-invariant.
+  std::uint32_t delivery_buckets = 0;
 };
 
 [[nodiscard]] core::BroadcastReport run_rrs(sim::Network& net, std::uint32_t source,

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "baselines/uniform.hpp"
 #include "common/assert.hpp"
 #include "common/math.hpp"
 #include "core/report.hpp"
@@ -69,19 +70,21 @@ template <class IsInformed>
 /// `make_hooks(informed, informed_count)` returns the hooks object for the
 /// whole run; it may be any static-dispatch hooks type (see sim/engine.hpp),
 /// so each baseline's per-round work is resolved at compile time.
-/// `threads` >= 1 opts the run into the sharded phase-1 executor. `fault`
-/// (nullable) is installed on the engine's round timeline; its on_run_begin
-/// is the caller's job.
+/// `options.threads` >= 1 opts the run into the sharded phase-1 executor
+/// (at options.shard_size); options.delivery_buckets != 0 pins the delivery
+/// decomposition. `options.fault` (nullable) is installed on the engine's
+/// round timeline; its on_run_begin is the caller's job.
 template <class MakeHooks>
 core::BroadcastReport run_until_informed(sim::Network& net, std::uint32_t source,
-                                         unsigned max_rounds, unsigned threads,
-                                         sim::FaultModel* fault,
+                                         unsigned max_rounds,
+                                         const UniformOptions& options,
                                          std::string phase_name,
                                          MakeHooks&& make_hooks) {
   GOSSIP_CHECK_MSG(net.alive(source), "source node must be alive");
   sim::Engine engine(net);
-  if (threads) engine.set_threads(threads);
-  engine.set_fault_model(fault);
+  if (options.threads) engine.set_threads(options.threads, options.shard_size);
+  if (options.delivery_buckets) engine.set_delivery_buckets(options.delivery_buckets);
+  engine.set_fault_model(options.fault);
   std::vector<std::uint8_t> informed(net.n(), 0);
   informed[source] = 1;
   std::uint64_t informed_count = 1;

@@ -40,7 +40,10 @@ Driver::Driver(sim::Engine& engine, Options opts)
   // requested width is left untouched, so a caller-pinned shard_size (and
   // its trajectory) survives.
   if (opts_.threads && engine_.threads() != opts_.threads) {
-    engine_.set_threads(opts_.threads);
+    engine_.set_threads(opts_.threads, opts_.shard_size);
+  }
+  if (opts_.delivery_buckets) {
+    engine_.set_delivery_buckets(opts_.delivery_buckets);
   }
 }
 

@@ -35,6 +35,13 @@ struct DriverOptions {
   /// before the first primitive runs (Engine::set_threads; see the
   /// Threading model notes in sim/engine.hpp for the determinism contract).
   unsigned threads = 0;
+  /// Initiators per phase-1 shard when threads >= 1 (0 = the default width;
+  /// part of the sharded determinism contract - see sim/parallel/shard.hpp).
+  std::uint32_t shard_size = 0;
+  /// Receiver buckets for the delivery phases (0 = leave the engine's
+  /// decomposition alone; Engine::set_delivery_buckets).
+  /// Trajectory-invariant.
+  std::uint32_t delivery_buckets = 0;
 };
 
 class Driver {

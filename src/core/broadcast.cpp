@@ -24,6 +24,8 @@ BroadcastReport broadcast(sim::Network& net, const BroadcastOptions& options) {
   cluster::DriverOptions driver_opts;
   driver_opts.validate = options.validate;
   driver_opts.threads = options.threads;
+  driver_opts.shard_size = options.shard_size;
+  driver_opts.delivery_buckets = options.delivery_buckets;
 
   switch (options.algorithm) {
     case Algorithm::kCluster1: {

@@ -4,18 +4,21 @@
 // Per scenario:
 //   {
 //     "scenario": { name, algorithm, n, trials, seed, engine_threads,
-//                   rumor_bits, delta, max_rounds, fault_fraction,
-//                   fault_strategy, fault_count, fault_model (resolved
-//                   composition, e.g. "scheduled_crash+lossy"),
-//                   crash_round (-1 = pre-run), loss_prob },
+//                   shard_size, rumor_bits, delta, max_rounds,
+//                   fault_fraction, fault_strategy, fault_count,
+//                   fault_model (resolved composition, e.g.
+//                   "scheduled_crash+lossy"), crash_round (-1 = pre-run),
+//                   loss_prob },
 //     "runs": N, "failures": M,
 //     "metrics": { "<metric>": { count, mean, stddev, min, max,
 //                                p50, p90, p99 }, ... }
 //   }
 //
-// The spec's `threads` (TrialRunner worker count) is deliberately NOT
-// echoed: the runner's contract is that this report is bit-identical for
-// every worker count, and CI enforces it by diffing two runs.
+// The spec's `threads` (TrialRunner worker count) and `delivery_buckets`
+// (receiver-bucketed delivery decomposition) are deliberately NOT echoed:
+// the runner's contract is that this report is bit-identical for every
+// worker count AND every bucket count, and CI enforces both by diffing
+// runs.
 #pragma once
 
 #include <ostream>

@@ -20,6 +20,8 @@ core::BroadcastReport run_core(sim::Network& net, std::uint32_t source,
   o.source = source;
   o.delta = spec.delta;
   o.threads = spec.engine_threads;
+  o.shard_size = spec.shard_size;
+  o.delivery_buckets = spec.delivery_buckets;
   o.fault_model = fault;
   return core::broadcast(net, o);
 }
@@ -28,6 +30,8 @@ baselines::UniformOptions uniform_opts(const ScenarioSpec& spec, sim::FaultModel
   baselines::UniformOptions o;
   o.max_rounds = spec.max_rounds;
   o.threads = spec.engine_threads;
+  o.shard_size = spec.shard_size;
+  o.delivery_buckets = spec.delivery_buckets;
   o.fault = fault;
   return o;
 }
@@ -62,6 +66,8 @@ const std::vector<AlgorithmEntry>& algorithms() {
          engine.set_fault_model(fault);
          cluster::DriverOptions driver_opts;
          driver_opts.threads = spec.engine_threads;
+         driver_opts.shard_size = spec.shard_size;
+         driver_opts.delivery_buckets = spec.delivery_buckets;
          baselines::AvinElsasser algo(engine, baselines::AvinElsasserOptions(),
                                       driver_opts);
          return algo.run(source);
@@ -74,6 +80,7 @@ const std::vector<AlgorithmEntry>& algorithms() {
          baselines::RrsOptions o;
          o.max_rounds = spec.max_rounds;
          o.fault = fault;
+         o.delivery_buckets = spec.delivery_buckets;
          return baselines::run_rrs(net, source, o);
        }},
       {"push_pull", "PUSH-PULL",

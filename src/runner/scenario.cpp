@@ -6,6 +6,8 @@
 #include <limits>
 #include <sstream>
 
+#include "sim/push_queue.hpp"  // kMaxDeliveryBuckets
+
 namespace gossip::runner {
 
 namespace {
@@ -147,6 +149,11 @@ void ScenarioSpec::apply(std::string_view key, std::string_view value) {
     threads = static_cast<unsigned>(parse_count(key, value, 1, 256));
   } else if (key == "engine_threads") {
     engine_threads = static_cast<unsigned>(parse_count(key, value, 0, 256));
+  } else if (key == "shard_size") {
+    shard_size = static_cast<std::uint32_t>(parse_count(key, value, 0, 1u << 20));
+  } else if (key == "delivery_buckets") {
+    delivery_buckets = static_cast<std::uint32_t>(
+        parse_count(key, value, 0, sim::kMaxDeliveryBuckets));
   } else if (key == "rumor_bits") {
     rumor_bits = static_cast<std::uint32_t>(parse_count(key, value, 1, 1u << 30));
   } else if (key == "delta") {
@@ -317,7 +324,8 @@ void ScenarioSpec::apply_cli(const std::vector<std::string>& flags) {
 const std::vector<std::string>& ScenarioSpec::keys() {
   static const std::vector<std::string> kKeys = {
       "name",       "algorithm",  "n",          "trials",
-      "seed",       "threads",    "engine_threads", "rumor_bits",
+      "seed",       "threads",    "engine_threads", "shard_size",
+      "delivery_buckets", "rumor_bits",
       "delta",      "max_rounds", "fault_fraction", "fault_strategy",
       "crash_round", "loss_prob", "fault_model",
   };

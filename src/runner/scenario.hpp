@@ -78,6 +78,16 @@ struct ScenarioSpec {
   std::uint64_t seed = 1;          ///< base seed; trial t runs off Rng(seed).fork(t)
   unsigned threads = 1;            ///< TrialRunner workers (not part of identity)
   unsigned engine_threads = 0;     ///< sharded phase-1 threads per trial (0 = serial)
+  /// Initiators per phase-1 shard when engine_threads >= 1 (0 = default
+  /// width). Part of the experiment identity when sharded (it re-keys the
+  /// shard draw streams) and echoed in the report.
+  std::uint32_t shard_size = 0;
+  /// Receiver buckets for the engine's delivery phases (0 = engine auto,
+  /// 1 = flat, <= sim::kMaxDeliveryBuckets). Like `threads`, deliberately
+  /// NOT part of the experiment identity and never echoed in the JSON
+  /// report: delivery content is bucket-invariant, and CI diffs bucketed
+  /// vs. flat runs byte-for-byte to enforce exactly that.
+  std::uint32_t delivery_buckets = 0;
   std::uint32_t rumor_bits = 256;  ///< payload size b
   std::uint64_t delta = 1024;      ///< communication bound (cluster3_push_pull)
   unsigned max_rounds = 0;         ///< round-schedule cap for uniform/rrs (0 = auto)

@@ -10,7 +10,12 @@ Engine::Engine(Network& net, bool keep_history)
     : net_(net), metrics_(net.n(), keep_history) {
   all_nodes_.resize(net.n());
   std::iota(all_nodes_.begin(), all_nodes_.end(), 0u);
-  pull_stamp_.resize(net.n(), 0);
+  pull_stamp_.resize(net.n());
+  // Default delivery decomposition: auto (currently the flat sweep, so
+  // default rounds run exactly the PR 4 order). See set_delivery_buckets
+  // and make_bucket_map.
+  delivery_map_ = make_bucket_map(net.n(), requested_buckets_);
+  pushes_.configure(delivery_map_);
 }
 
 std::uint32_t Engine::random_other(std::uint32_t self) {

@@ -51,6 +51,13 @@ struct RoundStats {
     ++pull_requests;
     ++connections;
   }
+  void add_pull_response(std::uint64_t response_bits, bool has_payload) noexcept {
+    if (has_payload) {
+      ++pull_responses;
+      ++payload_messages;
+      bits += response_bits;
+    }
+  }
 
   void accumulate(const RoundStats& r) noexcept;
 };
@@ -112,30 +119,24 @@ class MetricsCollector {
   /// Merges a phase-1 shard's counter delta into the current round (sharded
   /// execution). Deltas are plain RoundStats accumulated thread-locally with
   /// max_involvement left 0: involvement needs the global per-node counters,
-  /// so it is replayed separately through record_involvement_pair in the
+  /// so it is replayed separately through record_involvement in the
   /// deterministic merge order.
   void merge_round_delta(const RoundStats& delta) {
     GOSSIP_CHECK_MSG(in_round_, "merge_round_delta outside a round");
     round_.accumulate(delta);
   }
 
-  /// Involvement bumps for one contact's two endpoints, replayed at merge
-  /// time by the sharded executor. Order-insensitive within a round (Delta
-  /// is a max over final per-node counts), so shard order merges are
-  /// bit-identical to inline serial metering.
-  void record_involvement_pair(std::uint32_t initiator, std::uint32_t target) {
-    if (track_involvement_) {
-      bump_involvement(initiator);
-      bump_involvement(target);
-    }
+  /// Involvement bump for ONE contact endpoint, replayed after phase 1 by
+  /// the sharded executor (initiator side in shard order, target side in
+  /// receiver-bucket order). Order-insensitive within a round: the counters
+  /// only increase and Delta is a max over the final per-node counts, so any
+  /// replay order is bit-identical to inline serial metering.
+  void record_involvement(std::uint32_t node) {
+    if (track_involvement_) bump_involvement(node);
   }
 
   void record_pull_response(std::uint64_t bits, bool has_payload) {
-    if (has_payload) {
-      ++round_.pull_responses;
-      ++round_.payload_messages;
-      round_.bits += bits;
-    }
+    round_.add_pull_response(bits, has_payload);
   }
 
   [[nodiscard]] const RunStats& run() const noexcept { return run_; }

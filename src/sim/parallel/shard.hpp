@@ -45,7 +45,10 @@ inline constexpr std::size_t kShardDrawBatch = 1024;
 struct ShardBuffer {
   RoundStats stats;  ///< additive counters only; max_involvement stays 0
   std::vector<std::pair<std::uint32_t, std::uint32_t>> endpoints;
-  PushQueue pushes;
+  /// Pending pushes, receiver-bucketed (sim/push_queue.hpp): phase 2 replays
+  /// bucket-major across shards, shard-minor within a bucket, so each
+  /// receiver still sees its deliveries in global initiator order.
+  BucketedPushQueue pushes;
   std::vector<PendingPull> pulls;
 
   Rng rng{0};
@@ -54,12 +57,14 @@ struct ShardBuffer {
   std::size_t draw_len = 0;
   std::size_t draw_chunk = 0;
 
-  /// Re-arms the shard for one round: clears the buffers (capacity kept) and
-  /// re-keys the draw stream from the base generator.
+  /// Re-arms the shard for one round: clears the buffers (capacity kept),
+  /// adopts the engine's current delivery-bucket decomposition and re-keys
+  /// the draw stream from the base generator.
   void begin_round(const Rng& base, std::uint64_t round, std::uint64_t shard,
-                   std::size_t initiator_count) {
+                   std::size_t initiator_count, const BucketMap& delivery_buckets) {
     stats = RoundStats{};
     endpoints.clear();
+    pushes.configure(delivery_buckets);
     pushes.clear();
     pulls.clear();
     rng = base.fork(round, shard);

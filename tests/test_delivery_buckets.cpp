@@ -1,0 +1,318 @@
+// Parity suite for the receiver-bucketed delivery phases (PR 5): delivery
+// CONTENT must be bit-identical for EVERY bucket count - per-round
+// RoundStats, learned knowledge sets, every per-node hook-observable tally -
+// on both the serial and the sharded executor, with and without the opt-in
+// pool execution of phases 2-3, and with fault models dropping payloads.
+// Only the cross-receiver interleaving of on_push/respond calls may change,
+// which no per-node hook can observe (see the bucketing notes in
+// sim/engine.hpp).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "sim/fault.hpp"
+#include "sim/parallel/parallel_engine.hpp"
+#include "sim/push_queue.hpp"
+
+namespace gossip::sim {
+namespace {
+
+NetworkOptions opts(std::uint32_t n, std::uint64_t seed, bool track) {
+  NetworkOptions o;
+  o.n = n;
+  o.seed = seed;
+  o.track_knowledge = track;
+  return o;
+}
+
+void expect_round_stats_equal(const RoundStats& a, const RoundStats& b,
+                              const char* where) {
+  EXPECT_EQ(a.pushes, b.pushes) << where;
+  EXPECT_EQ(a.pull_requests, b.pull_requests) << where;
+  EXPECT_EQ(a.pull_responses, b.pull_responses) << where;
+  EXPECT_EQ(a.payload_messages, b.payload_messages) << where;
+  EXPECT_EQ(a.connections, b.connections) << where;
+  EXPECT_EQ(a.bits, b.bits) << where;
+  EXPECT_EQ(a.initiators, b.initiators) << where;
+  EXPECT_EQ(a.max_involvement, b.max_involvement) << where;
+}
+
+void expect_runs_equal(const RunStats& a, const RunStats& b) {
+  EXPECT_EQ(a.rounds, b.rounds);
+  expect_round_stats_equal(a.total, b.total, "totals");
+  ASSERT_EQ(a.per_round.size(), b.per_round.size());
+  for (std::size_t r = 0; r < a.per_round.size(); ++r) {
+    expect_round_stats_equal(a.per_round[r], b.per_round[r], "per-round");
+  }
+}
+
+// The three bench workload shapes, instrumented with per-node tallies so any
+// delivery difference (content, per-receiver order, drops) compounds into a
+// visible divergence. Every hook touches ONLY the addressed node's slot -
+// the contract pool delivery requires - and respond() answers from the
+// responder's own state so reply content is state-dependent.
+enum class Shape { kPush, kPushPull, kExchange };
+
+struct TallyWorkload {
+  Shape shape;
+  std::vector<std::uint64_t> pushes_seen;   ///< per receiver
+  std::vector<std::uint64_t> replies_seen;  ///< per requester
+  std::vector<std::uint64_t> responded;     ///< per responder
+
+  TallyWorkload(Shape s, std::uint32_t n)
+      : shape(s), pushes_seen(n, 0), replies_seen(n, 0), responded(n, 0) {}
+
+  std::optional<Contact> initiate(std::uint32_t v) {
+    switch (shape) {
+      case Shape::kPush:
+        return Contact::push_random(Message::rumor());
+      case Shape::kPushPull:
+        if ((v & 1) == 0) return Contact::push_random(Message::rumor());
+        return Contact::pull_random();
+      case Shape::kExchange:
+        return Contact::exchange_random(Message::count(v));
+    }
+    return std::nullopt;
+  }
+  Message respond(std::uint32_t v) {
+    ++responded[v];
+    // State-dependent payload: a reply reflects how often v was pushed to
+    // in EARLIER rounds (phase-2 deliveries of the current round included -
+    // snapshot semantics make this well-defined under any bucket count).
+    return Message::count(pushes_seen[v]);
+  }
+  void on_push(std::uint32_t r, const Message& m) {
+    pushes_seen[r] += 1 + m.ids().size() + (m.has_rumor() ? 1 : 0);
+  }
+  void on_pull_reply(std::uint32_t q, const Message& m) {
+    replies_seen[q] += m.has_count() ? m.count_value() % 97 : 31;
+  }
+};
+
+struct RunResult {
+  RunStats stats;
+  std::vector<std::uint64_t> pushes_seen, replies_seen, responded;
+  std::uint64_t knowledge = 0;
+};
+
+RunResult run_workload(Network& net, Engine& eng, Shape shape, unsigned rounds) {
+  TallyWorkload w(shape, net.n());
+  for (unsigned r = 0; r < rounds; ++r) eng.run_round(w);
+  RunResult res{eng.metrics().run(), std::move(w.pushes_seen),
+                std::move(w.replies_seen), std::move(w.responded),
+                net.knowledge() ? net.knowledge()->total_knowledge() : 0};
+  return res;
+}
+
+void expect_results_equal(const RunResult& a, const RunResult& b, const char* what) {
+  expect_runs_equal(a.stats, b.stats);
+  EXPECT_EQ(a.pushes_seen, b.pushes_seen) << what;
+  EXPECT_EQ(a.replies_seen, b.replies_seen) << what;
+  EXPECT_EQ(a.responded, b.responded) << what;
+  EXPECT_EQ(a.knowledge, b.knowledge) << what;
+}
+
+// ---------------------------------------------------------------------------
+// Serial engine: trajectories are invariant in the bucket count.
+// ---------------------------------------------------------------------------
+
+class DeliveryBucketParity
+    : public ::testing::TestWithParam<std::tuple<Shape, bool>> {};
+
+TEST_P(DeliveryBucketParity, SerialBitIdenticalAcrossBucketCounts) {
+  const auto [shape, track] = GetParam();
+  constexpr std::uint32_t kN = 1500;
+  constexpr unsigned kRounds = 12;
+
+  const auto run = [&](std::uint32_t buckets) {
+    Network net(opts(kN, 77, track));
+    Engine eng(net, /*keep_history=*/true);
+    eng.set_delivery_buckets(buckets);
+    return run_workload(net, eng, shape, kRounds);
+  };
+  const RunResult flat = run(1);
+  for (const std::uint32_t buckets : {4u, 64u}) {
+    const RunResult bucketed = run(buckets);
+    expect_results_equal(flat, bucketed, "serial buckets");
+  }
+  // The engine's auto decomposition is also content-invariant by the same
+  // contract (it resolves to flat below the auto width, but pin it anyway).
+  expect_results_equal(flat, run(0), "serial auto");
+}
+
+// ---------------------------------------------------------------------------
+// Sharded engine: buckets x threads x pool-delivery, all bit-identical.
+// ---------------------------------------------------------------------------
+
+TEST_P(DeliveryBucketParity, ShardedBitIdenticalAcrossBucketAndThreadCounts) {
+  const auto [shape, track] = GetParam();
+  constexpr std::uint32_t kN = 1024;
+  constexpr unsigned kRounds = 10;
+  constexpr std::uint32_t kShard = 128;  // 8 shards: the merge order matters
+
+  const auto run = [&](std::uint32_t buckets, unsigned threads, bool pool_delivery) {
+    Network net(opts(kN, 9, track));
+    parallel::ParallelEngine eng(net, {.threads = threads,
+                                       .shard_size = kShard,
+                                       .delivery_buckets = buckets,
+                                       .parallel_delivery = pool_delivery,
+                                       .keep_history = true});
+    return run_workload(net, eng, shape, kRounds);
+  };
+  const RunResult reference = run(1, 1, false);
+  for (const std::uint32_t buckets : {1u, 4u, 64u}) {
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      const RunResult serial_delivery = run(buckets, threads, false);
+      expect_results_equal(reference, serial_delivery, "sharded serial-delivery");
+      // Pool-executed phases 2-3 (a no-op re-route when tracking is on -
+      // the tracker is not thread-safe - but pinned here either way).
+      const RunResult pool_delivery = run(buckets, threads, true);
+      expect_results_equal(reference, pool_delivery, "sharded pool-delivery");
+    }
+  }
+}
+
+std::string parity_param_name(
+    const ::testing::TestParamInfo<std::tuple<Shape, bool>>& info) {
+  const Shape shape = std::get<0>(info.param);
+  std::string name = shape == Shape::kPush       ? "push"
+                     : shape == Shape::kPushPull ? "push_pull"
+                                                 : "exchange";
+  return name + (std::get<1>(info.param) ? "_tracked" : "");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, DeliveryBucketParity,
+    ::testing::Combine(::testing::Values(Shape::kPush, Shape::kPushPull,
+                                         Shape::kExchange),
+                       ::testing::Values(false, true)),
+    parity_param_name);
+
+// ---------------------------------------------------------------------------
+// Fault rounds: per-contact drops agree under every bucket/thread count.
+// ---------------------------------------------------------------------------
+
+TEST(DeliveryBucketFaults, LossyScheduledCrashDropsAgreePerContact) {
+  constexpr std::uint32_t kN = 900;
+  constexpr unsigned kRounds = 12;
+
+  const auto run = [&](std::uint32_t buckets, unsigned threads, bool pool_delivery) {
+    Network net(opts(kN, 31, /*track=*/false));
+    auto fault = std::make_unique<CompositeFault>();
+    fault->add(std::make_unique<ScheduledCrash>(/*crash_round=*/3, /*count=*/90,
+                                                FaultStrategy::kRandomSubset))
+        .add(std::make_unique<LossyChannel>(0.25));
+    Rng adversary(net.rng().fork(0xadbead));
+    fault->on_run_begin(net, adversary);
+    std::unique_ptr<Engine> eng;
+    if (threads == 0) {
+      eng = std::make_unique<Engine>(net, /*keep_history=*/true);
+      eng->set_delivery_buckets(buckets);
+    } else {
+      eng = std::make_unique<parallel::ParallelEngine>(
+          net, parallel::ParallelOptions{.threads = threads,
+                                         .shard_size = 64,
+                                         .delivery_buckets = buckets,
+                                         .parallel_delivery = pool_delivery,
+                                         .keep_history = true});
+    }
+    eng->set_fault_model(fault.get());
+    return run_workload(net, *eng, Shape::kExchange, kRounds);
+  };
+
+  // Serial family: every bucket count reproduces the flat fault trajectory -
+  // the same contacts connect, the same payloads drop, per contact.
+  const RunResult serial_flat = run(1, 0, false);
+  EXPECT_GT(serial_flat.stats.total.pushes, 0u);
+  for (const std::uint32_t buckets : {4u, 64u}) {
+    expect_results_equal(serial_flat, run(buckets, 0, false), "serial fault buckets");
+  }
+
+  // Sharded family (its own draw universe): buckets x threads x delivery
+  // mode all agree with the 1-bucket 1-thread sharded reference.
+  const RunResult sharded_ref = run(1, 1, false);
+  for (const std::uint32_t buckets : {4u, 64u}) {
+    for (const unsigned threads : {2u, 8u}) {
+      expect_results_equal(sharded_ref, run(buckets, threads, false),
+                           "sharded fault buckets");
+      expect_results_equal(sharded_ref, run(buckets, threads, true),
+                           "sharded fault pool delivery");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BucketMap resolution + ResponseStore wire format.
+// ---------------------------------------------------------------------------
+
+TEST(DeliveryBucketMap, ResolvesRequestAgainstNetworkSize) {
+  // requested == 1: always the flat map.
+  for (const std::uint32_t n : {2u, 100u, 1u << 20}) {
+    const BucketMap flat = make_bucket_map(n, 1);
+    EXPECT_EQ(flat.count, 1u) << n;
+    EXPECT_EQ(flat.bucket_of(n - 1), 0u) << n;
+  }
+  // requested == 4 at n = 1000: width 256, buckets 0..3 cover every node.
+  const BucketMap four = make_bucket_map(1000, 4);
+  EXPECT_EQ(four.count, 4u);
+  EXPECT_EQ(four.bucket_of(0), 0u);
+  EXPECT_EQ(four.bucket_of(999), 3u);
+  // A request beyond the node count degrades to one node per bucket.
+  const BucketMap wide = make_bucket_map(8, kMaxDeliveryBuckets);
+  EXPECT_EQ(wide.count, 8u);
+  EXPECT_EQ(wide.bucket_of(7), 7u);
+  // Auto resolves to the flat sweep (see make_bucket_map) at every size.
+  EXPECT_EQ(make_bucket_map(1u << 20, 0).count, 1u);
+  EXPECT_EQ(make_bucket_map(std::numeric_limits<std::uint32_t>::max(), 0).count, 1u);
+  // Degenerate single-node map: bucket_of is still well-defined.
+  EXPECT_EQ(make_bucket_map(1, 0).bucket_of(0), 0u);
+}
+
+TEST(DeliveryResponseStore, RoundTripsMeteringAndContent) {
+  const MessageCosts costs = MessageCosts::for_network(1 << 16, 256);
+  ResponseStore store;
+
+  Message::IdList three;
+  for (std::uint32_t i = 0; i < 3; ++i) three.push_back(NodeId(1000 + i));
+  Message::IdList big;
+  for (std::uint32_t i = 0; i < PushQueue::kInlineIds + 4; ++i) {
+    big.push_back(NodeId(5000 + i));
+  }
+  std::vector<Message> originals;
+  originals.push_back(Message::empty());
+  originals.push_back(Message::rumor());
+  originals.push_back(Message::count(42));
+  originals.push_back(Message::rumor().and_count(7).and_id(NodeId(9)));
+  originals.push_back(Message::id_list(three));
+  originals.push_back(Message::id_list(big));  // spills
+
+  std::vector<std::uint32_t> offsets;
+  for (const Message& m : originals) {
+    Message copy = m;
+    offsets.push_back(store.append(std::move(copy)));
+  }
+  for (std::size_t i = 0; i < originals.size(); ++i) {
+    const Message& want = originals[i];
+    const ResponseStore::Meter meter = store.meter_at(offsets[i], costs);
+    EXPECT_EQ(meter.bits, want.bits(costs)) << i;
+    EXPECT_EQ(meter.has_payload, !want.is_empty()) << i;
+    store.with_message(offsets[i], [&](const Message& got) {
+      EXPECT_EQ(got.has_rumor(), want.has_rumor()) << i;
+      EXPECT_EQ(got.has_count(), want.has_count()) << i;
+      if (want.has_count()) EXPECT_EQ(got.count_value(), want.count_value()) << i;
+      ASSERT_EQ(got.ids().size(), want.ids().size()) << i;
+      for (std::size_t k = 0; k < want.ids().size(); ++k) {
+        EXPECT_EQ(got.ids()[k], want.ids()[k]) << i;
+      }
+    });
+  }
+}
+
+}  // namespace
+}  // namespace gossip::sim

@@ -133,7 +133,7 @@ TEST(RunStats, PerNodeAverages) {
 }
 
 // Sharded metering: per-shard count deltas merged via merge_round_delta plus
-// endpoint replay through record_involvement_pair must reproduce exactly
+// endpoint replay through record_involvement must reproduce exactly
 // what inline record_push/record_pull_request calls produce.
 TEST(Metrics, ShardDeltaMergeMatchesInlineMetering) {
   MetricsCollector inline_m(8, /*keep_history=*/false);
@@ -179,10 +179,13 @@ TEST(Metrics, ShardDeltaMergeMatchesInlineMetering) {
       }
     }
     merged_m.merge_round_delta(delta);
+    // Initiator side in shard order; target side deferred like the engine's
+    // receiver-bucketed replay (order cannot matter: monotone counters).
     for (int i = shard * 3; i < shard * 3 + 3; ++i) {
-      merged_m.record_involvement_pair(contacts[i].from, contacts[i].to);
+      merged_m.record_involvement(contacts[i].from);
     }
   }
+  for (const C& c : contacts) merged_m.record_involvement(c.to);
   merged_m.end_round();
 
   const RoundStats& a = inline_m.run().total;

@@ -93,6 +93,30 @@ TEST(ScenarioSpec, BadValuesThrow) {
   EXPECT_THROW(spec.apply("fault_strategy", "malicious"), ScenarioError);
 }
 
+TEST(ScenarioSpec, DeliveryBucketsAndShardSizeKeys) {
+  ScenarioSpec spec;
+  spec.apply("delivery_buckets", "64");
+  EXPECT_EQ(spec.delivery_buckets, 64u);
+  spec.apply("delivery_buckets", "0");  // 0 = engine auto, the default
+  EXPECT_EQ(spec.delivery_buckets, 0u);
+  spec.apply("shard_size", "4096");
+  EXPECT_EQ(spec.shard_size, 4096u);
+  spec.apply_cli({"--delivery_buckets=4", "--shard_size=128"});
+  EXPECT_EQ(spec.delivery_buckets, 4u);
+  EXPECT_EQ(spec.shard_size, 128u);
+
+  // Out-of-range values name the valid range in the error.
+  try {
+    spec.apply("delivery_buckets", "4097");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(std::string(e.what()).find("[0, 4096]"), std::string::npos) << e.what();
+  }
+  EXPECT_THROW(spec.apply("delivery_buckets", "-1"), ScenarioError);
+  EXPECT_THROW(spec.apply("delivery_buckets", "many"), ScenarioError);
+  EXPECT_THROW(spec.apply("shard_size", "2e6"), ScenarioError);  // > 2^20
+}
+
 TEST(ScenarioSpec, MalformedFileLineReportsLineNumber) {
   const std::string path =
       write_temp("scenario_bad.scn", "algorithm = push\nthis line has no equals\n");
