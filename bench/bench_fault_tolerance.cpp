@@ -19,8 +19,10 @@
 // model as data (fault_fraction/fault_strategy/crash_round/loss_prob),
 // executed by TrialRunner (--trial-threads=N parallelises the seed sweep
 // with bit-identical aggregates; --out=FILE emits the shared JSON report
-// schema). --loss-prob / --crash-round additionally overlay the static
-// sweep (1), so e.g. `--loss-prob=0.2` reruns Theorem 19 on lossy channels.
+// schema). --loss-prob / --crash-round / --join-rate / --crash-rate
+// additionally overlay the static sweep (1), so e.g. `--loss-prob=0.2`
+// reruns Theorem 19 on lossy channels and `--join-rate=0.5` reruns it while
+// fresh nodes keep arriving (the dedicated churn sweeps live in bench_churn).
 #include <fstream>
 #include <iostream>
 

@@ -24,6 +24,11 @@
 //   --crash-round=R    TrialRunner-based benches: defer the crash set to the
 //                      start of engine round R (ScheduledCrash) instead of
 //                      the legacy pre-run crash
+//   --join-rate=R      TrialRunner-based benches: Poisson mean joins per
+//                      round (sim/fault.hpp ChurnSchedule; capacity is
+//                      pre-reserved per ScenarioSpec::max_nodes)
+//   --crash-rate=R     TrialRunner-based benches: Poisson mean mid-run
+//                      crashes per round (composes with --join-rate)
 //   --out=FILE         TrialRunner-based benches: write a JSON report
 // and prints self-describing tables (common/table.hpp) with a paper-vs-
 // measured note, so bench_output.txt reads as the experiment record.
@@ -62,6 +67,8 @@ struct Config {
   unsigned delivery_buckets = 0;  ///< delivery receiver buckets (0 = auto)
   unsigned trial_threads = 1;  ///< TrialRunner workers (migrated benches)
   double loss_prob = 0.0; ///< per-contact payload loss (TrialRunner benches)
+  double join_rate = 0.0;  ///< Poisson joins per round (TrialRunner benches)
+  double crash_rate = 0.0; ///< Poisson mid-run crashes per round
   /// Crash timing for the fault keys (kCrashPreRun = legacy pre-run crash).
   std::int64_t crash_round = runner::ScenarioSpec::kCrashPreRun;
   std::string out;        ///< JSON report path (migrated benches; "" = none)
@@ -74,10 +81,10 @@ struct Config {
                  "usage: bench_* [--full] [--seeds=N] [--max-exp=K] [--threads=N]\n"
                  "               [--shard-size=N] [--delivery-buckets=N]\n"
                  "               [--trial-threads=N] [--loss-prob=P] [--crash-round=R]\n"
-                 "               [--out=FILE]\n"
-                 "(--trial-threads, --loss-prob, --crash-round and --out only act on\n"
-                 " TrialRunner-based benches; see the flag list at the top of\n"
-                 " bench_util.hpp)\n",
+                 "               [--join-rate=R] [--crash-rate=R] [--out=FILE]\n"
+                 "(--trial-threads, --loss-prob, --crash-round, --join-rate,\n"
+                 " --crash-rate and --out only act on TrialRunner-based benches;\n"
+                 " see the flag list at the top of bench_util.hpp)\n",
                  message.c_str());
     std::exit(2);
   }
@@ -108,6 +115,22 @@ struct Config {
       } else if (arg.rfind("--loss-prob=", 0) == 0) {
         try {
           c.loss_prob = runner::parse_fraction("--loss-prob=", arg.substr(12));
+        } catch (const std::exception& e) {
+          usage_and_exit(e.what());
+        }
+      } else if (arg.rfind("--join-rate=", 0) == 0) {
+        try {
+          runner::ScenarioSpec probe;  // reuse the scenario parser + bounds
+          probe.apply("join_rate", arg.substr(12));
+          c.join_rate = probe.join_rate;
+        } catch (const std::exception& e) {
+          usage_and_exit(e.what());
+        }
+      } else if (arg.rfind("--crash-rate=", 0) == 0) {
+        try {
+          runner::ScenarioSpec probe;
+          probe.apply("crash_rate", arg.substr(13));
+          c.crash_rate = probe.crash_rate;
         } catch (const std::exception& e) {
           usage_and_exit(e.what());
         }
@@ -158,6 +181,8 @@ struct Config {
   void apply_faults(runner::ScenarioSpec& spec) const {
     spec.loss_prob = loss_prob;
     if (spec.fault_count() > 0) spec.crash_round = crash_round;
+    spec.join_rate = join_rate;
+    spec.crash_rate = crash_rate;
   }
 
   /// Copies the engine-execution flags (--threads / --shard-size /

@@ -13,6 +13,7 @@ void ReportAggregate::add(const core::BroadcastReport& r) {
   max_delta.add(static_cast<double>(r.max_delta()));
   informed_fraction.add(r.informed_fraction());
   uninformed.add(static_cast<double>(r.uninformed()));
+  estimate_error.add(r.estimate_n_error);
 }
 
 void ReportAggregate::merge(const ReportAggregate& other) {
@@ -26,6 +27,7 @@ void ReportAggregate::merge(const ReportAggregate& other) {
   max_delta.merge(other.max_delta);
   informed_fraction.merge(other.informed_fraction);
   uninformed.merge(other.uninformed);
+  estimate_error.merge(other.estimate_error);
 }
 
 }  // namespace gossip::analysis

@@ -82,6 +82,7 @@ struct ReportAggregate {
   MetricStat max_delta;
   MetricStat informed_fraction;
   MetricStat uninformed;
+  MetricStat estimate_error;  ///< BroadcastReport::estimate_n_error
   std::uint64_t runs = 0;
   std::uint64_t failures = 0;  ///< runs that did not inform everyone
 

@@ -65,9 +65,10 @@ core::BroadcastReport run_rrs(sim::Network& net, std::uint32_t source, RrsOption
   if (options.delivery_buckets) engine.set_delivery_buckets(options.delivery_buckets);
   engine.set_fault_model(options.fault);
   // ctr == 0: uninformed; 1..ctr_max: state B; > ctr_max: state C.
-  std::vector<std::uint32_t> ctr(n, 0);
-  std::vector<std::uint32_t> partner_max(n, 0);  // largest counter met this round
-  std::vector<std::uint8_t> met_informed(n, 0);
+  // Capacity-sized: joiners are valid exchange partners under churn.
+  std::vector<std::uint32_t> ctr(net.capacity(), 0);
+  std::vector<std::uint32_t> partner_max(net.capacity(), 0);
+  std::vector<std::uint8_t> met_informed(net.capacity(), 0);
   ctr[source] = 1;
   std::uint64_t informed_count = 1;
 

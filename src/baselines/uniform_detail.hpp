@@ -85,7 +85,9 @@ core::BroadcastReport run_until_informed(sim::Network& net, std::uint32_t source
   if (options.threads) engine.set_threads(options.threads, options.shard_size);
   if (options.delivery_buckets) engine.set_delivery_buckets(options.delivery_buckets);
   engine.set_fault_model(options.fault);
-  std::vector<std::uint8_t> informed(net.n(), 0);
+  // Capacity-sized (== n for join-free networks): joiners arriving mid-run
+  // are valid receivers from their join round on, and start uninformed.
+  std::vector<std::uint8_t> informed(net.capacity(), 0);
   informed[source] = 1;
   std::uint64_t informed_count = 1;
 

@@ -8,10 +8,12 @@ namespace gossip::cluster {
 
 Clustering::Clustering(sim::Network& net)
     : net_(net),
-      follow_(net.n(), NodeId::unclustered()),
-      active_(net.n(), 0),
-      size_(net.n(), 0),
-      prev_size_(net.n(), 0) {}
+      // Capacity-sized so joiners (valid receivers mid-run under churn) have
+      // clustering state - they start unclustered, like everyone else.
+      follow_(net.capacity(), NodeId::unclustered()),
+      active_(net.capacity(), 0),
+      size_(net.capacity(), 0),
+      prev_size_(net.capacity(), 0) {}
 
 void Clustering::reset() {
   std::fill(follow_.begin(), follow_.end(), NodeId::unclustered());

@@ -29,11 +29,13 @@ Driver::Driver(sim::Engine& engine, Options opts)
       cl_(engine.network()),
       opts_(opts),
       scratch_rng_(net_.rng().fork(0x5eedca5cade5ULL)),
-      candidate_(net_.n(), NodeId::unclustered()),
-      cand_seen_(net_.n(), 0),
-      inbox_(net_.n(), NodeId::unclustered()),
-      inbox_seen_(net_.n(), 0),
-      collect_count_(net_.n(), 0) {
+      // Sized to the network's pre-reserved capacity (== n without joins):
+      // under churn, joiners can become push/pull receivers mid-primitive.
+      candidate_(net_.capacity(), NodeId::unclustered()),
+      cand_seen_(net_.capacity(), 0),
+      inbox_(net_.capacity(), NodeId::unclustered()),
+      inbox_seen_(net_.capacity(), 0),
+      collect_count_(net_.capacity(), 0) {
   // Opt-in parallel execution for every primitive this driver runs. All
   // driver initiate hooks only read clustering state, which is what the
   // sharded phase 1 requires of them. An engine already sharded at the
@@ -108,9 +110,9 @@ void Driver::collect_and_verdict(bool only_active, bool with_ids, const DecideFn
 
   // Leaders decide; decisions are stored as encoded responses and applied to
   // the leader's own state immediately.
-  std::vector<std::uint64_t> encoded(net_.n(), 0);
+  std::vector<std::uint64_t> encoded(net_.capacity(), 0);
   std::unordered_map<std::uint32_t, std::vector<NodeId>> response_ids;
-  std::vector<std::uint8_t> decided(net_.n(), 0);
+  std::vector<std::uint8_t> decided(net_.capacity(), 0);
   for (std::uint32_t v = 0; v < net_.n(); ++v) {
     if (!net_.alive(v) || !cl_.is_leader(v) || !participates(v)) continue;
     const std::uint64_t size = collect_count_[v] + 1;  // leader included
@@ -403,7 +405,10 @@ std::uint64_t Driver::unclustered_pull_round() {
 // ClusterShare(rumor)
 // ---------------------------------------------------------------------------
 void Driver::share_rumor(std::vector<std::uint8_t>& informed, bool collect_first) {
-  GOSSIP_CHECK(informed.size() == net_.n());
+  // Per-node state is capacity-sized so mid-run joins never reallocate it
+  // (see sim/network.hpp); n() may grow past the initial size but never
+  // past capacity.
+  GOSSIP_CHECK(informed.size() == net_.capacity());
   validate_flat("share_rumor");
   if (collect_first) {
     engine_.run_round(make_hooks(

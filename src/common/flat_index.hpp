@@ -4,8 +4,12 @@
 // path; the previous std::unordered_map probe paid a bucket indirection and
 // a 48+-byte heap node per entry. This index is two flat arrays (8-byte key
 // lane probed linearly, 4-byte value lane touched only on a hit) built once
-// at network construction - the ID set never changes - at a load factor
-// <= 0.5, so probe chains are short and the key lane stays cache-dense.
+// at network construction at a load factor <= 0.5, so probe chains are short
+// and the key lane stays cache-dense. Networks with join capacity build the
+// table sized for their capacity ceiling up front (build's capacity_hint)
+// and append joiners via insert(): the lanes never rehash or reallocate
+// mid-run, so the no-reallocation contract of the flat network state extends
+// to the ID index and the load factor stays <= 0.5 by construction.
 //
 // The reserved empty-slot key is the all-ones value, which is exactly the
 // NodeId "unclustered" sentinel: it can never name a real node, so it can
@@ -14,6 +18,7 @@
 // empty or mismatching slot and walks to an empty one).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -32,26 +37,43 @@ class FlatIdIndex {
 
   /// Builds the index mapping ids[i] -> i. IDs must be distinct real node
   /// IDs (never the unclustered sentinel) and there may be at most 2^32 - 1
-  /// of them (kNotFound must stay unambiguous).
-  void build(std::span<const NodeId> ids) {
+  /// of them (kNotFound must stay unambiguous). `capacity_hint` sizes the
+  /// lanes for that many eventual entries (>= ids.size()), so later insert()
+  /// calls up to the hint never rehash.
+  void build(std::span<const NodeId> ids, std::size_t capacity_hint = 0) {
     GOSSIP_CHECK(ids.size() < kNotFound);
+    const std::size_t want = std::max(ids.size(), capacity_hint);
+    GOSSIP_CHECK(want < kNotFound);
     std::size_t capacity = 2;
-    while (capacity < ids.size() * 2) capacity *= 2;
+    while (capacity < want * 2) capacity *= 2;
     mask_ = capacity - 1;
+    size_ = 0;
     keys_.assign(capacity, kEmptyKey);
     vals_.assign(capacity, kNotFound);
     for (std::size_t i = 0; i < ids.size(); ++i) {
-      const std::uint64_t key = ids[i].raw();
-      GOSSIP_CHECK_MSG(key != kEmptyKey, "the unclustered sentinel is not indexable");
-      std::size_t slot = mix64(key) & mask_;
-      while (keys_[slot] != kEmptyKey) {
-        GOSSIP_CHECK_MSG(keys_[slot] != key, "duplicate ID in index build");
-        slot = (slot + 1) & mask_;
-      }
-      keys_[slot] = key;
-      vals_[slot] = static_cast<std::uint32_t>(i);
+      insert(ids[i].raw(), static_cast<std::uint32_t>(i));
     }
   }
+
+  /// Appends one mapping. The key must be a real node ID not already
+  /// present, and the table must have been built with enough capacity_hint
+  /// headroom (load factor stays <= 0.5; growing mid-run would invalidate
+  /// the no-reallocation contract above, so it is a contract violation).
+  void insert(std::uint64_t key, std::uint32_t value) {
+    GOSSIP_CHECK_MSG(key != kEmptyKey, "the unclustered sentinel is not indexable");
+    GOSSIP_CHECK_MSG(size_ * 2 < keys_.size(), "FlatIdIndex insert beyond built capacity");
+    std::size_t slot = mix64(key) & mask_;
+    while (keys_[slot] != kEmptyKey) {
+      GOSSIP_CHECK_MSG(keys_[slot] != key, "duplicate ID in index");
+      slot = (slot + 1) & mask_;
+    }
+    keys_[slot] = key;
+    vals_[slot] = value;
+    ++size_;
+  }
+
+  /// Entries currently held.
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
 
   /// Index of `key`, or kNotFound. Inline: one mix, then a linear walk of
   /// the key lane (expected < 1.5 probes at load 0.5).
@@ -79,6 +101,7 @@ class FlatIdIndex {
   std::vector<std::uint64_t> keys_;
   std::vector<std::uint32_t> vals_;
   std::size_t mask_ = 0;
+  std::size_t size_ = 0;
 };
 
 }  // namespace gossip

@@ -15,7 +15,7 @@ ClusterAlgorithmBase::ClusterAlgorithmBase(sim::Engine& engine,
     : engine_(engine),
       net_(engine.network()),
       driver_(engine, driver_opts),
-      informed_(engine.network().n(), 0),
+      informed_(engine.network().capacity(), 0),
       observer_(std::move(observer)) {}
 
 void ClusterAlgorithmBase::set_sources(std::span<const std::uint32_t> sources) {

@@ -18,9 +18,9 @@ ClusterPushPull::ClusterPushPull(cluster::Driver& driver, ClusterPushPullOptions
       engine_(driver.engine()),
       net_(driver.network()),
       opts_(options),
-      informed_(net_.n(), 0),
-      pushed_(net_.n(), 0),
-      need_relay_(net_.n(), 0) {}
+      informed_(net_.capacity(), 0),
+      pushed_(net_.capacity(), 0),
+      need_relay_(net_.capacity(), 0) {}
 
 // Members of newly informed clusters push the rumor to a uniformly random
 // node - each node pushes exactly once over the whole execution, which is

@@ -25,7 +25,7 @@ bool verify_single_cluster(cluster::Driver& driver, unsigned probes,
   sim::Engine& engine = driver.engine();
   sim::Network& net = engine.network();
   auto& cl = driver.clustering();
-  std::vector<std::uint8_t> conflict(net.n(), 0);
+  std::vector<std::uint8_t> conflict(net.capacity(), 0);
 
   // Scale check: a ClusterSize exchange; oversize clusters reject the guess.
   driver.compute_sizes(/*only_active=*/false);

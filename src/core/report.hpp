@@ -29,6 +29,11 @@ struct BroadcastReport {
   bool all_informed = false;      ///< informed == alive
   std::uint64_t rounds = 0;
   sim::RunStats stats;            ///< full metering (see sim/metrics.hpp)
+  /// Mean relative error of the nodes' local network-size estimates at
+  /// termination, |estimate - alive| / alive averaged over alive nodes.
+  /// 0 for algorithms that do not estimate n (broadcasts); the membership
+  /// scenarios populate it (see membership/membership.hpp).
+  double estimate_n_error = 0.0;
   /// Per-phase attribution, in execution order.
   std::vector<PhaseBreakdown> phases;
 

@@ -46,6 +46,12 @@ void write_scenario_members(JsonWriter& w, const ScenarioResult& result) {
   w.kv("fault_model", s.fault_model_name());
   w.kv("crash_round", std::int64_t{s.crash_round});
   w.kv("loss_prob", s.loss_prob);
+  w.kv("join_rate", s.join_rate);
+  w.kv("crash_rate", s.crash_rate);
+  w.kv("churn_schedule", s.churn_schedule.empty() ? "none" : s.churn_schedule);
+  w.kv("loss_schedule", s.loss_schedule.empty() ? "none" : s.loss_schedule);
+  w.kv("byzantine_fraction", s.byzantine_fraction);
+  w.kv("max_nodes", s.max_nodes());
   w.end_object();
 
   const analysis::ReportAggregate& a = result.aggregate;
@@ -60,6 +66,7 @@ void write_scenario_members(JsonWriter& w, const ScenarioResult& result) {
   write_metric(w, "max_delta", a.max_delta);
   write_metric(w, "informed_fraction", a.informed_fraction);
   write_metric(w, "uninformed", a.uninformed);
+  write_metric(w, "estimate_error", a.estimate_error);
   w.end_object();
 }
 

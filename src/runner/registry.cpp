@@ -6,6 +6,7 @@
 #include "baselines/rrs.hpp"
 #include "baselines/uniform.hpp"
 #include "core/broadcast.hpp"
+#include "membership/membership.hpp"
 #include "sim/engine.hpp"
 
 namespace gossip::runner {
@@ -98,6 +99,19 @@ const std::vector<AlgorithmEntry>& algorithms() {
        [](sim::Network& net, std::uint32_t source, const ScenarioSpec& spec,
           sim::FaultModel* fault) {
          return baselines::run_pull(net, source, uniform_opts(spec, fault));
+       }},
+      {"membership", "Membership",
+       "heartbeat/suspicion service over exchange gossip; reports estimate_n "
+       "accuracy (see membership/membership.hpp)",
+       [](sim::Network& net, std::uint32_t source, const ScenarioSpec& spec,
+          sim::FaultModel* fault) {
+         membership::MembershipOptions o;
+         o.rounds = spec.max_rounds;  // 0 = auto horizon
+         o.threads = spec.engine_threads;
+         o.shard_size = spec.shard_size;
+         o.delivery_buckets = spec.delivery_buckets;
+         o.fault = fault;
+         return membership::run_membership(net, source, o);
        }},
   };
   return kRegistry;

@@ -5,7 +5,11 @@
 #include <fstream>
 #include <limits>
 #include <sstream>
+#include <string>
+#include <vector>
 
+#include "common/assert.hpp"
+#include "common/math.hpp"
 #include "sim/push_queue.hpp"  // kMaxDeliveryBuckets
 
 namespace gossip::runner {
@@ -38,6 +42,89 @@ sim::FaultStrategy parse_strategy(std::string_view key, std::string_view value) 
     return sim::FaultStrategy::kIndexStride;
   }
   bad_value(key, value, "one of: random | smallest | stride");
+}
+
+/// Finite non-negative real (a per-round arrival rate; values >= 1 are
+/// legitimate, e.g. "4 joins per round on average").
+double parse_rate(std::string_view key, std::string_view value) {
+  double d = 0.0;
+  try {
+    std::size_t used = 0;
+    const std::string s(value);
+    d = std::stod(s, &used);
+    if (used != s.size()) throw std::invalid_argument(s);
+  } catch (const std::exception&) {
+    bad_value(key, value, "a non-negative real");
+  }
+  if (!std::isfinite(d) || d < 0.0 || d > 1e6) {
+    bad_value(key, value, "a non-negative real (at most 1e6)");
+  }
+  return d;
+}
+
+/// Splits `s` on `sep` into trimmed non-owning pieces (empty pieces kept).
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  while (true) {
+    const auto pos = s.find(sep);
+    out.push_back(trim(s.substr(0, pos)));
+    if (pos == std::string_view::npos) break;
+    s.remove_prefix(pos + 1);
+  }
+  return out;
+}
+
+/// "round:joins:crashes,..." -> events. Throws ScenarioError on shape
+/// errors; shared by apply() (fail early) and make_fault_model().
+std::vector<sim::ChurnEvent> parse_churn_script(std::string_view key,
+                                                std::string_view value) {
+  std::vector<sim::ChurnEvent> events;
+  for (const std::string_view entry : split(value, ',')) {
+    const std::vector<std::string_view> f = split(entry, ':');
+    if (f.size() != 3) {
+      bad_value(key, value, "a comma list of round:joins:crashes triples");
+    }
+    sim::ChurnEvent e;
+    e.round = parse_count(key, f[0], 0, 1ull << 40);
+    e.joins = static_cast<std::uint32_t>(parse_count(key, f[1], 0, 1u << 20));
+    e.crashes = static_cast<std::uint32_t>(parse_count(key, f[2], 0, 1u << 20));
+    if (e.joins == 0 && e.crashes == 0) {
+      bad_value(key, value, "each triple to join or crash at least one node");
+    }
+    events.push_back(e);
+  }
+  if (events.empty()) bad_value(key, value, "at least one round:joins:crashes triple");
+  return events;
+}
+
+/// "burst:p:from:until" | "ramp:p0:p1:rounds" | "periodic:p:period:duty".
+/// The LossSchedule factories enforce the numeric constraints; their
+/// ContractViolation is rethrown as a ScenarioError naming the key.
+sim::LossSchedule parse_loss_schedule(std::string_view key, std::string_view value) {
+  const std::vector<std::string_view> f = split(value, ':');
+  try {
+    if (f.size() == 4 && f[0] == "burst") {
+      return sim::LossSchedule::burst(parse_fraction(key, f[1]),
+                                      parse_count(key, f[2], 0, 1ull << 40),
+                                      parse_count(key, f[3], 0, 1ull << 40));
+    }
+    if (f.size() == 4 && f[0] == "ramp") {
+      return sim::LossSchedule::ramp(parse_fraction(key, f[1]),
+                                     parse_fraction(key, f[2]),
+                                     parse_count(key, f[3], 0, 1ull << 40));
+    }
+    if (f.size() == 4 && f[0] == "periodic") {
+      return sim::LossSchedule::periodic(parse_fraction(key, f[1]),
+                                         parse_count(key, f[2], 1, 1ull << 40),
+                                         parse_count(key, f[3], 1, 1ull << 40));
+    }
+  } catch (const gossip::ContractViolation& e) {
+    std::ostringstream os;
+    os << "bad value for '" << key << "': " << e.what();
+    throw ScenarioError(os.str());
+  }
+  bad_value(key, value,
+            "burst:p:from:until | ramp:p0:p1:rounds | periodic:p:period:duty");
 }
 
 FaultModelKind parse_fault_model(std::string_view key, std::string_view value) {
@@ -133,6 +220,33 @@ std::uint32_t ScenarioSpec::fault_count() const noexcept {
       std::llround(fault_fraction * static_cast<double>(n)));
 }
 
+bool ScenarioSpec::has_churn() const noexcept {
+  return join_rate > 0.0 || crash_rate > 0.0 || !churn_schedule.empty();
+}
+
+std::uint32_t ScenarioSpec::max_nodes() const {
+  if (!has_churn()) return n;
+  std::uint64_t joins = 0;
+  if (!churn_schedule.empty()) {
+    for (const sim::ChurnEvent& e : parse_churn_script("churn_schedule", churn_schedule)) {
+      joins += e.joins;
+    }
+  } else if (join_rate > 0.0) {
+    // Poisson arrivals: reserve twice the expectation over the run horizon
+    // plus slack, so capacity exhaustion (joins silently dropped) is a tail
+    // event, not the common case. Deterministic in the spec alone.
+    const std::uint64_t horizon =
+        max_rounds != 0 ? max_rounds : 10ull * ceil_log2(n) + 50;
+    joins = static_cast<std::uint64_t>(
+                std::ceil(2.0 * join_rate * static_cast<double>(horizon))) +
+            16;
+  }
+  const std::uint64_t cap = std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(n) + joins,
+      std::numeric_limits<std::uint32_t>::max());
+  return static_cast<std::uint32_t>(cap);
+}
+
 void ScenarioSpec::apply(std::string_view key, std::string_view value) {
   if (key == "name") {
     name = std::string(value);
@@ -176,6 +290,26 @@ void ScenarioSpec::apply(std::string_view key, std::string_view value) {
     loss_prob = parse_fraction(key, value);
   } else if (key == "fault_model") {
     fault_model = parse_fault_model(key, value);
+  } else if (key == "join_rate") {
+    join_rate = parse_rate(key, value);
+  } else if (key == "crash_rate") {
+    crash_rate = parse_rate(key, value);
+  } else if (key == "churn_schedule") {
+    if (value == "none" || value.empty()) {
+      churn_schedule.clear();
+    } else {
+      (void)parse_churn_script(key, value);  // fail at parse time, not run time
+      churn_schedule = std::string(value);
+    }
+  } else if (key == "loss_schedule") {
+    if (value == "none" || value.empty()) {
+      loss_schedule.clear();
+    } else {
+      (void)parse_loss_schedule(key, value);
+      loss_schedule = std::string(value);
+    }
+  } else if (key == "byzantine_fraction") {
+    byzantine_fraction = parse_fraction(key, value);
   } else {
     std::ostringstream os;
     os << "unknown scenario key: '" << key << "'";
@@ -196,6 +330,19 @@ void ScenarioSpec::validate() const {
   const bool has_crash = fault_count() > 0;
   const bool has_loss = loss_prob > 0.0;
   const bool scheduled = crash_round != kCrashPreRun;
+  const bool has_churn_keys =
+      has_churn() || byzantine_fraction > 0.0 || !loss_schedule.empty();
+  if (!churn_schedule.empty() && (join_rate > 0.0 || crash_rate > 0.0)) {
+    throw ScenarioError(
+        "churn_schedule scripts exact events; it excludes join_rate/crash_rate");
+  }
+  if (has_churn_keys && fault_model != FaultModelKind::kAuto &&
+      fault_model != FaultModelKind::kNone) {
+    throw ScenarioError(
+        "churn keys (join_rate/crash_rate/churn_schedule/loss_schedule/"
+        "byzantine_fraction) compose only under fault_model = auto "
+        "(or are silenced by none)");
+  }
   switch (fault_model) {
     case FaultModelKind::kAuto:
       if (scheduled && !has_crash) {
@@ -243,35 +390,56 @@ void ScenarioSpec::validate() const {
 
 std::unique_ptr<sim::FaultModel> ScenarioSpec::make_fault_model() const {
   if (fault_model == FaultModelKind::kNone) return nullptr;
-  std::unique_ptr<sim::FaultModel> crash;
+  // Parts compose in a fixed order (crash, churn, flat loss, loss schedule,
+  // byzantine) so the adversary stream is consumed identically no matter
+  // which keys configured them.
+  std::vector<std::unique_ptr<sim::FaultModel>> parts;
   if (const std::uint32_t f = fault_count(); f > 0) {
     if (crash_round != kCrashPreRun) {
-      crash = std::make_unique<sim::ScheduledCrash>(
-          static_cast<std::uint64_t>(crash_round), f, fault_strategy);
+      parts.push_back(std::make_unique<sim::ScheduledCrash>(
+          static_cast<std::uint64_t>(crash_round), f, fault_strategy));
     } else {
-      crash = std::make_unique<sim::StaticCrash>(f, fault_strategy);
+      parts.push_back(std::make_unique<sim::StaticCrash>(f, fault_strategy));
     }
   }
-  std::unique_ptr<sim::FaultModel> loss;
-  if (loss_prob > 0.0) loss = std::make_unique<sim::LossyChannel>(loss_prob);
-  if (crash && loss) {
-    auto composite = std::make_unique<sim::CompositeFault>();
-    composite->add(std::move(crash)).add(std::move(loss));
-    return composite;
+  if (!churn_schedule.empty()) {
+    parts.push_back(std::make_unique<sim::ChurnSchedule>(
+        parse_churn_script("churn_schedule", churn_schedule)));
+  } else if (join_rate > 0.0 || crash_rate > 0.0) {
+    parts.push_back(std::make_unique<sim::ChurnSchedule>(join_rate, crash_rate));
   }
-  return crash ? std::move(crash) : std::move(loss);
+  if (loss_prob > 0.0) parts.push_back(std::make_unique<sim::LossyChannel>(loss_prob));
+  if (!loss_schedule.empty()) {
+    parts.push_back(std::make_unique<sim::LossSchedule>(
+        parse_loss_schedule("loss_schedule", loss_schedule)));
+  }
+  if (byzantine_fraction > 0.0) {
+    parts.push_back(std::make_unique<sim::ByzantineResponder>(byzantine_fraction));
+  }
+  if (parts.empty()) return nullptr;
+  if (parts.size() == 1) return std::move(parts.front());
+  auto composite = std::make_unique<sim::CompositeFault>();
+  for (auto& part : parts) composite->add(std::move(part));
+  return composite;
 }
 
 std::string ScenarioSpec::fault_model_name() const {
   if (fault_model == FaultModelKind::kNone) return "none";
   std::string out;
-  if (fault_count() > 0) {
-    out = crash_round != kCrashPreRun ? "scheduled_crash" : "static_crash";
-  }
-  if (loss_prob > 0.0) {
+  const auto append = [&out](std::string_view part) {
     if (!out.empty()) out += "+";
-    out += "lossy";
+    out += part;
+  };
+  if (fault_count() > 0) {
+    append(crash_round != kCrashPreRun ? "scheduled_crash" : "static_crash");
   }
+  if (has_churn()) append("churn");
+  if (loss_prob > 0.0) append("lossy");
+  if (!loss_schedule.empty()) {
+    const std::string_view sv(loss_schedule);
+    append(std::string("loss_") + std::string(sv.substr(0, sv.find(':'))));
+  }
+  if (byzantine_fraction > 0.0) append("byzantine");
   return out.empty() ? "none" : out;
 }
 
@@ -328,6 +496,8 @@ const std::vector<std::string>& ScenarioSpec::keys() {
       "delivery_buckets", "rumor_bits",
       "delta",      "max_rounds", "fault_fraction", "fault_strategy",
       "crash_round", "loss_prob", "fault_model",
+      "join_rate",  "crash_rate", "churn_schedule", "loss_schedule",
+      "byzantine_fraction",
   };
   return kKeys;
 }

@@ -28,6 +28,23 @@
 // Legacy scenarios (fault_fraction/fault_strategy only) map to StaticCrash
 // and reproduce the PR 3 trial trajectories bit-for-bit.
 //
+// Churn keys (PR 6) compose additional fault parts under fault_model = auto
+// (the explicit legacy kinds reject them; none silences them):
+//   join_rate / crash_rate     Poisson mean joins/crashes per round
+//                              (sim::ChurnSchedule); joins draw fresh IDs,
+//                              crashes pick uniformly among the alive;
+//   churn_schedule             "round:joins:crashes,..." scripts exact churn
+//                              events instead of Poisson arrivals;
+//   loss_schedule              round-varying loss curve, one of
+//                              "burst:p:from:until" | "ramp:p0:p1:rounds" |
+//                              "periodic:p:period:duty" (sim::LossSchedule,
+//                              composes with a flat loss_prob);
+//   byzantine_fraction         fraction of nodes answering pulls with
+//                              poisoned ID lists (sim::ByzantineResponder).
+// Joins need headroom: the runner pre-reserves max_nodes() slots per trial
+// network, derived deterministically from the churn keys; Poisson joins
+// beyond the reservation are silently dropped (the schedule caps there).
+//
 // The `threads` key controls CROSS-TRIAL parallelism (TrialRunner workers)
 // and is deliberately excluded from the experiment's identity: the runner's
 // determinism contract is that aggregate output is bit-identical for every
@@ -101,9 +118,23 @@ struct ScenarioSpec {
   std::int64_t crash_round = kCrashPreRun;
   double loss_prob = 0.0;          ///< per-contact payload-drop probability
   FaultModelKind fault_model = FaultModelKind::kAuto;
+  // Churn keys (see the header comment). Empty strings = feature off.
+  double join_rate = 0.0;          ///< Poisson mean joins per round
+  double crash_rate = 0.0;         ///< Poisson mean mid-run crashes per round
+  std::string churn_schedule;      ///< "round:joins:crashes,..." script
+  std::string loss_schedule;       ///< burst:... | ramp:... | periodic:...
+  double byzantine_fraction = 0.0; ///< poisoned pull responders, F/n
 
   /// Number of failed nodes per trial (round(fault_fraction * n)).
   [[nodiscard]] std::uint32_t fault_count() const noexcept;
+
+  /// Any churn part configured (joins or mid-run Poisson/scripted crashes)?
+  [[nodiscard]] bool has_churn() const noexcept;
+
+  /// Per-trial network capacity: n plus deterministic join headroom derived
+  /// from the churn keys (n when churn is off, so join-free scenarios are
+  /// unchanged). Poisson joins beyond this pre-reservation are dropped.
+  [[nodiscard]] std::uint32_t max_nodes() const;
 
   /// Builds the trial's fault model from the fault keys (see the header
   /// comment), or null when the spec is effectively fault-free. The caller

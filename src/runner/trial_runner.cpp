@@ -22,6 +22,9 @@ core::BroadcastReport TrialRunner::run_trial(const ScenarioSpec& spec,
   net_opts.n = spec.n;
   net_opts.seed = network_seed;
   net_opts.rumor_bits = spec.rumor_bits;
+  // Join headroom for churn scenarios (== n when churn is off, so join-free
+  // specs build byte-identical networks).
+  net_opts.max_nodes = spec.max_nodes();
   sim::Network net(net_opts);
 
   // Fault setup before any algorithm randomness (obliviousness): a

@@ -92,6 +92,26 @@
 // path, so they are identical for the serial and sharded executors and for
 // every thread count. `round` is the engine-lifetime round index (it starts
 // at 0 and never resets with the metrics).
+//
+// Churn (PR 6). The alive set is no longer monotone: fault models (and
+// callers) may also Network::join() mid-run, up to the capacity the network
+// pre-reserved at construction (NetworkOptions::max_nodes). All
+// receiver-indexed engine state - metrics, pull stamps, the delivery bucket
+// map - is sized to that capacity up front, so joins never reallocate or
+// re-partition anything; at each round begin (after the fault model's
+// on_round_begin, where scheduled joins fire) the engine folds growth in by
+// extending the all-nodes initiator list and discarding carried-over
+// uniform draws taken against the old bound (sync_network_growth). Join
+// order is part of the round timeline, so trajectories stay bit-identical
+// across executors, thread counts and delivery bucket counts.
+//
+// Byzantine responders (sim/fault.hpp ByzantineResponder). When the fault
+// model reports has_byzantine(), each traitor's pull response is rewritten
+// by corrupt_response - a pure function of (network seed, round, responder),
+// so the cached-response machinery and every executor agree bit-for-bit -
+// and phase 1 tolerates direct contacts to IDs that name nothing (poisoned
+// garbage a node honestly learned): the dial finds no endpoint and the
+// initiator simply loses its turn.
 #pragma once
 
 #include <algorithm>
@@ -267,11 +287,19 @@ struct LegacyHooksAdapter {
   }
 };
 
+/// resolve_direct_target's "this ID names nothing" result, returned instead
+/// of a contract violation when byzantine poisoning makes unknown IDs an
+/// expected consequence of honest behaviour.
+inline constexpr std::uint32_t kUnresolvedTarget = 0xFFFFFFFFu;
+
 /// Resolves the target of a direct-addressed contact, enforcing the model's
 /// honesty rules (real ID, not self, known to the initiator). Read-only on
-/// the network, so safe from phase-1 worker threads.
+/// the network, so safe from phase-1 worker threads. With `tolerate_unknown`
+/// an ID absent from the network yields kUnresolvedTarget instead of
+/// throwing (see the Byzantine notes at the top of this header).
 [[nodiscard]] std::uint32_t resolve_direct_target(const Network& net, std::uint32_t node,
-                                                  const Contact& contact);
+                                                  const Contact& contact,
+                                                  bool tolerate_unknown);
 
 /// Phase-1 loop shared by the serial and sharded executors: offer every
 /// initiator in `initiators` its one contact and route the consequences
@@ -288,10 +316,13 @@ struct LegacyHooksAdapter {
 /// `loss` is the round's armed LossChannel, or null for a lossless round
 /// (the common case pays one predictable branch per contact). Drop decisions
 /// are keyed by the initiator, so serial and sharded execution agree.
+/// `tolerate_unknown` (byzantine rounds only) turns direct dials to IDs that
+/// name nothing into lost turns: the initiator is counted (it acted), but no
+/// connection is metered, nothing is learned and nothing is delivered.
 template <class Hooks, class Sink>
 void run_phase1(Network& net, Hooks& hooks, Sink& sink,
                 std::span<const std::uint32_t> initiators, bool no_failures,
-                bool want_payloads, const LossChannel* loss) {
+                bool want_payloads, const LossChannel* loss, bool tolerate_unknown) {
   for (const std::uint32_t node : initiators) {
     if (no_failures) {
       // alive() would bounds-check a caller-supplied initiator; keep that
@@ -309,7 +340,8 @@ void run_phase1(Network& net, Hooks& hooks, Sink& sink,
       // caller cannot know who failed; such contacts are simply lost).
       target = sink.draw_other(node);
     } else {
-      target = resolve_direct_target(net, node, *contact);
+      target = resolve_direct_target(net, node, *contact, tolerate_unknown);
+      if (target == kUnresolvedTarget) continue;  // poisoned ID: dial finds nobody
     }
 
     sink.on_contact(node, target);
@@ -384,7 +416,9 @@ class Engine {
                      "delivery_buckets must be in [0, " << kMaxDeliveryBuckets
                                                         << "] (0 = auto)");
     requested_buckets_ = requested;
-    delivery_map_ = make_bucket_map(net_.n(), requested);
+    // Partitioned over the pre-reserved capacity (== n when joins are off),
+    // so the decomposition never shifts when joiners arrive mid-run.
+    delivery_map_ = make_bucket_map(net_.capacity(), requested);
     pushes_.configure(delivery_map_);
   }
   /// The requested bucket knob (0 = auto), not the resolved count.
@@ -431,17 +465,23 @@ class Engine {
   template <class Hooks>
     requires(!std::same_as<std::remove_cvref_t<Hooks>, RoundHooks>)
   void run_round(Hooks&& hooks) {
-    run_round(std::forward<Hooks>(hooks),
-              std::span<const std::uint32_t>(all_nodes_));
+    // The all-nodes span is derived INSIDE the impl, after the fault model's
+    // on_round_begin - this round's joiners must already be initiators.
+    run_round_impl(std::forward<Hooks>(hooks), std::span<const std::uint32_t>(),
+                   /*use_all_nodes=*/true);
   }
 
   /// Runs one round where only `initiators` are offered the chance to act
   /// (everyone can still receive). This is a pure performance device for
   /// rounds in which whole classes of nodes are known to be silent; it never
-  /// changes semantics, because initiate can always return nullopt.
+  /// changes semantics, because initiate can always return nullopt. Callers
+  /// of this overload own the initiator set, so nodes joining at this
+  /// round's boundary initiate only if the caller listed them.
   template <class Hooks>
     requires(!std::same_as<std::remove_cvref_t<Hooks>, RoundHooks>)
-  void run_round(Hooks&& hooks, std::span<const std::uint32_t> initiators);
+  void run_round(Hooks&& hooks, std::span<const std::uint32_t> initiators) {
+    run_round_impl(std::forward<Hooks>(hooks), initiators, /*use_all_nodes=*/false);
+  }
 
   /// Legacy dynamic-dispatch overloads (thin adapters over the template).
   void run_round(const RoundHooks& hooks);
@@ -465,6 +505,17 @@ class Engine {
   /// Uniform target draws per bulk fill_uniform_below refill: large enough
   /// to amortize and vectorize the fill, small enough to stay L1-resident.
   static constexpr std::size_t kDrawBatch = 1024;
+
+  /// Shared body of both public run_round templates; `use_all_nodes` defers
+  /// taking the all-nodes span until after this round's joins have fired.
+  template <class Hooks>
+  void run_round_impl(Hooks&& hooks, std::span<const std::uint32_t> initiators,
+                      bool use_all_nodes);
+
+  /// Folds mid-run network growth into the engine: extends the all-nodes
+  /// initiator list with the joiners and discards uniform draws carried over
+  /// from the old bound. Called once per round, after the fault model ran.
+  void sync_network_growth();
 
   /// Phase-1 sink of the serial executor: meters straight into the
   /// collector, learns contacts immediately, fills the engine's own queues,
@@ -561,7 +612,7 @@ class Engine {
   template <class Hooks>
   void run_phase1_sharded(Hooks& hooks, std::span<const std::uint32_t> initiators,
                           bool no_failures, bool track, bool want_payloads,
-                          const LossChannel* loss) {
+                          const LossChannel* loss, bool tolerate_unknown) {
     parallel::Phase1Sharder& par = *par_;
     const std::size_t n_shards = par.shard_count(initiators.size());
     const std::span<parallel::ShardBuffer> shards = par.acquire(n_shards);
@@ -580,7 +631,7 @@ class Engine {
       sb.begin_round(par.stream_base(), round_key, s, len, delivery_map_);
       parallel::ShardSink sink{sb, draw_bound, want_endpoints};
       detail::run_phase1(net_, hooks, sink, initiators.subspan(lo, len), no_failures,
-                         want_payloads, loss);
+                         want_payloads, loss, tolerate_unknown);
     });
     // Deterministic merge. The initiator-side endpoint replay runs in shard
     // (= global initiator) order; the target side is routed into receiver
@@ -682,11 +733,13 @@ class Engine {
   // Fault timeline (null = fault-free; see sim/fault.hpp).
   FaultModel* fault_ = nullptr;          ///< non-owning
   std::uint64_t fault_clock_ = 0;        ///< engine-lifetime round index
+  // Network size the engine state last absorbed (see sync_network_growth).
+  std::uint32_t synced_n_ = 0;
 };
 
 template <class Hooks>
-  requires(!std::same_as<std::remove_cvref_t<Hooks>, RoundHooks>)
-void Engine::run_round(Hooks&& hooks, std::span<const std::uint32_t> initiators) {
+void Engine::run_round_impl(Hooks&& hooks, std::span<const std::uint32_t> initiators,
+                            bool use_all_nodes) {
   using H = std::remove_reference_t<Hooks>;
   static_assert(HasInitiateHook<H>, "a round needs an initiate hook");
   // A const hooks object would silently constrain away its non-const hook
@@ -697,10 +750,11 @@ void Engine::run_round(Hooks&& hooks, std::span<const std::uint32_t> initiators)
                     HasOnPullReplyHook<H> == HasOnPullReplyHook<std::remove_const_t<H>>,
                 "const hooks object hides non-const hook members; pass it non-const");
 
-  // ---- Fault timeline: scheduled crashes, per-round loss channel. --------
+  // ---- Fault timeline: churn, scheduled crashes, per-round loss. ---------
   // Runs before anything else so a crash at this round's boundary silences
-  // the node as an initiator AND as a target, and before the no_failures
-  // probe below so the fast path stays correct when the alive set shrinks.
+  // the node as an initiator AND as a target, a join at this boundary makes
+  // the node act from this round on, and the no_failures probe below stays
+  // correct when the alive set shrinks.
   const std::uint64_t fault_round = fault_clock_++;
   LossChannel loss_channel;
   if (fault_ != nullptr) {
@@ -709,6 +763,15 @@ void Engine::run_round(Hooks&& hooks, std::span<const std::uint32_t> initiators)
         LossChannel(net_.options().seed, fault_round, fault_->loss_probability(fault_round));
   }
   const LossChannel* loss = loss_channel.active() ? &loss_channel : nullptr;
+  // Armed per round: traitors rewrite their pull responses and phase 1
+  // tolerates dials to poisoned (nonexistent) IDs.
+  const FaultModel* byz =
+      fault_ != nullptr && fault_->has_byzantine() ? fault_ : nullptr;
+  // Fold this round's joins (from the fault model or the caller) into the
+  // initiator list and the draw bound before any span over all_nodes_ is
+  // taken - growth would reallocate the vector under a live span.
+  sync_network_growth();
+  if (use_all_nodes) initiators = std::span<const std::uint32_t>(all_nodes_);
 
   using PhaseClock = std::chrono::steady_clock;
   const bool timing = time_phases_;
@@ -741,10 +804,12 @@ void Engine::run_round(Hooks&& hooks, std::span<const std::uint32_t> initiators)
   const bool want_payloads = track || HasOnPushHook<H>;
   const bool sharded = par_ != nullptr;
   if (sharded) {
-    run_phase1_sharded(hooks, initiators, no_failures, track, want_payloads, loss);
+    run_phase1_sharded(hooks, initiators, no_failures, track, want_payloads, loss,
+                       byz != nullptr);
   } else {
     SerialSink sink{*this, track};
-    detail::run_phase1(net_, hooks, sink, initiators, no_failures, want_payloads, loss);
+    detail::run_phase1(net_, hooks, sink, initiators, no_failures, want_payloads, loss,
+                       byz != nullptr);
   }
 
   if (timing) t_phase1 = PhaseClock::now();
@@ -849,6 +914,12 @@ void Engine::run_round(Hooks&& hooks, std::span<const std::uint32_t> initiators)
           if ((ps.stamp >> 32) != pull_epoch_) {
             Message response;
             if constexpr (HasRespondHook<H>) response = hooks.respond(responder);
+            if (byz != nullptr && byz->byzantine(responder)) {
+              // Pure in (seed, round, responder): the corrupted response is
+              // the same whichever requester triggers the evaluation, so the
+              // single-evaluation cache and every executor agree.
+              response = byz->corrupt_response(fault_round, responder, net_, response);
+            }
             const std::uint64_t bits = response.bits(net_.costs());
             const bool has_payload = !response.is_empty();
             offset = store.append(std::move(response));

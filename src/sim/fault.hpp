@@ -24,9 +24,23 @@
 // draw path, so they are bit-identical for the serial and sharded executors
 // and for every engine/trial thread count.
 //
+// Churn (PR 6): on_round_begin may also call Network::join() - the alive
+// set is non-monotone, but each node's own lifetime still is (join once,
+// maybe crash once, never revive). Join/crash arrivals come from a
+// counter-based stream keyed on (network seed, round), so a churn
+// trajectory is part of the round timeline and bit-identical across every
+// executor. ByzantineResponder adds the third adversary axis: alive nodes
+// whose pull responses the engine replaces with corrupt_response() -
+// payload corruption is detected (the rumor/count is dropped at the
+// receiver, modeled as absent), but ID-list poisoning is NOT: stale and
+// garbage IDs enter the receiver's knowledge like any gossiped list, and a
+// later direct contact to one dials dead air.
+//
 // Concrete models: StaticCrash (wraps the Section 8 adversary - the
 // back-compat default), ScheduledCrash (crash a set at round t, e.g. kill
-// the source mid-broadcast), LossyChannel(p), and CompositeFault.
+// the source mid-broadcast), LossyChannel(p), ChurnSchedule (scripted or
+// Poisson join/crash arrivals), LossSchedule (burst / ramp / periodic
+// partition loss curves), ByzantineResponder(fraction), and CompositeFault.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +49,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "sim/message.hpp"
 
 namespace gossip::sim {
 
@@ -104,7 +119,27 @@ class FaultModel {
 
   /// Per-contact payload-drop probability for `round`, in [0, 1]. 0 (the
   /// default) keeps the round lossless and costs nothing on the hot path.
+  /// Round-varying implementations are first-class: the engine re-queries
+  /// every round and composites re-query every part (see CompositeFault).
   [[nodiscard]] virtual double loss_probability(std::uint64_t round) const;
+
+  /// True when some node answers pulls adversarially; the engine arms its
+  /// response-corruption path for a round only when this reports true.
+  [[nodiscard]] virtual bool has_byzantine() const;
+
+  /// True when `node`'s pull responses are adversarial (pre-committed at
+  /// on_run_begin; oblivious, so constant across the run).
+  [[nodiscard]] virtual bool byzantine(std::uint32_t node) const;
+
+  /// Replacement for a byzantine `responder`'s single per-round response.
+  /// Must be a pure function of (network seed, round, responder) - it is
+  /// evaluated once per responder per round, in receiver-bucket order, and
+  /// every requester sees the same corrupted message. The default returns
+  /// `honest` unchanged.
+  [[nodiscard]] virtual Message corrupt_response(std::uint64_t round,
+                                                 std::uint32_t responder,
+                                                 const Network& net,
+                                                 const Message& honest) const;
 
   /// Human-readable summary, e.g. "static_crash(f=32, strategy=random)".
   [[nodiscard]] virtual std::string describe() const = 0;
@@ -168,9 +203,114 @@ class LossyChannel final : public FaultModel {
   double p_;
 };
 
+/// One scripted churn event: at the start of engine round `round`, `joins`
+/// nodes arrive and then `crashes` uniformly random alive nodes fail.
+struct ChurnEvent {
+  std::uint64_t round = 0;
+  std::uint32_t joins = 0;
+  std::uint32_t crashes = 0;
+};
+
+/// Join/crash arrivals on the round timeline - either Poisson (expected
+/// `join_rate` joins and `crash_rate` crashes per round) or scripted. All
+/// randomness (arrival counts, crash victims) comes from a counter-based
+/// stream keyed on (network seed, round), so the schedule is oblivious to
+/// the algorithm and bit-identical across executors and thread counts.
+/// Within a round, joins apply before crashes (a joiner can die the same
+/// round it arrives). Joins silently stop at the network's pre-reserved
+/// capacity; crashes never take the alive count below 2.
+class ChurnSchedule final : public FaultModel {
+ public:
+  /// Poisson arrivals, optionally windowed to rounds [start, end).
+  ChurnSchedule(double join_rate, double crash_rate, std::uint64_t start_round = 0,
+                std::uint64_t end_round = ~0ULL);
+  /// Scripted arrivals (events need not be sorted; rounds may repeat).
+  explicit ChurnSchedule(std::vector<ChurnEvent> script);
+
+  void on_round_begin(std::uint64_t round, Network& net) override;
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] std::uint64_t joins_applied() const noexcept { return joins_applied_; }
+  [[nodiscard]] std::uint64_t crashes_applied() const noexcept { return crashes_applied_; }
+
+ private:
+  void apply(std::uint32_t joins, std::uint32_t crashes, std::uint64_t round,
+             Network& net);
+  void apply_with(std::uint32_t joins, std::uint32_t crashes, Rng& churn, Network& net);
+
+  double join_rate_ = 0.0;
+  double crash_rate_ = 0.0;
+  std::uint64_t start_round_ = 0;
+  std::uint64_t end_round_ = ~0ULL;
+  bool scripted_;
+  std::vector<ChurnEvent> script_;
+  std::uint64_t joins_applied_ = 0;
+  std::uint64_t crashes_applied_ = 0;
+};
+
+/// Round-varying loss curves, composable with every other model:
+///   burst(p, from, until)      p on rounds [from, until), 0 elsewhere;
+///   ramp(p0, p1, over_rounds)  linear from p0 at round 0 to p1 at round
+///                              `over_rounds`, holding p1 after;
+///   periodic(p, period, duty)  p during the first `duty` rounds of every
+///                              `period`-round cycle (a recurring partition).
+class LossSchedule final : public FaultModel {
+ public:
+  enum class Shape { kBurst, kRamp, kPeriodic };
+
+  [[nodiscard]] static LossSchedule burst(double p, std::uint64_t from,
+                                          std::uint64_t until);
+  [[nodiscard]] static LossSchedule ramp(double p0, double p1,
+                                         std::uint64_t over_rounds);
+  [[nodiscard]] static LossSchedule periodic(double p, std::uint64_t period,
+                                             std::uint64_t duty);
+
+  [[nodiscard]] double loss_probability(std::uint64_t round) const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] Shape shape() const noexcept { return shape_; }
+
+ private:
+  LossSchedule(Shape shape, double a, double b, std::uint64_t r0, std::uint64_t r1);
+
+  Shape shape_;
+  double a_;         ///< burst/periodic: p; ramp: p0
+  double b_;         ///< ramp: p1; unused otherwise
+  std::uint64_t r0_; ///< burst: from; ramp: over_rounds; periodic: period
+  std::uint64_t r1_; ///< burst: until; periodic: duty; unused for ramp
+};
+
+/// A `fraction` of the initial nodes (pre-committed obliviously at run
+/// begin) answer every pull with a corrupted message: the payload
+/// (rumor/count) is stripped - corruption there is detectable, so the
+/// receiver discards it - but the ID list is replaced with a poisoned one
+/// (half stale-but-real IDs, half garbage) that the receiver CANNOT detect
+/// and learns like any gossiped list. Joiners are never byzantine (the set
+/// is fixed before the run). Pushes initiated by byzantine nodes are not
+/// altered; the model targets the response path direct addressing trusts.
+class ByzantineResponder final : public FaultModel {
+ public:
+  explicit ByzantineResponder(double fraction);
+
+  void on_run_begin(Network& net, Rng& adversary) override;
+  [[nodiscard]] bool has_byzantine() const override;
+  [[nodiscard]] bool byzantine(std::uint32_t node) const override;
+  [[nodiscard]] Message corrupt_response(std::uint64_t round, std::uint32_t responder,
+                                         const Network& net,
+                                         const Message& honest) const override;
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] std::uint32_t traitor_count() const noexcept { return traitor_count_; }
+
+ private:
+  double fraction_;
+  std::uint32_t traitor_count_ = 0;
+  std::vector<std::uint8_t> traitor_;  ///< indexed by node, sized to capacity
+};
+
 /// Runs several models on one timeline: setup and round hooks forward in
 /// insertion order; loss channels compose as independent failures
-/// (1 - prod(1 - p_i)).
+/// (1 - prod(1 - p_i), re-queried per round so round-varying schedules
+/// compose correctly); byzantine queries forward to the parts.
 class CompositeFault final : public FaultModel {
  public:
   CompositeFault() = default;
@@ -181,6 +321,11 @@ class CompositeFault final : public FaultModel {
   void on_run_begin(Network& net, Rng& adversary) override;
   void on_round_begin(std::uint64_t round, Network& net) override;
   [[nodiscard]] double loss_probability(std::uint64_t round) const override;
+  [[nodiscard]] bool has_byzantine() const override;
+  [[nodiscard]] bool byzantine(std::uint32_t node) const override;
+  [[nodiscard]] Message corrupt_response(std::uint64_t round, std::uint32_t responder,
+                                         const Network& net,
+                                         const Message& honest) const override;
   [[nodiscard]] std::string describe() const override;
 
  private:

@@ -1,5 +1,8 @@
 #include "sim/network.hpp"
 
+#include <algorithm>
+#include <limits>
+
 #include "common/assert.hpp"
 
 namespace gossip::sim {
@@ -7,16 +10,26 @@ namespace gossip::sim {
 Network::Network(const NetworkOptions& options)
     : options_(options),
       n_(options.n),
-      costs_(MessageCosts::for_network(options.n, options.rumor_bits)),
+      capacity_(std::max(options.n, options.max_nodes)),
+      // Costs derive from the capacity: the ID space a run can ever address
+      // is fixed at construction, so bit accounting never shifts mid-run
+      // when joiners arrive. capacity == n for join-free networks, so the
+      // monotone world meters exactly as before.
+      costs_(MessageCosts::for_network(std::max(options.n, options.max_nodes),
+                                       options.rumor_bits)),
       master_rng_(mix64(options.seed ^ 0x6f7e1c2d3b4a5968ULL)),
       node_stream_base_(mix64(options.seed + 0x51ed2701a4c8f3b7ULL)),
+      id_rng_(mix64(options.seed ^ 0x1db3a7c95e8f6420ULL)),
       alive_(options.n, 1),
       alive_count_(options.n) {
   GOSSIP_CHECK_MSG(n_ >= 2, "network needs at least two nodes");
-  Rng id_rng(mix64(options.seed ^ 0x1db3a7c95e8f6420ULL));
-  ids_ = generate_unique_ids(n_, id_rng);
-  index_by_id_.build(ids_);
-  if (options.track_knowledge) knowledge_ = std::make_unique<KnowledgeTracker>(n_);
+  ids_ = generate_unique_ids(n_, id_rng_);
+  // Pre-reservation: the flat per-node lanes never reallocate under joins,
+  // and the ID index is built with probe lanes sized for the ceiling.
+  ids_.reserve(capacity_);
+  alive_.reserve(capacity_);
+  index_by_id_.build(ids_, capacity_);
+  if (options.track_knowledge) knowledge_ = std::make_unique<KnowledgeTracker>(capacity_);
 }
 
 std::uint32_t Network::index_of(NodeId id) const {
@@ -25,12 +38,40 @@ std::uint32_t Network::index_of(NodeId id) const {
   return index;
 }
 
+std::uint32_t Network::join() {
+  // Continue the construction-time ID stream: the joiner's ID depends only
+  // on (seed, join order), never on who asked or on any engine randomness.
+  for (;;) {
+    const std::uint64_t raw = id_rng_.next_u64();
+    if (raw == std::numeric_limits<std::uint64_t>::max()) continue;  // sentinel
+    if (index_by_id_.find(raw) != FlatIdIndex::kNotFound) continue;  // collision
+    return join(NodeId(raw));
+  }
+}
+
+std::uint32_t Network::join(NodeId id) {
+  GOSSIP_CHECK_MSG(can_join(), "join beyond pre-reserved capacity (max_nodes = "
+                                   << capacity_ << ")");
+  GOSSIP_CHECK_MSG(id.is_node(), "joiner needs a real node ID");
+  GOSSIP_CHECK_MSG(index_by_id_.find(id.raw()) == FlatIdIndex::kNotFound,
+                   "joining ID already present: " << id.to_string());
+  const std::uint32_t index = n_++;
+  ids_.push_back(id);
+  alive_.push_back(1);
+  ++alive_count_;
+  index_by_id_.insert(id.raw(), index);
+  GOSSIP_CHECK(alive_count_ + failed_count_ == n_);
+  return index;
+}
+
 void Network::fail(std::uint32_t index) {
   GOSSIP_CHECK(index < n_);
-  if (alive_[index]) {
-    alive_[index] = 0;
-    --alive_count_;
-  }
+  GOSSIP_CHECK_MSG(alive_[index], "double fail of node " << index
+                                      << " - fault schedules must pick live victims");
+  alive_[index] = 0;
+  --alive_count_;
+  ++failed_count_;
+  GOSSIP_CHECK(alive_count_ + failed_count_ == n_);
 }
 
 Rng Network::node_rng(std::uint32_t index, std::uint64_t salt) const {

@@ -1,10 +1,19 @@
 // The complete n-node network of the random phone call model (Section 2).
 //
 // Owns node identity (index <-> random unique ID maps), the alive set
-// (monotone-shrinking under fault-model crashes, see sim/fault.hpp), the
-// master RNG and derived per-node random streams,
-// message bit costs, and (optionally) the knowledge tracker. The Engine
-// executes rounds against this state.
+// (dynamic in BOTH directions: fault-model crashes shrink it, mid-run joins
+// grow it - see sim/fault.hpp and join() below), the master RNG and derived
+// per-node random streams, message bit costs, and (optionally) the knowledge
+// tracker. The Engine executes rounds against this state.
+//
+// Capacity pre-reservation. A network that will accept joins declares its
+// ceiling up front (NetworkOptions::max_nodes); every flat per-node array -
+// the ID table, the alive lane, the ID index's probe lanes, the knowledge
+// tracker's rows - is allocated for `capacity()` at construction, so joins
+// never reallocate state mid-round and message costs (derived from the
+// capacity, i.e. the ID space the run can ever address) stay fixed while n
+// moves. max_nodes = 0 (the default) means "no joins": capacity == n and
+// nothing changes for the monotone world.
 #pragma once
 
 #include <cstdint>
@@ -22,10 +31,13 @@
 namespace gossip::sim {
 
 struct NetworkOptions {
-  std::uint32_t n = 1024;         ///< number of nodes
+  std::uint32_t n = 1024;         ///< number of nodes at construction
   std::uint64_t seed = 1;         ///< master seed; everything derives from it
   std::uint32_t rumor_bits = 256; ///< b, size of the broadcast payload
   bool track_knowledge = false;   ///< enforce direct-addressing honesty
+  /// Capacity ceiling for mid-run joins (0 = no joins, capacity == n).
+  /// Values below n are clamped up to n.
+  std::uint32_t max_nodes = 0;
 };
 
 class Network {
@@ -36,6 +48,10 @@ class Network {
   Network& operator=(const Network&) = delete;
 
   [[nodiscard]] std::uint32_t n() const noexcept { return n_; }
+  /// Pre-reserved ceiling on n (== n when the network accepts no joins).
+  /// Per-node state that must survive joins without reallocating - engine
+  /// delivery state, algorithm-side flat arrays - is sized to this.
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] const NetworkOptions& options() const noexcept { return options_; }
   [[nodiscard]] const MessageCosts& costs() const noexcept { return costs_; }
 
@@ -55,17 +71,35 @@ class Network {
     return index;
   }
 
+  // --- joins (non-monotone alive set; sim/fault.hpp ChurnSchedule) -------
+  /// Admits one node with a fresh unique ID drawn from the construction-time
+  /// ID stream (deterministic in (seed, join order) - join order is part of
+  /// the round timeline, see README "Churn & membership"). The joiner is
+  /// alive, knows nothing (its knowledge row starts empty; it becomes
+  /// directly addressable only once its ID travels in a gossiped list) and
+  /// gets the next dense index. Returns that index. Contract violation when
+  /// the pre-reserved capacity is exhausted - callers gate on can_join().
+  std::uint32_t join();
+  /// Same, with a caller-chosen ID (tests; replaying recorded schedules).
+  std::uint32_t join(NodeId id);
+  [[nodiscard]] bool can_join() const noexcept { return n_ < capacity_; }
+
   // --- failures (sim/fault.hpp fault models; Section 8 adversary) -------
-  /// Marks a node failed. The alive set is dynamic but MONOTONE: a fault
-  /// model may crash nodes between rounds (Engine consults it at each round
-  /// boundary), but a failed node never revives. Idempotent.
+  /// Marks a live node failed. The alive set is dynamic: fault models may
+  /// crash nodes between rounds and joins may add fresh ones, but a failed
+  /// node never revives. Double-failing is a contract violation - with
+  /// joins in play, two fault models silently failing the same index would
+  /// hide a schedule bug behind bookkeeping that still happens to balance.
   void fail(std::uint32_t index);
   [[nodiscard]] bool alive(std::uint32_t index) const {
     GOSSIP_CHECK(index < n_);
     return alive_[index] != 0;
   }
   [[nodiscard]] std::uint32_t alive_count() const noexcept { return alive_count_; }
-  [[nodiscard]] std::uint32_t failed_count() const noexcept { return n_ - alive_count_; }
+  /// Nodes that have failed so far. Counted explicitly: with joins, n_ is
+  /// itself a moving target, so `n_ - alive_count_` would only stay correct
+  /// by the very invariant we want to be able to check.
+  [[nodiscard]] std::uint32_t failed_count() const noexcept { return failed_count_; }
 
   // --- randomness --------------------------------------------------------
   /// Master RNG (engine-level choices, e.g. uniform random contacts).
@@ -83,13 +117,16 @@ class Network {
  private:
   NetworkOptions options_;
   std::uint32_t n_;
+  std::uint32_t capacity_;
   MessageCosts costs_;
   Rng master_rng_;
   std::uint64_t node_stream_base_;
+  Rng id_rng_;  ///< ID stream; join() continues it past the initial n draws
   std::vector<NodeId> ids_;
   FlatIdIndex index_by_id_;  ///< flat open-addressing ID -> index map
   std::vector<std::uint8_t> alive_;
   std::uint32_t alive_count_;
+  std::uint32_t failed_count_ = 0;
   std::unique_ptr<KnowledgeTracker> knowledge_;
 };
 

@@ -1,0 +1,270 @@
+// Churn primitives (PR 6): the Network join API and capacity
+// pre-reservation, scripted/Poisson ChurnSchedules, round-varying
+// LossSchedules and their composition law, and the ByzantineResponder's
+// pure corrupt_response stream.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "sim/fault.hpp"
+#include "sim/network.hpp"
+
+namespace gossip::sim {
+namespace {
+
+NetworkOptions opts(std::uint32_t n, std::uint32_t max_nodes,
+                    std::uint64_t seed = 42) {
+  NetworkOptions o;
+  o.n = n;
+  o.seed = seed;
+  o.max_nodes = max_nodes;
+  return o;
+}
+
+// --- Network::join -------------------------------------------------------
+
+TEST(ChurnNetwork, JoinGrowsDenselyUpToCapacity) {
+  Network net(opts(8, 12));
+  EXPECT_EQ(net.n(), 8u);
+  EXPECT_EQ(net.capacity(), 12u);
+  for (std::uint32_t expected = 8; expected < 12; ++expected) {
+    ASSERT_TRUE(net.can_join());
+    const std::uint32_t v = net.join();
+    EXPECT_EQ(v, expected);       // dense indices, in join order
+    EXPECT_TRUE(net.alive(v));
+    EXPECT_EQ(net.find(net.id_of(v)), v);  // immediately resolvable
+  }
+  EXPECT_EQ(net.n(), 12u);
+  EXPECT_FALSE(net.can_join());
+  EXPECT_THROW(net.join(), ContractViolation);  // capacity is a hard ceiling
+}
+
+TEST(ChurnNetwork, NoMaxNodesMeansNoJoins) {
+  Network net(opts(8, 0));
+  EXPECT_EQ(net.capacity(), 8u);  // capacity == n: the monotone world
+  EXPECT_FALSE(net.can_join());
+  EXPECT_THROW(net.join(), ContractViolation);
+}
+
+TEST(ChurnNetwork, JoinIdsAreFreshAndDeterministic) {
+  Network a(opts(8, 16));
+  Network b(opts(8, 16));
+  for (int k = 0; k < 8; ++k) {
+    const std::uint32_t va = a.join();
+    const std::uint32_t vb = b.join();
+    // Same seed + same join order -> the same ID stream.
+    EXPECT_EQ(a.id_of(va).raw(), b.id_of(vb).raw());
+    // Fresh: distinct from every earlier node's ID.
+    for (std::uint32_t w = 0; w < va; ++w) {
+      EXPECT_NE(a.id_of(va).raw(), a.id_of(w).raw());
+    }
+  }
+}
+
+TEST(ChurnNetwork, FailedCountIsExplicitUnderJoins) {
+  Network net(opts(6, 10));
+  net.fail(1);
+  net.fail(4);
+  EXPECT_EQ(net.failed_count(), 2u);
+  EXPECT_EQ(net.alive_count(), 4u);
+  // Joins move n but not the failure ledger.
+  net.join();
+  net.join();
+  EXPECT_EQ(net.n(), 8u);
+  EXPECT_EQ(net.failed_count(), 2u);
+  EXPECT_EQ(net.alive_count(), 6u);
+  // Double-failing is a contract violation, not silent bookkeeping.
+  EXPECT_THROW(net.fail(1), ContractViolation);
+  EXPECT_EQ(net.failed_count(), 2u);
+  // A joiner can fail like any other node.
+  net.fail(7);
+  EXPECT_EQ(net.failed_count(), 3u);
+  EXPECT_EQ(net.alive_count(), 5u);
+}
+
+// --- ChurnSchedule -------------------------------------------------------
+
+TEST(ChurnSchedule_, ScriptedEventsFireOnTheirRounds) {
+  Network net(opts(8, 16));
+  ChurnSchedule churn(std::vector<ChurnEvent>{
+      {2, 3, 0},   // +3 at round 2
+      {5, 0, 2},   // -2 at round 5
+      {2, 1, 1},   // rounds may repeat: +1/-1 also at round 2
+  });
+  for (std::uint64_t r = 0; r < 8; ++r) {
+    churn.on_round_begin(r, net);
+    if (r < 2) {
+      EXPECT_EQ(net.n(), 8u) << "round " << r;
+    } else if (r < 5) {
+      EXPECT_EQ(net.n(), 12u) << "round " << r;  // 3 + 1 joins
+      EXPECT_EQ(net.failed_count(), 1u) << "round " << r;
+    } else {
+      EXPECT_EQ(net.failed_count(), 3u) << "round " << r;
+    }
+  }
+  EXPECT_EQ(churn.joins_applied(), 4u);
+  EXPECT_EQ(churn.crashes_applied(), 3u);
+}
+
+TEST(ChurnSchedule_, ScriptedJoinsStopSilentlyAtCapacity) {
+  Network net(opts(4, 6));
+  ChurnSchedule churn(std::vector<ChurnEvent>{{0, 10, 0}});
+  churn.on_round_begin(0, net);
+  EXPECT_EQ(net.n(), 6u);  // capped, not thrown
+  EXPECT_EQ(churn.joins_applied(), 2u);
+}
+
+TEST(ChurnSchedule_, CrashesNeverTakeAliveBelowTwo) {
+  Network net(opts(4, 4));
+  ChurnSchedule churn(std::vector<ChurnEvent>{{0, 0, 100}});
+  churn.on_round_begin(0, net);
+  EXPECT_EQ(net.alive_count(), 2u);
+  EXPECT_EQ(churn.crashes_applied(), 2u);
+}
+
+TEST(ChurnSchedule_, PoissonTrajectoryIsSeedDeterministic) {
+  // Two networks with the same seed must see the identical churn timeline -
+  // arrival counts AND crash victims come from (seed, round) streams.
+  const auto run = [](std::uint64_t seed) {
+    Network net(opts(64, 128, seed));
+    ChurnSchedule churn(/*join_rate=*/0.7, /*crash_rate=*/0.4);
+    std::vector<std::uint64_t> trace;
+    for (std::uint64_t r = 0; r < 32; ++r) {
+      churn.on_round_begin(r, net);
+      trace.push_back(net.n());
+      trace.push_back(net.failed_count());
+      for (std::uint32_t v = 0; v < net.n(); ++v) trace.push_back(net.alive(v));
+    }
+    return trace;
+  };
+  EXPECT_EQ(run(9), run(9));
+  EXPECT_NE(run(9), run(10));  // and the timeline really is seed-keyed
+}
+
+TEST(ChurnSchedule_, PoissonWindowGatesArrivals) {
+  Network net(opts(32, 256, 5));
+  ChurnSchedule churn(/*join_rate=*/2.0, /*crash_rate=*/0.0,
+                      /*start_round=*/4, /*end_round=*/8);
+  for (std::uint64_t r = 0; r < 16; ++r) {
+    const std::uint32_t before = net.n();
+    churn.on_round_begin(r, net);
+    if (r < 4 || r >= 8) EXPECT_EQ(net.n(), before) << "round " << r;
+  }
+  // ~2 joins/round over 4 windowed rounds; the exact count is the seed's,
+  // but the window means it is positive and far below 16 rounds' worth.
+  EXPECT_GT(churn.joins_applied(), 0u);
+  EXPECT_LE(churn.joins_applied(), 24u);
+}
+
+// --- LossSchedule --------------------------------------------------------
+
+TEST(LossSchedule_, BurstIsZeroOutsideItsWindow) {
+  const auto ls = LossSchedule::burst(0.4, 3, 7);
+  EXPECT_DOUBLE_EQ(ls.loss_probability(2), 0.0);
+  EXPECT_DOUBLE_EQ(ls.loss_probability(3), 0.4);
+  EXPECT_DOUBLE_EQ(ls.loss_probability(6), 0.4);
+  EXPECT_DOUBLE_EQ(ls.loss_probability(7), 0.0);  // [from, until)
+}
+
+TEST(LossSchedule_, RampInterpolatesAndHolds) {
+  const auto ls = LossSchedule::ramp(0.1, 0.5, 8);
+  EXPECT_DOUBLE_EQ(ls.loss_probability(0), 0.1);
+  EXPECT_DOUBLE_EQ(ls.loss_probability(4), 0.3);  // midpoint
+  EXPECT_DOUBLE_EQ(ls.loss_probability(8), 0.5);
+  EXPECT_DOUBLE_EQ(ls.loss_probability(100), 0.5);  // holds p1 after
+}
+
+TEST(LossSchedule_, PeriodicRepeatsItsDutyCycle) {
+  const auto ls = LossSchedule::periodic(0.25, 5, 2);
+  for (const std::uint64_t base : {0ULL, 5ULL, 50ULL}) {
+    EXPECT_DOUBLE_EQ(ls.loss_probability(base + 0), 0.25);
+    EXPECT_DOUBLE_EQ(ls.loss_probability(base + 1), 0.25);
+    EXPECT_DOUBLE_EQ(ls.loss_probability(base + 2), 0.0);
+    EXPECT_DOUBLE_EQ(ls.loss_probability(base + 4), 0.0);
+  }
+}
+
+// --- CompositeFault loss composition -------------------------------------
+
+TEST(CompositeLoss, ComposesAsIndependentFailures) {
+  // The regression the header promises: 1 - prod(1 - p_i), re-queried per
+  // round so round-varying parts compose correctly.
+  CompositeFault fault;
+  fault.add(std::make_unique<LossyChannel>(0.2));
+  fault.add(std::make_unique<LossSchedule>(LossSchedule::burst(0.5, 2, 4)));
+  EXPECT_DOUBLE_EQ(fault.loss_probability(0), 0.2);  // burst inactive
+  EXPECT_DOUBLE_EQ(fault.loss_probability(2), 1.0 - (1.0 - 0.2) * (1.0 - 0.5));
+  EXPECT_DOUBLE_EQ(fault.loss_probability(4), 0.2);
+}
+
+TEST(CompositeLoss, StableNearZeroAndNearOne) {
+  // Near 0: tiny probabilities must add, not vanish to rounding.
+  CompositeFault tiny;
+  tiny.add(std::make_unique<LossyChannel>(1e-12));
+  tiny.add(std::make_unique<LossyChannel>(3e-12));
+  EXPECT_DOUBLE_EQ(tiny.loss_probability(0),
+                   1.0 - (1.0 - 1e-12) * (1.0 - 3e-12));
+  EXPECT_GT(tiny.loss_probability(0), 3.9e-12);
+  EXPECT_LT(tiny.loss_probability(0), 4.1e-12);
+  // Near 1: the survivor product keeps precision where 'sum and clamp'
+  // would saturate.
+  CompositeFault heavy;
+  heavy.add(std::make_unique<LossyChannel>(0.999));
+  heavy.add(std::make_unique<LossyChannel>(0.9));
+  EXPECT_DOUBLE_EQ(heavy.loss_probability(7), 1.0 - 0.001 * 0.1);
+  EXPECT_LT(heavy.loss_probability(7), 1.0);
+}
+
+// --- ByzantineResponder --------------------------------------------------
+
+TEST(Byzantine, TraitorSetIsObliviousAndSized) {
+  Network net(opts(100, 150, 3));
+  ByzantineResponder byz(0.2);
+  Rng adversary(77);
+  byz.on_run_begin(net, adversary);
+  EXPECT_TRUE(byz.has_byzantine());
+  EXPECT_EQ(byz.traitor_count(), 20u);
+  std::uint32_t flagged = 0;
+  for (std::uint32_t v = 0; v < net.n(); ++v) flagged += byz.byzantine(v);
+  EXPECT_EQ(flagged, 20u);
+  // Joiners are never traitors: the set was fixed before they existed.
+  const std::uint32_t joiner = net.join();
+  EXPECT_FALSE(byz.byzantine(joiner));
+}
+
+TEST(Byzantine, CorruptResponseIsPurePerRoundAndResponder) {
+  Network net(opts(32, 32, 8));
+  ByzantineResponder byz(0.25);
+  Rng adversary(5);
+  byz.on_run_begin(net, adversary);
+
+  Message::IdList honest_ids;
+  honest_ids.push_back(net.id_of(1));
+  honest_ids.push_back(net.id_of(2));
+  honest_ids.push_back(net.id_of(3));
+  const Message honest = Message::id_list(std::move(honest_ids));
+
+  const auto raw_ids = [](const Message& m) {
+    std::vector<std::uint64_t> out;
+    m.ids().for_each([&](NodeId id) { out.push_back(id.raw()); });
+    return out;
+  };
+
+  const Message a = byz.corrupt_response(6, 4, net, honest);
+  const Message b = byz.corrupt_response(6, 4, net, honest);
+  EXPECT_EQ(raw_ids(a), raw_ids(b));  // pure in (seed, round, responder)
+  EXPECT_EQ(a.bits(net.costs()), b.bits(net.costs()));
+  // The detectable payload is stripped; the poisoned list matches the
+  // honest slot count.
+  EXPECT_FALSE(a.has_rumor());
+  EXPECT_EQ(raw_ids(a).size(), 3u);
+  // Different rounds / responders draw different poison.
+  EXPECT_NE(raw_ids(a), raw_ids(byz.corrupt_response(7, 4, net, honest)));
+  EXPECT_NE(raw_ids(a), raw_ids(byz.corrupt_response(6, 9, net, honest)));
+}
+
+}  // namespace
+}  // namespace gossip::sim

@@ -1,0 +1,112 @@
+// Membership/suspicion service (PR 6): estimate_n accuracy fault-free,
+// degradation under churn and byzantine poisoning, and the report plumbing
+// (estimate_n_error -> ReportAggregate::estimate_error).
+#include <gtest/gtest.h>
+
+#include "membership/membership.hpp"
+#include "runner/trial_runner.hpp"
+#include "sim/fault.hpp"
+#include "sim/network.hpp"
+
+namespace gossip {
+namespace {
+
+runner::ScenarioSpec membership_spec(std::uint32_t n = 256) {
+  runner::ScenarioSpec spec;
+  spec.name = "membership";
+  spec.algorithm = "membership";
+  spec.n = n;
+  spec.trials = 3;
+  spec.seed = 33;
+  return spec;
+}
+
+TEST(Membership, FaultFreeEstimatesConverge) {
+  const runner::ScenarioResult result = runner::TrialRunner(1).run(membership_spec());
+  const auto& agg = result.aggregate;
+  // With no churn the directory is a fixed target: the mean relative error
+  // of estimate_n settles at the suspicion window's sampling miss rate (a
+  // few percent at most) and every node lands within the 10% threshold.
+  EXPECT_EQ(agg.failures, 0u);
+  EXPECT_LT(agg.estimate_error.mean(), 0.05);
+  EXPECT_DOUBLE_EQ(agg.informed_fraction.mean(), 1.0);
+}
+
+TEST(Membership, ChurnRaisesTheErrorButStaysBounded) {
+  runner::ScenarioSpec calm = membership_spec();
+  runner::ScenarioSpec churny = membership_spec();
+  churny.join_rate = 1.0;
+  churny.crash_rate = 1.0;
+  const double calm_err =
+      runner::TrialRunner(1).run(calm).aggregate.estimate_error.mean();
+  const double churn_err =
+      runner::TrialRunner(1).run(churny).aggregate.estimate_error.mean();
+  // Crashed nodes linger for up to suspicion_after rounds and joiners are
+  // invisible until their first digest ride - the error must rise with
+  // churn, but the service keeps tracking (it never diverges).
+  EXPECT_GT(churn_err, calm_err);
+  EXPECT_LT(churn_err, 0.5);
+}
+
+TEST(Membership, ByzantinePoisoningInflatesEstimates) {
+  runner::ScenarioSpec honest = membership_spec();
+  runner::ScenarioSpec poisoned = membership_spec();
+  poisoned.byzantine_fraction = 0.3;
+  const double honest_err =
+      runner::TrialRunner(1).run(honest).aggregate.estimate_error.mean();
+  const double poisoned_err =
+      runner::TrialRunner(1).run(poisoned).aggregate.estimate_error.mean();
+  // ID-list poisoning is NOT detectable: ghosts enter the tables and count
+  // toward estimate_n until suspicion ages them out, so a heavily poisoned
+  // run reads clearly worse than the honest one.
+  EXPECT_GT(poisoned_err, honest_err + 0.02);
+}
+
+TEST(Membership, DirectApiRespectsExplicitKnobs) {
+  sim::NetworkOptions no;
+  no.n = 64;
+  no.seed = 9;
+  sim::Network net(no);
+  membership::MembershipOptions mo;
+  mo.rounds = 40;
+  mo.gossip_ttl = 8;
+  mo.suspicion_after = 24;
+  const core::BroadcastReport r = membership::run_membership(net, 0, mo);
+  EXPECT_EQ(r.rounds, 40u);
+  EXPECT_EQ(r.n, 64u);
+  EXPECT_EQ(r.alive, 64u);
+  EXPECT_LE(r.informed, r.alive);
+  EXPECT_GE(r.estimate_n_error, 0.0);
+  ASSERT_EQ(r.phases.size(), 1u);
+  EXPECT_EQ(r.phases.front().name, "membership");
+  EXPECT_EQ(r.phases.front().rounds, 40u);
+}
+
+TEST(Membership, RejectsServiceScaleViolations) {
+  sim::NetworkOptions no;
+  no.n = 16;
+  no.max_nodes = 1u << 14;  // capacity over the 8192 dense-table guard
+  sim::Network net(no);
+  EXPECT_THROW(membership::run_membership(net, 0, {}), ContractViolation);
+}
+
+TEST(Membership, RerunsAreBitIdentical) {
+  const runner::ScenarioSpec spec = [] {
+    runner::ScenarioSpec s = membership_spec(128);
+    s.join_rate = 0.5;
+    s.crash_rate = 0.5;
+    return s;
+  }();
+  const runner::ScenarioResult a = runner::TrialRunner(1).run(spec);
+  const runner::ScenarioResult b = runner::TrialRunner(1).run(spec);
+  ASSERT_EQ(a.reports.size(), b.reports.size());
+  for (std::size_t t = 0; t < a.reports.size(); ++t) {
+    EXPECT_EQ(a.reports[t].informed, b.reports[t].informed);
+    EXPECT_EQ(a.reports[t].alive, b.reports[t].alive);
+    EXPECT_DOUBLE_EQ(a.reports[t].estimate_n_error, b.reports[t].estimate_n_error);
+    EXPECT_EQ(a.reports[t].stats.total.bits, b.reports[t].stats.total.bits);
+  }
+}
+
+}  // namespace
+}  // namespace gossip

@@ -99,7 +99,9 @@ TEST(Network, FailuresTracked) {
   EXPECT_EQ(net.alive_count(), 10u);
   net.fail(3);
   net.fail(7);
-  net.fail(3);  // idempotent
+  // Double-failing is a contract violation (a fault-schedule bug), not a
+  // silent no-op - and it must not disturb the bookkeeping.
+  EXPECT_THROW(net.fail(3), ContractViolation);
   EXPECT_EQ(net.alive_count(), 8u);
   EXPECT_EQ(net.failed_count(), 2u);
   EXPECT_FALSE(net.alive(3));
