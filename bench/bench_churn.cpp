@@ -21,13 +21,40 @@
 // --join-rate / --crash-rate / --loss-prob overlay sweeps that do not pin
 // those keys themselves; --out=FILE emits the shared JSON schema (the
 // committed BENCH_churn.json at the repo root is this bench's record).
+// --repeats=N re-runs every cell N times and asserts the report AND the
+// collected telemetry (wall-clock fields excluded) come back bit-identical -
+// a built-in determinism self-check. --timeseries=FILE collects per-round
+// telemetry for every cell and writes one labelled JSONL stream.
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "bench_util.hpp"
+#include "obs/export.hpp"
 #include "runner/json_report.hpp"
 #include "runner/registry.hpp"
 #include "runner/trial_runner.hpp"
+
+namespace {
+
+/// Serialises the determinism-covered content of a result: the JSON report
+/// plus (when collected) the time series without wall-clock fields and the
+/// event log.
+std::string deterministic_content(const gossip::runner::ScenarioResult& result) {
+  std::ostringstream os;
+  gossip::runner::write_scenario_json(os, result);
+  if (!result.telemetry.empty()) {
+    gossip::obs::ExportOptions opt;
+    opt.timing = false;
+    const auto views = result.telemetry_views();
+    gossip::obs::write_timeseries_jsonl(os, views, opt);
+    gossip::obs::write_events_jsonl(os, views, opt);
+  }
+  return os.str();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace gossip;
@@ -44,8 +71,35 @@ int main(int argc, char** argv) {
 
   runner::TrialRunner trials(cfg.trial_threads);
   std::vector<runner::ScenarioResult> results;
+  std::ofstream ts_out;
+  if (!cfg.timeseries.empty()) {
+    ts_out.open(cfg.timeseries);
+    if (!ts_out) {
+      std::cerr << "cannot write " << cfg.timeseries << "\n";
+      return 1;
+    }
+  }
+  const unsigned repeats = cfg.repeats == 0 ? 1 : cfg.repeats;
   const auto run_cell = [&](runner::ScenarioSpec spec) {
+    // Arm telemetry collection when a time series was requested (the path
+    // itself is unused - bench cells export through ts_out below).
+    if (!cfg.timeseries.empty()) spec.timeseries = cfg.timeseries;
     auto result = trials.run(spec);
+    for (unsigned rep = 1; rep < repeats; ++rep) {
+      // Determinism self-check: a cell re-run must reproduce the report and
+      // the telemetry (minus wall-clock fields) bit-for-bit.
+      const auto again = trials.run(spec);
+      if (deterministic_content(again) != deterministic_content(result)) {
+        std::cerr << "DETERMINISM VIOLATION: cell '" << spec.name
+                  << "' differed on repeat " << rep + 1 << "\n";
+        std::exit(1);
+      }
+    }
+    if (ts_out.is_open()) {
+      obs::ExportOptions opt;
+      opt.label = result.spec.name;
+      obs::write_timeseries_jsonl(ts_out, result.telemetry_views(), opt);
+    }
     if (!cfg.out.empty()) results.push_back(result);
     return result;
   };

@@ -14,7 +14,9 @@
 // record per (n, workload, path) with MEDIAN-of-repeats contacts/sec and a
 // per-phase wall-clock breakdown (phase 1 initiate/draw/queue, phase 2 push
 // delivery, phase 3 pull resolution - the receiver-bucketed delivery work
-// lives in phases 2-3), plus the static/legacy speedup per (n, workload).
+// lives in phases 2-3), plus the static/legacy speedup per (n, workload)
+// and the telemetry recorder's overhead (the "static_recorder" path runs
+// the static workload with an obs::Telemetry attached).
 // This seeds the BENCH_*.json tracking files:
 //   ./bench_engine_throughput --out=BENCH_engine_throughput.json
 // Options: --rounds=R (default 12), --sizes=1e5,1e6,4e6 (comma list),
@@ -59,10 +61,13 @@ class ReferenceEngine {
   }
 
   [[nodiscard]] sim::MetricsCollector& metrics() noexcept { return metrics_; }
+  // Phase-time accounting delegates to the shared obs::RoundRecorder, the
+  // same accumulator the real engine's telemetry uses - so the reset/
+  // accumulate semantics of the two engines cannot drift apart.
   [[nodiscard]] const sim::Engine::PhaseTimes& phase_times() const noexcept {
-    return phase_times_;
+    return recorder_.phase_times();
   }
-  void reset_phase_times() noexcept { phase_times_ = sim::Engine::PhaseTimes{}; }
+  void reset_phase_times() noexcept { recorder_.reset_phase_times(); }
 
   std::uint32_t random_other(std::uint32_t self) {
     const std::uint32_t n = net_.n();
@@ -127,10 +132,14 @@ class ReferenceEngine {
       }
     }
 
-    phase_times_.phase1_seconds += std::chrono::duration<double>(t_phase1 - t_begin).count();
-    phase_times_.phase2_seconds += std::chrono::duration<double>(t_phase2 - t_phase1).count();
-    phase_times_.phase3_seconds +=
-        std::chrono::duration<double>(Clock::now() - t_phase2).count();
+    const auto ns = [](Clock::time_point a, Clock::time_point b) {
+      return static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+    };
+    recorder_.on_round_end(round_++, metrics_.current_round(), net_.n(),
+                           net_.alive_count(), /*loss_drops=*/0,
+                           /*corrupt_responses=*/0, ns(t_begin, t_phase1),
+                           ns(t_phase1, t_phase2), ns(t_phase2, Clock::now()));
     metrics_.end_round();
   }
 
@@ -147,7 +156,8 @@ class ReferenceEngine {
 
   sim::Network& net_;
   sim::MetricsCollector metrics_;
-  sim::Engine::PhaseTimes phase_times_;
+  obs::RoundRecorder recorder_;
+  std::uint64_t round_ = 0;
   std::vector<PendingPush> pushes_;
   std::vector<PendingPull> pulls_;
   std::vector<std::uint32_t> all_nodes_;
@@ -286,6 +296,20 @@ std::vector<Result> bench_size(std::uint32_t n, const std::string& workload, Hoo
     engine.metrics().set_track_involvement(delta_metering);
     return one_repeat(engine, rounds, [&] { engine.run_round(hooks); });
   }));
+  out.push_back(measure(n, workload, "static_recorder", rounds, repeats, [&] {
+    // Static path with an obs::Telemetry attached: the delta vs "static" is
+    // the per-round recorder cost (phase clocks + one RoundRecord + event
+    // round bookkeeping) - reported as recorder_overhead in the JSON.
+    sim::Network net = make_net();
+    sim::Engine engine(net);
+    obs::Telemetry telemetry;
+    telemetry.rounds.reserve(rounds + 2);
+    engine.set_telemetry(&telemetry);
+    engine.set_delivery_buckets(delivery_buckets);
+    engine.set_phase_timing(true);
+    engine.metrics().set_track_involvement(delta_metering);
+    return one_repeat(engine, rounds, [&] { engine.run_round(hooks); });
+  }));
   out.push_back(measure(n, workload, "legacy_adapter", rounds, repeats, [&] {
     // New executor behind the RoundHooks std::function adapter.
     sim::Network net = make_net();
@@ -320,6 +344,8 @@ void emit_json(std::ostream& os, const std::vector<Result>& results, bool delta_
      << "2 = push delivery, 3 = pull resolution); delivery_buckets 0 = "
      << "auto-bucketed receiver-local delivery (sim/engine.hpp)\",\n"
      << "  \"paths\": {\"static\": \"templated executor, compile-time hooks\", "
+     << "\"static_recorder\": \"static path with obs::Telemetry attached "
+     << "(per-round RoundRecord + phase clocks)\", "
      << "\"legacy_adapter\": \"RoundHooks std::functions over the new executor\", "
      << "\"reference_stdfunction\": \"the seed engine: std::function dispatch, "
      << "per-contact draws, sort-based pull grouping, unconditional Delta metering\"},\n"
@@ -337,15 +363,20 @@ void emit_json(std::ostream& os, const std::vector<Result>& results, bool delta_
   }
   os << "  ],\n  \"speedup_static_over_stdfunction_path\": [\n";
   bool first = true;
-  for (std::size_t i = 0; i + 2 < results.size(); i += 3) {
+  for (std::size_t i = 0; i + 3 < results.size(); i += 4) {
     const Result& s = results[i];
-    const Result& a = results[i + 1];
-    const Result& ref = results[i + 2];
+    const Result& rec = results[i + 1];
+    const Result& a = results[i + 2];
+    const Result& ref = results[i + 3];
     if (!first) os << ",\n";
     first = false;
+    // recorder_overhead: detached static throughput over telemetry-attached
+    // static throughput (1.0 = free; 1.02 = 2% slower with the recorder on).
     os << "    {\"n\": " << s.n << ", \"workload\": \"" << s.workload
        << "\", \"vs_reference\": " << s.contacts_per_sec() / ref.contacts_per_sec()
-       << ", \"vs_adapter\": " << s.contacts_per_sec() / a.contacts_per_sec() << "}";
+       << ", \"vs_adapter\": " << s.contacts_per_sec() / a.contacts_per_sec()
+       << ", \"recorder_overhead\": " << s.contacts_per_sec() / rec.contacts_per_sec()
+       << "}";
   }
   os << "\n  ]\n}\n";
 }

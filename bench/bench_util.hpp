@@ -72,6 +72,13 @@ struct Config {
   /// Crash timing for the fault keys (kCrashPreRun = legacy pre-run crash).
   std::int64_t crash_round = runner::ScenarioSpec::kCrashPreRun;
   std::string out;        ///< JSON report path (migrated benches; "" = none)
+  /// TrialRunner-based benches: re-run every cell N times asserting
+  /// bit-identical aggregates (a determinism self-check; the wall-clock
+  /// benches keep their own median-of-N --repeats semantics).
+  unsigned repeats = 1;
+  /// TrialRunner-based benches: collect per-round telemetry and write one
+  /// JSONL time series covering every cell ("" = off; see src/obs/).
+  std::string timeseries;
 
   /// `message` explains what went wrong ("unknown argument: ..." or the
   /// parse error for a recognized flag's bad value).
@@ -82,9 +89,11 @@ struct Config {
                  "               [--shard-size=N] [--delivery-buckets=N]\n"
                  "               [--trial-threads=N] [--loss-prob=P] [--crash-round=R]\n"
                  "               [--join-rate=R] [--crash-rate=R] [--out=FILE]\n"
+                 "               [--repeats=N] [--timeseries=FILE]\n"
                  "(--trial-threads, --loss-prob, --crash-round, --join-rate,\n"
-                 " --crash-rate and --out only act on TrialRunner-based benches;\n"
-                 " see the flag list at the top of bench_util.hpp)\n",
+                 " --crash-rate, --out, --repeats and --timeseries only act on\n"
+                 " TrialRunner-based benches; see the flag list at the top of\n"
+                 " bench_util.hpp)\n",
                  message.c_str());
     std::exit(2);
   }
@@ -112,6 +121,8 @@ struct Config {
         c.seeds = 5;
       } else if (arg.rfind("--out=", 0) == 0) {
         c.out = arg.substr(6);
+      } else if (arg.rfind("--timeseries=", 0) == 0) {
+        c.timeseries = arg.substr(13);
       } else if (arg.rfind("--loss-prob=", 0) == 0) {
         try {
           c.loss_prob = runner::parse_fraction("--loss-prob=", arg.substr(12));
@@ -157,7 +168,8 @@ struct Config {
         }
       } else if (uint_flag("--seeds=", c.seeds) || uint_flag("--max-exp=", c.max_exp) ||
                  uint_flag("--threads=", c.threads) ||
-                 uint_flag("--trial-threads=", c.trial_threads)) {
+                 uint_flag("--trial-threads=", c.trial_threads) ||
+                 uint_flag("--repeats=", c.repeats)) {
         // handled
       } else {
         usage_and_exit("unknown argument: " + arg);
@@ -241,7 +253,8 @@ inline std::vector<NamedAlgorithm> standard_algorithms(std::uint64_t delta = 102
   for (const runner::AlgorithmEntry& entry : runner::algorithms()) {
     out.push_back({entry.display,
                    [spec, run = &entry.run](sim::Network& net, std::uint32_t source) {
-                     return (*run)(net, source, spec, /*fault=*/nullptr);
+                     return (*run)(net, source, spec, /*fault=*/nullptr,
+                                   /*telemetry=*/nullptr);
                    }});
   }
   return out;

@@ -72,6 +72,13 @@ core::BroadcastReport run_rrs(sim::Network& net, std::uint32_t source, RrsOption
   ctr[source] = 1;
   std::uint64_t informed_count = 1;
 
+  if (options.telemetry != nullptr) {
+    engine.set_telemetry(options.telemetry);
+    options.telemetry->rounds.set_probe([&informed_count] {
+      return obs::RoundRecorder::Probe{.informed = informed_count};
+    });
+  }
+
   RrsHooks hooks{ctr, partner_max, met_informed, informed_count, ctr_max};
 
   const auto is_informed = [&](std::uint32_t v) { return ctr[v] != 0; };
@@ -89,6 +96,7 @@ core::BroadcastReport run_rrs(sim::Network& net, std::uint32_t source, RrsOption
     }
   }
 
+  if (options.telemetry != nullptr) options.telemetry->rounds.set_probe({});
   return detail::finish_report(net, engine, detail::count_informed_alive(net, is_informed),
                                "rrs");
 }

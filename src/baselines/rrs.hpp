@@ -18,6 +18,10 @@
 #include "sim/fault.hpp"
 #include "sim/network.hpp"
 
+namespace gossip::obs {
+struct Telemetry;
+}  // namespace gossip::obs
+
 namespace gossip::baselines {
 
 struct RrsOptions {
@@ -31,6 +35,9 @@ struct RrsOptions {
   /// Receiver buckets for the delivery phases (0 = the engine's auto
   /// default; Engine::set_delivery_buckets). Trajectory-invariant.
   std::uint32_t delivery_buckets = 0;
+  /// Observability handle attached to the run's engine (src/obs/), with an
+  /// informed-count probe. Non-owning. Null = detached.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 [[nodiscard]] core::BroadcastReport run_rrs(sim::Network& net, std::uint32_t source,

@@ -18,6 +18,10 @@
 #include "sim/fault.hpp"
 #include "sim/network.hpp"
 
+namespace gossip::obs {
+struct Telemetry;
+}  // namespace gossip::obs
+
 namespace gossip::baselines {
 
 struct UniformOptions {
@@ -40,6 +44,10 @@ struct UniformOptions {
   /// crashes the oracle stop condition ("every alive node informed") is
   /// evaluated exactly - informed nodes that later crash no longer count.
   sim::FaultModel* fault = nullptr;
+  /// Observability handle attached to the run's engine (src/obs/); the
+  /// baselines install an informed-count probe so time-series records carry
+  /// the informed set's size per round. Non-owning. Null = detached.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 [[nodiscard]] core::BroadcastReport run_push(sim::Network& net, std::uint32_t source,

@@ -91,12 +91,22 @@ core::BroadcastReport run_until_informed(sim::Network& net, std::uint32_t source
   informed[source] = 1;
   std::uint64_t informed_count = 1;
 
+  if (options.telemetry != nullptr) {
+    engine.set_telemetry(options.telemetry);
+    // The probe captures informed_count by reference; cleared below before
+    // the counter goes out of scope.
+    options.telemetry->rounds.set_probe([&informed_count] {
+      return obs::RoundRecorder::Probe{.informed = informed_count};
+    });
+  }
+
   auto hooks = make_hooks(informed, informed_count);
   const auto is_informed = [&](std::uint32_t v) { return informed[v] != 0; };
   while (!all_alive_informed(net, informed_count, is_informed) &&
          engine.rounds() < max_rounds) {
     engine.run_round(hooks);
   }
+  if (options.telemetry != nullptr) options.telemetry->rounds.set_probe({});
   return finish_report(net, engine, count_informed_alive(net, is_informed),
                        std::move(phase_name));
 }

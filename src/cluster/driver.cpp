@@ -47,6 +47,9 @@ Driver::Driver(sim::Engine& engine, Options opts)
   if (opts_.delivery_buckets) {
     engine_.set_delivery_buckets(opts_.delivery_buckets);
   }
+  if (opts_.telemetry != nullptr) {
+    engine_.set_telemetry(opts_.telemetry);
+  }
 }
 
 void Driver::validate_flat(const char* where) const {
@@ -113,6 +116,9 @@ void Driver::collect_and_verdict(bool only_active, bool with_ids, const DecideFn
   std::vector<std::uint64_t> encoded(net_.capacity(), 0);
   std::unordered_map<std::uint32_t, std::vector<NodeId>> response_ids;
   std::vector<std::uint8_t> decided(net_.capacity(), 0);
+  std::uint32_t verdict_leaders = 0;
+  std::uint64_t verdict_dissolved = 0;
+  std::uint64_t verdict_resized = 0;
   for (std::uint32_t v = 0; v < net_.n(); ++v) {
     if (!net_.alive(v) || !cl_.is_leader(v) || !participates(v)) continue;
     const std::uint64_t size = collect_count_[v] + 1;  // leader included
@@ -126,6 +132,12 @@ void Driver::collect_and_verdict(bool only_active, bool with_ids, const DecideFn
     std::sort(verdict.new_leaders.begin(), verdict.new_leaders.end());
     encoded[v] = encode_verdict(verdict);
     decided[v] = 1;
+    ++verdict_leaders;
+    if (verdict.dissolve) {
+      ++verdict_dissolved;
+    } else if (!verdict.new_leaders.empty()) {
+      ++verdict_resized;
+    }
 
     // Apply to the leader itself.
     cl_.set_prev_size_estimate(v, cl_.size_estimate(v));
@@ -144,6 +156,12 @@ void Driver::collect_and_verdict(bool only_active, bool with_ids, const DecideFn
       }
     }
     if (!verdict.new_leaders.empty()) response_ids.emplace(v, std::move(verdict.new_leaders));
+  }
+
+  if (obs::EventLog* log = engine_.event_log()) {
+    // One summary event per invocation: a per-leader event would scale with
+    // n (every node starts out as a leader).
+    log->note_verdict(verdict_leaders, verdict_dissolved, verdict_resized);
   }
 
   // Round 2: followers pull the verdict and decode it.

@@ -42,6 +42,11 @@ struct DriverOptions {
   /// decomposition alone; Engine::set_delivery_buckets).
   /// Trajectory-invariant.
   std::uint32_t delivery_buckets = 0;
+  /// Observability handle attached to the engine before the first primitive
+  /// runs (Engine::set_telemetry; null = leave the engine's attachment
+  /// alone). The driver additionally posts one verdict-summary event per
+  /// collect_and_verdict invocation. Non-owning.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 class Driver {

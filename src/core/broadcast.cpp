@@ -26,6 +26,7 @@ BroadcastReport broadcast(sim::Network& net, const BroadcastOptions& options) {
   driver_opts.threads = options.threads;
   driver_opts.shard_size = options.shard_size;
   driver_opts.delivery_buckets = options.delivery_buckets;
+  driver_opts.telemetry = options.telemetry;
 
   switch (options.algorithm) {
     case Algorithm::kCluster1: {

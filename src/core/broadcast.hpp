@@ -19,6 +19,10 @@
 #include "sim/fault.hpp"
 #include "sim/network.hpp"
 
+namespace gossip::obs {
+struct Telemetry;
+}  // namespace gossip::obs
+
 namespace gossip::core {
 
 enum class Algorithm {
@@ -52,6 +56,11 @@ struct BroadcastOptions {
   /// caller invokes on_run_begin itself (faults and seeding are harness
   /// concerns; TrialRunner does both). Null = fault-free.
   sim::FaultModel* fault_model = nullptr;
+  /// Observability handle attached to the run's engine/driver (src/obs/;
+  /// plumbed to DriverOptions.telemetry). Non-owning. Null = detached. The
+  /// cluster algorithms keep their informed state internal, so records carry
+  /// no informed count (exported as null).
+  obs::Telemetry* telemetry = nullptr;
   Cluster1Options cluster1;
   Cluster2Options cluster2;
   Cluster3Options cluster3;

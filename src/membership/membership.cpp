@@ -9,6 +9,7 @@
 
 #include "common/assert.hpp"
 #include "common/math.hpp"
+#include "obs/recorder.hpp"
 #include "sim/engine.hpp"
 
 namespace gossip::membership {
@@ -129,6 +130,39 @@ core::BroadcastReport run_membership(sim::Network& net, std::uint32_t seed_node,
     });
   };
 
+  if (options.telemetry != nullptr) {
+    engine.set_telemetry(options.telemetry);
+    // Fires at the end of round `round` (before the loop increments it);
+    // ages are measured against round + 1, the reference the next round
+    // would observe - the same convention as the end-of-run estimate below,
+    // where `round` has already advanced past the last stamp. Captures
+    // locals by reference; cleared after the round loop.
+    options.telemetry->rounds.set_probe([&] {
+      const std::uint64_t ref = round + 1;
+      const auto fresh = [&](std::int32_t stamp) {
+        return stamp != kNever &&
+               ref <= static_cast<std::uint64_t>(stamp) + suspicion;
+      };
+      double est_sum = 0.0;
+      std::uint64_t alive_now = 0;
+      for (std::uint32_t v = 0; v < net.n(); ++v) {
+        if (!net.alive(v)) continue;
+        std::uint64_t est = 1;
+        for (std::uint32_t w = 0; w < net.n(); ++w) {
+          if (w != v && fresh(stamp_at(v, w))) ++est;
+        }
+        for (const auto& [raw, stamp] : ghosts[v]) {
+          if (fresh(stamp)) ++est;
+        }
+        est_sum += static_cast<double>(est);
+        ++alive_now;
+      }
+      obs::RoundRecorder::Probe p;
+      if (alive_now) p.estimate_n = est_sum / static_cast<double>(alive_now);
+      return p;
+    });
+  }
+
   auto hooks = sim::make_hooks(
       [&](std::uint32_t v) -> std::optional<sim::Contact> {
         return sim::Contact::exchange_random(make_digest(v));
@@ -138,6 +172,7 @@ core::BroadcastReport run_membership(sim::Network& net, std::uint32_t seed_node,
       [&](std::uint32_t v, const sim::Message& msg) { absorb(v, msg); });
 
   for (round = 0; round < horizon; ++round) engine.run_round(hooks);
+  if (options.telemetry != nullptr) options.telemetry->rounds.set_probe({});
 
   // Estimate accuracy at the horizon. estimate_n(v) = self + unsuspected
   // peers (ghosts included - the listener cannot tell). `round` now equals

@@ -45,6 +45,10 @@
 #include "sim/fault.hpp"
 #include "sim/network.hpp"
 
+namespace gossip::obs {
+struct Telemetry;
+}  // namespace gossip::obs
+
 namespace gossip::membership {
 
 /// Relative-error threshold under which a node's estimate counts as
@@ -78,6 +82,11 @@ struct MembershipOptions {
   std::uint32_t shard_size = 0;    ///< shard width when threads >= 1
   std::uint32_t delivery_buckets = 0;  ///< engine delivery decomposition
   sim::FaultModel* fault = nullptr;    ///< non-owning; on_run_begin is the caller's job
+  /// Observability handle attached to the run's engine (src/obs/); the
+  /// service installs a per-round probe exporting the mean network-size
+  /// estimate over alive nodes (`estimate_n` in time-series records; the
+  /// run has no informed set, so `informed` stays null). Non-owning.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// Runs the membership service for the configured horizon and reports the

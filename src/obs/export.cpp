@@ -1,0 +1,125 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <limits>
+
+#include "runner/json_writer.hpp"
+
+namespace gossip::obs {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
+
+void write_timeseries_jsonl(std::ostream& os,
+                            const std::vector<const Telemetry*>& trials,
+                            const ExportOptions& options) {
+  for (std::size_t t = 0; t < trials.size(); ++t) {
+    if (trials[t] == nullptr) continue;
+    for (const RoundRecord& rec : trials[t]->rounds.records()) {
+      runner::JsonWriter w(os, /*compact=*/true);
+      w.begin_object();
+      if (!options.label.empty()) w.kv("scenario", options.label);
+      w.kv("trial", static_cast<std::uint64_t>(t));
+      w.kv("round", rec.round);
+      if (rec.informed == kNoCount) {
+        w.key("informed").value(kNaN);  // JsonWriter prints non-finite as null
+      } else {
+        w.kv("informed", rec.informed);
+      }
+      w.kv("alive", rec.alive);
+      w.kv("joined", rec.joined);
+      w.kv("initiators", rec.initiators);
+      w.kv("pushes", rec.pushes);
+      w.kv("pull_requests", rec.pull_requests);
+      w.kv("pull_responses", rec.pull_responses);
+      w.kv("payload_messages", rec.payload_messages);
+      w.kv("connections", rec.connections);
+      w.kv("bits", rec.bits);
+      w.kv("max_involvement", rec.max_involvement);
+      w.kv("loss_drops", rec.loss_drops);
+      w.kv("corrupt_responses", rec.corrupt_responses);
+      w.kv("estimate_n", rec.estimate_n);  // NaN -> null
+      if (options.timing) {
+        w.kv("phase1_ns", rec.phase1_ns);
+        w.kv("phase2_ns", rec.phase2_ns);
+        w.kv("phase3_ns", rec.phase3_ns);
+      }
+      w.end_object();
+    }
+  }
+}
+
+void write_events_jsonl(std::ostream& os,
+                        const std::vector<const Telemetry*>& trials,
+                        const ExportOptions& options) {
+  for (std::size_t t = 0; t < trials.size(); ++t) {
+    if (trials[t] == nullptr) continue;
+    for (const Event& ev : trials[t]->events.events()) {
+      runner::JsonWriter w(os, /*compact=*/true);
+      w.begin_object();
+      if (!options.label.empty()) w.kv("scenario", options.label);
+      w.kv("trial", static_cast<std::uint64_t>(t));
+      w.kv("round", ev.round);
+      w.kv("kind", event_kind_name(ev.kind));
+      if (ev.kind == EventKind::kVerdict) {
+        w.kv("leaders", ev.node);
+        w.kv("dissolved", ev.a);
+        w.kv("resized", ev.b);
+      } else {
+        w.kv("node", ev.node);
+      }
+      w.end_object();
+    }
+  }
+}
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<const Telemetry*>& trials,
+                        const ExportOptions& options) {
+  (void)options;
+  runner::JsonWriter w(os, /*compact=*/true);
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  constexpr const char* kPhaseNames[3] = {"phase1", "phase2", "phase3"};
+  for (std::size_t t = 0; t < trials.size(); ++t) {
+    if (trials[t] == nullptr) continue;
+    char track[32];
+    std::snprintf(track, sizeof(track), "trial %zu", t);
+    w.begin_object();
+    w.kv("ph", "M");
+    w.kv("pid", std::uint64_t{0});
+    w.kv("tid", static_cast<std::uint64_t>(t));
+    w.kv("name", "thread_name");
+    w.key("args").begin_object().kv("name", track).end_object();
+    w.end_object();
+    // ts accumulates phase durations per track, so it is monotone
+    // non-decreasing within each tid by construction.
+    double ts_us = 0.0;
+    for (const RoundRecord& rec : trials[t]->rounds.records()) {
+      const std::uint64_t ns[3] = {rec.phase1_ns, rec.phase2_ns,
+                                   rec.phase3_ns};
+      for (int p = 0; p < 3; ++p) {
+        const double dur_us = static_cast<double>(ns[p]) * 1e-3;
+        w.begin_object();
+        w.kv("ph", "X");
+        w.kv("pid", std::uint64_t{0});
+        w.kv("tid", static_cast<std::uint64_t>(t));
+        w.kv("name", kPhaseNames[p]);
+        w.kv("cat", "round");
+        w.kv("ts", ts_us);
+        w.kv("dur", dur_us);
+        w.key("args").begin_object().kv("round", rec.round).end_object();
+        w.end_object();
+        ts_us += dur_us;
+      }
+    }
+  }
+  w.end_array();
+  w.kv("displayTimeUnit", "ms");
+  w.end_object();
+}
+
+}  // namespace gossip::obs

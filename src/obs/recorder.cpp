@@ -1,0 +1,121 @@
+#include "obs/recorder.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace gossip::obs {
+
+void RoundRecorder::on_round_end(std::uint64_t round,
+                                 const sim::RoundStats& stats,
+                                 std::uint64_t joined, std::uint64_t alive,
+                                 std::uint64_t loss_drops,
+                                 std::uint64_t corrupt_responses,
+                                 std::uint64_t phase1_ns,
+                                 std::uint64_t phase2_ns,
+                                 std::uint64_t phase3_ns) {
+  RoundRecord rec;
+  rec.round = round;
+  rec.alive = alive;
+  rec.joined = joined;
+  rec.pushes = stats.pushes;
+  rec.pull_requests = stats.pull_requests;
+  rec.pull_responses = stats.pull_responses;
+  rec.payload_messages = stats.payload_messages;
+  rec.connections = stats.connections;
+  rec.bits = stats.bits;
+  rec.initiators = stats.initiators;
+  rec.max_involvement = stats.max_involvement;
+  rec.loss_drops = loss_drops;
+  rec.corrupt_responses = corrupt_responses;
+  rec.phase1_ns = phase1_ns;
+  rec.phase2_ns = phase2_ns;
+  rec.phase3_ns = phase3_ns;
+  if (probe_) {
+    const Probe p = probe_();
+    rec.informed = p.informed;
+    rec.estimate_n = p.estimate_n;
+  }
+  records_.push_back(rec);
+  phase_times_.phase1_seconds += static_cast<double>(phase1_ns) * 1e-9;
+  phase_times_.phase2_seconds += static_cast<double>(phase2_ns) * 1e-9;
+  phase_times_.phase3_seconds += static_cast<double>(phase3_ns) * 1e-9;
+  if (progress_ != nullptr) {
+    progress_->on_round_end(trial_, round, rec.informed, alive);
+  }
+}
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kJoin:
+      return "join";
+    case EventKind::kCrash:
+      return "crash";
+    case EventKind::kLossDrop:
+      return "loss_drop";
+    case EventKind::kCorruptResponse:
+      return "corrupt_response";
+    case EventKind::kVerdict:
+      return "verdict";
+  }
+  return "unknown";
+}
+
+void EventLog::begin_round(std::int64_t round) {
+  round_ = round;
+  loss_count_ = 0;
+  corrupt_count_ = 0;
+  loss_sample_.clear();
+  corrupt_sample_.clear();
+}
+
+EventLog::RoundCounts EventLog::end_round() {
+  // Emit the survivors sorted by node index: the bottom-k sets are
+  // execution-order-free, and sorting removes the last trace of arrival
+  // order from the log itself.
+  const auto flush = [this](TopKSample& sample, EventKind kind) {
+    std::sort(sample.entries.begin(), sample.entries.begin() + sample.count,
+              [](const TopKSample::Entry& a, const TopKSample::Entry& b) {
+                return a.node < b.node;
+              });
+    for (std::size_t i = 0; i < sample.count; ++i) {
+      events_.push_back(Event{round_, kind, sample.entries[i].node, 0, 0});
+    }
+    sample.clear();
+  };
+  flush(loss_sample_, EventKind::kLossDrop);
+  flush(corrupt_sample_, EventKind::kCorruptResponse);
+  const RoundCounts counts{loss_count_, corrupt_count_};
+  loss_count_ = 0;
+  corrupt_count_ = 0;
+  return counts;
+}
+
+void ProgressMeter::on_round_end(unsigned trial, std::uint64_t round,
+                                 std::uint64_t informed,
+                                 std::uint64_t alive) {
+  using Clock = std::chrono::steady_clock;
+  const std::int64_t now_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          Clock::now().time_since_epoch())
+          .count();
+  char informed_buf[24];
+  if (informed == kNoCount) {
+    std::snprintf(informed_buf, sizeof(informed_buf), "-");
+  } else {
+    std::snprintf(informed_buf, sizeof(informed_buf), "%llu",
+                  static_cast<unsigned long long>(informed));
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (now_ms - last_print_ms_ < static_cast<std::int64_t>(interval_ms_)) {
+      return;
+    }
+    last_print_ms_ = now_ms;
+  }
+  std::fprintf(stderr, "[progress] trial %u/%u round %llu informed %s/%llu\n",
+               trial + 1, trials_, static_cast<unsigned long long>(round),
+               informed_buf, static_cast<unsigned long long>(alive));
+}
+
+}  // namespace gossip::obs

@@ -19,7 +19,12 @@ namespace gossip::runner {
 
 class JsonWriter {
  public:
-  explicit JsonWriter(std::ostream& os) : os_(os) {}
+  /// `compact` drops all pretty-printing whitespace (no newlines or indent
+  /// inside containers). A top-level value is still newline-terminated, so
+  /// one compact JsonWriter per record yields valid JSONL - that is how the
+  /// obs/ exporters emit their time-series and event streams.
+  explicit JsonWriter(std::ostream& os, bool compact = false)
+      : os_(os), compact_(compact) {}
 
   JsonWriter& begin_object() { return open('{'); }
   JsonWriter& end_object() { return close('}'); }
@@ -30,7 +35,7 @@ class JsonWriter {
   JsonWriter& key(std::string_view name) {
     separate();
     quote(name);
-    os_ << ": ";
+    os_ << (compact_ ? ":" : ": ");
     pending_key_ = true;
     return *this;
   }
@@ -86,7 +91,7 @@ class JsonWriter {
   JsonWriter& close(char c) {
     const bool empty = !had_member_.back();
     had_member_.pop_back();
-    if (!empty) {
+    if (!empty && !compact_) {
       os_ << '\n';
       indent();
     }
@@ -103,8 +108,9 @@ class JsonWriter {
     }
     if (had_member_.empty()) return;  // top-level value
     if (had_member_.back()) os_ << ',';
-    os_ << '\n';
     had_member_.back() = true;
+    if (compact_) return;
+    os_ << '\n';
     indent();
   }
 
@@ -134,6 +140,7 @@ class JsonWriter {
   }
 
   std::ostream& os_;
+  bool compact_ = false;
   std::vector<bool> had_member_;  ///< per open container: wrote a member yet?
   bool pending_key_ = false;
 };

@@ -15,7 +15,7 @@ namespace {
 
 core::BroadcastReport run_core(sim::Network& net, std::uint32_t source,
                                const ScenarioSpec& spec, sim::FaultModel* fault,
-                               core::Algorithm which) {
+                               obs::Telemetry* telemetry, core::Algorithm which) {
   core::BroadcastOptions o;
   o.algorithm = which;
   o.source = source;
@@ -24,16 +24,19 @@ core::BroadcastReport run_core(sim::Network& net, std::uint32_t source,
   o.shard_size = spec.shard_size;
   o.delivery_buckets = spec.delivery_buckets;
   o.fault_model = fault;
+  o.telemetry = telemetry;
   return core::broadcast(net, o);
 }
 
-baselines::UniformOptions uniform_opts(const ScenarioSpec& spec, sim::FaultModel* fault) {
+baselines::UniformOptions uniform_opts(const ScenarioSpec& spec, sim::FaultModel* fault,
+                                       obs::Telemetry* telemetry) {
   baselines::UniformOptions o;
   o.max_rounds = spec.max_rounds;
   o.threads = spec.engine_threads;
   o.shard_size = spec.shard_size;
   o.delivery_buckets = spec.delivery_buckets;
   o.fault = fault;
+  o.telemetry = telemetry;
   return o;
 }
 
@@ -44,31 +47,35 @@ const std::vector<AlgorithmEntry>& algorithms() {
       {"cluster1", "Cluster1",
        "Algorithm 1: round-optimal O(log log n) broadcast",
        [](sim::Network& net, std::uint32_t source, const ScenarioSpec& spec,
-          sim::FaultModel* fault) {
-         return run_core(net, source, spec, fault, core::Algorithm::kCluster1);
+          sim::FaultModel* fault, obs::Telemetry* telemetry) {
+         return run_core(net, source, spec, fault, telemetry,
+                         core::Algorithm::kCluster1);
        }},
       {"cluster2", "Cluster2",
        "Algorithm 2: round-, message- and bit-optimal broadcast",
        [](sim::Network& net, std::uint32_t source, const ScenarioSpec& spec,
-          sim::FaultModel* fault) {
-         return run_core(net, source, spec, fault, core::Algorithm::kCluster2);
+          sim::FaultModel* fault, obs::Telemetry* telemetry) {
+         return run_core(net, source, spec, fault, telemetry,
+                         core::Algorithm::kCluster2);
        }},
       {"cluster3_push_pull", "C3+CPP",
        "Algorithms 4+3: Delta-bounded broadcast (uses the spec's delta)",
        [](sim::Network& net, std::uint32_t source, const ScenarioSpec& spec,
-          sim::FaultModel* fault) {
-         return run_core(net, source, spec, fault, core::Algorithm::kCluster3PushPull);
+          sim::FaultModel* fault, obs::Telemetry* telemetry) {
+         return run_core(net, source, spec, fault, telemetry,
+                         core::Algorithm::kCluster3PushPull);
        }},
       {"avin_elsasser", "AvinElsasser",
        "DISC'13 baseline: O(sqrt(log n)) rounds via geometric merge phases",
        [](sim::Network& net, std::uint32_t source, const ScenarioSpec& spec,
-          sim::FaultModel* fault) {
+          sim::FaultModel* fault, obs::Telemetry* telemetry) {
          sim::Engine engine(net);
          engine.set_fault_model(fault);
          cluster::DriverOptions driver_opts;
          driver_opts.threads = spec.engine_threads;
          driver_opts.shard_size = spec.shard_size;
          driver_opts.delivery_buckets = spec.delivery_buckets;
+         driver_opts.telemetry = telemetry;
          baselines::AvinElsasser algo(engine, baselines::AvinElsasserOptions(),
                                       driver_opts);
          return algo.run(source);
@@ -77,40 +84,45 @@ const std::vector<AlgorithmEntry>& algorithms() {
        "Karp et al. min-counter push-pull: O(log n) rounds, O(log log n) "
        "transmissions per node",
        [](sim::Network& net, std::uint32_t source, const ScenarioSpec& spec,
-          sim::FaultModel* fault) {
+          sim::FaultModel* fault, obs::Telemetry* telemetry) {
          baselines::RrsOptions o;
          o.max_rounds = spec.max_rounds;
          o.fault = fault;
          o.delivery_buckets = spec.delivery_buckets;
+         o.telemetry = telemetry;
          return baselines::run_rrs(net, source, o);
        }},
       {"push_pull", "PUSH-PULL",
        "uniform baseline: informed push, uninformed pull",
        [](sim::Network& net, std::uint32_t source, const ScenarioSpec& spec,
-          sim::FaultModel* fault) {
-         return baselines::run_push_pull(net, source, uniform_opts(spec, fault));
+          sim::FaultModel* fault, obs::Telemetry* telemetry) {
+         return baselines::run_push_pull(net, source,
+                                         uniform_opts(spec, fault, telemetry));
        }},
       {"push", "PUSH", "uniform baseline: every informed node pushes",
        [](sim::Network& net, std::uint32_t source, const ScenarioSpec& spec,
-          sim::FaultModel* fault) {
-         return baselines::run_push(net, source, uniform_opts(spec, fault));
+          sim::FaultModel* fault, obs::Telemetry* telemetry) {
+         return baselines::run_push(net, source,
+                                    uniform_opts(spec, fault, telemetry));
        }},
       {"pull", "PULL", "uniform baseline: every uninformed node pulls",
        [](sim::Network& net, std::uint32_t source, const ScenarioSpec& spec,
-          sim::FaultModel* fault) {
-         return baselines::run_pull(net, source, uniform_opts(spec, fault));
+          sim::FaultModel* fault, obs::Telemetry* telemetry) {
+         return baselines::run_pull(net, source,
+                                    uniform_opts(spec, fault, telemetry));
        }},
       {"membership", "Membership",
        "heartbeat/suspicion service over exchange gossip; reports estimate_n "
        "accuracy (see membership/membership.hpp)",
        [](sim::Network& net, std::uint32_t source, const ScenarioSpec& spec,
-          sim::FaultModel* fault) {
+          sim::FaultModel* fault, obs::Telemetry* telemetry) {
          membership::MembershipOptions o;
          o.rounds = spec.max_rounds;  // 0 = auto horizon
          o.threads = spec.engine_threads;
          o.shard_size = spec.shard_size;
          o.delivery_buckets = spec.delivery_buckets;
          o.fault = fault;
+         o.telemetry = telemetry;
          return membership::run_membership(net, source, o);
        }},
   };

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/report.hpp"
+#include "obs/recorder.hpp"
 #include "runner/scenario.hpp"
 #include "sim/fault.hpp"
 #include "sim/network.hpp"
@@ -27,9 +28,12 @@ struct AlgorithmEntry {
   const char* display;  ///< table/report label (e.g. "Cluster2")
   const char* summary;  ///< one-line description for --list
   /// Runs the algorithm. `fault` (nullable, non-owning, on_run_begin already
-  /// invoked by the caller) is installed on the run's engine.
+  /// invoked by the caller) is installed on the run's engine. `telemetry`
+  /// (nullable, non-owning) attaches the observability layer; entries whose
+  /// algorithm exposes an informed count also install a round probe.
   std::function<core::BroadcastReport(sim::Network&, std::uint32_t source,
-                                      const ScenarioSpec&, sim::FaultModel* fault)>
+                                      const ScenarioSpec&, sim::FaultModel* fault,
+                                      obs::Telemetry* telemetry)>
       run;
 };
 

@@ -220,6 +220,10 @@ std::uint32_t ScenarioSpec::fault_count() const noexcept {
       std::llround(fault_fraction * static_cast<double>(n)));
 }
 
+bool ScenarioSpec::wants_telemetry() const noexcept {
+  return !timeseries.empty() || !trace.empty() || !events.empty();
+}
+
 bool ScenarioSpec::has_churn() const noexcept {
   return join_rate > 0.0 || crash_rate > 0.0 || !churn_schedule.empty();
 }
@@ -310,6 +314,20 @@ void ScenarioSpec::apply(std::string_view key, std::string_view value) {
     }
   } else if (key == "byzantine_fraction") {
     byzantine_fraction = parse_fraction(key, value);
+  } else if (key == "timeseries") {
+    timeseries = value == "none" ? std::string() : std::string(value);
+  } else if (key == "trace") {
+    trace = value == "none" ? std::string() : std::string(value);
+  } else if (key == "events") {
+    events = value == "none" ? std::string() : std::string(value);
+  } else if (key == "progress") {
+    if (value == "true" || value == "1") {
+      progress = true;
+    } else if (value == "false" || value == "0") {
+      progress = false;
+    } else {
+      bad_value(key, value, "true | false | 1 | 0");
+    }
   } else {
     std::ostringstream os;
     os << "unknown scenario key: '" << key << "'";
@@ -498,6 +516,7 @@ const std::vector<std::string>& ScenarioSpec::keys() {
       "crash_round", "loss_prob", "fault_model",
       "join_rate",  "crash_rate", "churn_schedule", "loss_schedule",
       "byzantine_fraction",
+      "timeseries", "trace",      "events",         "progress",
   };
   return kKeys;
 }

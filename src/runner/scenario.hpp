@@ -124,6 +124,18 @@ struct ScenarioSpec {
   std::string churn_schedule;      ///< "round:joins:crashes,..." script
   std::string loss_schedule;       ///< burst:... | ramp:... | periodic:...
   double byzantine_fraction = 0.0; ///< poisoned pull responders, F/n
+  // Observability keys (src/obs/): output paths arm per-trial telemetry
+  // collection; gossip_run writes the files after the run. Like `threads`,
+  // these describe HOW a run is observed, not WHAT it computes - they are
+  // not part of the experiment identity and never appear in the JSON
+  // report. Empty string = off.
+  std::string timeseries;          ///< per-round JSONL time series path
+  std::string trace;               ///< Chrome trace_event JSON path
+  std::string events;              ///< structured event JSONL path
+  bool progress = false;           ///< rate-limited stderr heartbeat
+
+  /// Any telemetry output configured (timeseries / trace / events)?
+  [[nodiscard]] bool wants_telemetry() const noexcept;
 
   /// Number of failed nodes per trial (round(fault_fraction * n)).
   [[nodiscard]] std::uint32_t fault_count() const noexcept;

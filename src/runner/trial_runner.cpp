@@ -9,10 +9,18 @@
 
 namespace gossip::runner {
 
+std::vector<const obs::Telemetry*> ScenarioResult::telemetry_views() const {
+  std::vector<const obs::Telemetry*> views;
+  views.reserve(telemetry.size());
+  for (const auto& t : telemetry) views.push_back(t.get());
+  return views;
+}
+
 TrialRunner::TrialRunner(unsigned workers) : pool_(workers == 0 ? 1 : workers) {}
 
 core::BroadcastReport TrialRunner::run_trial(const ScenarioSpec& spec,
-                                             unsigned trial) {
+                                             unsigned trial,
+                                             obs::Telemetry* telemetry) {
   const AlgorithmEntry& algo = require_algorithm(spec.algorithm);
   Rng trial_rng = Rng(spec.seed).fork(trial);
   const std::uint64_t network_seed = trial_rng.next_u64();
@@ -26,6 +34,12 @@ core::BroadcastReport TrialRunner::run_trial(const ScenarioSpec& spec,
   // specs build byte-identical networks).
   net_opts.max_nodes = spec.max_nodes();
   sim::Network net(net_opts);
+
+  // Event observer BEFORE the fault model runs: a StaticCrash fails its set
+  // below, and those crashes must land at obs::kPreRunRound (the EventLog's
+  // initial round). The algorithm's Engine::set_telemetry re-installs the
+  // same observer later, which is idempotent.
+  if (telemetry != nullptr) net.set_observer(&telemetry->events);
 
   // Fault setup before any algorithm randomness (obliviousness): a
   // StaticCrash fails its set here; a ScheduledCrash only commits to its
@@ -41,7 +55,7 @@ core::BroadcastReport TrialRunner::run_trial(const ScenarioSpec& spec,
   auto source = static_cast<std::uint32_t>(trial_rng.uniform_below(spec.n));
   while (!net.alive(source)) source = (source + 1) % spec.n;
 
-  return algo.run(net, source, spec, fault.get());
+  return algo.run(net, source, spec, fault.get(), telemetry);
 }
 
 ScenarioResult TrialRunner::run(const ScenarioSpec& spec) {
@@ -51,9 +65,33 @@ ScenarioResult TrialRunner::run(const ScenarioSpec& spec) {
   ScenarioResult result;
   result.spec = spec;
   result.reports.resize(spec.trials);
+
+  // Telemetry is collected whenever an output path is configured, and also
+  // under --progress alone (the heartbeat rides the recorder's round
+  // callback). One recorder per trial, allocated up front so the parallel
+  // loop only fills pre-sized slots.
+  const bool collect = spec.wants_telemetry() || spec.progress;
+  std::unique_ptr<obs::ProgressMeter> meter;
+  if (spec.progress) meter = std::make_unique<obs::ProgressMeter>(spec.trials);
+  if (collect) {
+    result.telemetry.resize(spec.trials);
+    for (unsigned t = 0; t < spec.trials; ++t) {
+      auto telemetry = std::make_shared<obs::Telemetry>();
+      telemetry->rounds.reserve(512);
+      if (meter) telemetry->rounds.set_progress(meter.get(), t);
+      result.telemetry[t] = std::move(telemetry);
+    }
+  }
+
   pool_.parallel_for(spec.trials, [&](std::size_t t) {
-    result.reports[t] = run_trial(spec, static_cast<unsigned>(t));
+    result.reports[t] = run_trial(
+        spec, static_cast<unsigned>(t),
+        collect ? result.telemetry[t].get() : nullptr);
   });
+  // The meter dies with this frame; recorders outlive it in the result.
+  if (meter) {
+    for (auto& t : result.telemetry) t->rounds.set_progress(nullptr, 0);
+  }
   // Trial-order merge: the aggregate never sees completion order, so it is
   // bit-identical for every worker count.
   for (const core::BroadcastReport& r : result.reports) result.aggregate.add(r);

@@ -23,21 +23,34 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "analysis/experiment.hpp"
 #include "core/report.hpp"
+#include "obs/recorder.hpp"
 #include "runner/scenario.hpp"
 #include "sim/parallel/thread_pool.hpp"
 
 namespace gossip::runner {
 
 /// Everything a scenario execution produces: the per-trial reports (in trial
-/// order) and their aggregate.
+/// order) and their aggregate. When the spec configures telemetry output
+/// (spec.wants_telemetry()), `telemetry` holds one recorder per trial, in
+/// trial order - each filled by exactly one trial, so collection inherits
+/// the worker-count invariance of the reports (wall-clock phase_ns fields
+/// excepted; exporters can strip them, see obs/export.hpp).
 struct ScenarioResult {
   ScenarioSpec spec;
   std::vector<core::BroadcastReport> reports;  ///< indexed by trial
   analysis::ReportAggregate aggregate;         ///< merged in trial order
+  /// Per-trial telemetry (empty unless collection was armed). shared_ptr so
+  /// results are copyable; each trial's handle is exclusively owned here.
+  std::vector<std::shared_ptr<obs::Telemetry>> telemetry;
+
+  /// Borrowed per-trial views in trial order, the shape the obs exporters
+  /// take. Empty when telemetry was not collected.
+  [[nodiscard]] std::vector<const obs::Telemetry*> telemetry_views() const;
 };
 
 class TrialRunner {
@@ -56,9 +69,13 @@ class TrialRunner {
   [[nodiscard]] ScenarioResult run(const ScenarioSpec& spec);
 
   /// Runs ONE trial of `spec` serially. Exposed so tests can pin the
-  /// trial <-> report mapping independently of the pool.
+  /// trial <-> report mapping independently of the pool. `telemetry`
+  /// (nullable) is attached for the trial's whole lifetime - its event
+  /// observer is installed on the network BEFORE the fault model's
+  /// on_run_begin, so pre-run crashes land at obs::kPreRunRound.
   [[nodiscard]] static core::BroadcastReport run_trial(const ScenarioSpec& spec,
-                                                       unsigned trial);
+                                                       unsigned trial,
+                                                       obs::Telemetry* telemetry = nullptr);
 
  private:
   sim::parallel::ThreadPool pool_;

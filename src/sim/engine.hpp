@@ -126,6 +126,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "obs/recorder.hpp"
 #include "sim/fault.hpp"
 #include "sim/message.hpp"
 #include "sim/metrics.hpp"
@@ -311,6 +312,7 @@ inline constexpr std::uint32_t kUnresolvedTarget = 0xFFFFFFFFu;
 ///   void on_contact(u32 a, u32 b)                endpoints for knowledge/Delta
 ///   void enqueue_push(u32 to, Message&&)
 ///   void enqueue_pull(u32 from, u32 responder)
+///   void record_loss(u32 initiator)              telemetry; drop branch only
 /// `want_payloads` skips queueing when nothing observes deliveries (no
 /// on_push hook, no knowledge tracking) - queueing would be dead work.
 /// `loss` is the round's armed LossChannel, or null for a lossless round
@@ -350,6 +352,7 @@ void run_phase1(Network& net, Hooks& hooks, Sink& sink,
     // handshake) but the payload in every direction is dropped - the same
     // observable consequences as contacting a failed node.
     const bool lost = loss != nullptr && loss->drop(node);
+    if (lost) sink.record_loss(node);
     if (contact->kind == ContactKind::kPush || contact->kind == ContactKind::kExchange) {
       // Meter before the payload is moved into the pending-push queue.
       const std::uint64_t bits = contact->payload.bits(net.costs());
@@ -441,15 +444,38 @@ class Engine {
   /// Wall-clock seconds accumulated per engine phase across run_round calls
   /// while set_phase_timing(true) is active (bench_engine_throughput's
   /// breakdown). Off by default: the hot loop then pays one predicted
-  /// branch per phase per round and takes no clock reads.
-  struct PhaseTimes {
-    double phase1_seconds = 0;  ///< initiate + draws + metering + queueing
-    double phase2_seconds = 0;  ///< push delivery
-    double phase3_seconds = 0;  ///< pull evaluate + deliver
-  };
+  /// branch per phase per round and takes no clock reads. The struct is the
+  /// shared obs::PhaseTimes, so the bench ReferenceEngine's recorder-backed
+  /// accumulation carries identical reset/accumulate semantics.
+  using PhaseTimes = obs::PhaseTimes;
   void set_phase_timing(bool on) noexcept { time_phases_ = on; }
   [[nodiscard]] const PhaseTimes& phase_times() const noexcept { return phase_times_; }
-  void reset_phase_times() noexcept { phase_times_ = PhaseTimes{}; }
+  /// Zeroes the accumulated phase clocks (recorded telemetry rounds, if a
+  /// recorder is attached, are kept; its own accumulators reset in step).
+  void reset_phase_times() noexcept {
+    phase_times_ = PhaseTimes{};
+    if (telemetry_ != nullptr) telemetry_->rounds.reset_phase_times();
+  }
+
+  /// Attaches (or detaches, with nullptr) the observability handle: every
+  /// subsequent round appends one obs::RoundRecord, the event log receives
+  /// the fault timeline (joins/crashes via the network observer this call
+  /// installs, sampled loss drops, byzantine corruptions), and phase clocks
+  /// are read regardless of set_phase_timing. Detached costs one pointer
+  /// null-check per round - no virtual call sits in any phase loop. While
+  /// attached, a sharded engine keeps its delivery phases serial (like
+  /// knowledge tracking does): corruption events are noted inside pass A.
+  /// Non-owning; the handle must outlive every subsequent run_round.
+  void set_telemetry(obs::Telemetry* telemetry) noexcept {
+    telemetry_ = telemetry;
+    net_.set_observer(telemetry != nullptr ? &telemetry->events : nullptr);
+  }
+  [[nodiscard]] obs::Telemetry* telemetry() const noexcept { return telemetry_; }
+  /// Event log of the attached handle (null when detached); the cluster
+  /// Driver posts its verdict summaries here.
+  [[nodiscard]] obs::EventLog* event_log() const noexcept {
+    return telemetry_ != nullptr ? &telemetry_->events : nullptr;
+  }
 
   /// Installs (or clears, with nullptr) a fault model consulted on the round
   /// timeline - see the Fault timeline notes above. Non-owning: the model
@@ -545,6 +571,9 @@ class Engine {
     }
     void enqueue_pull(std::uint32_t from, std::uint32_t responder) {
       e.pulls_[e.pull_count_++] = PendingPull{from, responder};
+    }
+    void record_loss(std::uint32_t initiator) {
+      if (e.telemetry_ != nullptr) e.telemetry_->events.note_loss_drop(initiator);
     }
   };
 
@@ -651,6 +680,11 @@ class Engine {
     }
     for (const parallel::ShardBuffer& sb : shards) {
       metrics_.merge_round_delta(sb.stats);
+      if (telemetry_ != nullptr) {
+        // Bottom-k merge is order-insensitive, so folding shards in index
+        // order matches every other shard/thread decomposition.
+        telemetry_->events.merge_loss(sb.loss_drops, sb.drop_sample);
+      }
       if (want_endpoints) {
         for (const auto& [a, b] : sb.endpoints) {
           if (bucket_endpoints) {
@@ -733,6 +767,8 @@ class Engine {
   // Fault timeline (null = fault-free; see sim/fault.hpp).
   FaultModel* fault_ = nullptr;          ///< non-owning
   std::uint64_t fault_clock_ = 0;        ///< engine-lifetime round index
+  // Observability handle (null = detached; see set_telemetry).
+  obs::Telemetry* telemetry_ = nullptr;  ///< non-owning
   // Network size the engine state last absorbed (see sync_network_growth).
   std::uint32_t synced_n_ = 0;
 };
@@ -756,6 +792,11 @@ void Engine::run_round_impl(Hooks&& hooks, std::span<const std::uint32_t> initia
   // the node act from this round on, and the no_failures probe below stays
   // correct when the alive set shrinks.
   const std::uint64_t fault_round = fault_clock_++;
+  // Open the telemetry round BEFORE the fault model runs: this round's
+  // joins/crashes must stamp with this round index, not the previous one.
+  if (telemetry_ != nullptr) {
+    telemetry_->events.begin_round(static_cast<std::int64_t>(fault_round));
+  }
   LossChannel loss_channel;
   if (fault_ != nullptr) {
     fault_->on_round_begin(fault_round, net_);
@@ -774,7 +815,9 @@ void Engine::run_round_impl(Hooks&& hooks, std::span<const std::uint32_t> initia
   if (use_all_nodes) initiators = std::span<const std::uint32_t>(all_nodes_);
 
   using PhaseClock = std::chrono::steady_clock;
-  const bool timing = time_phases_;
+  // An attached recorder always captures per-phase clocks; phase_times_
+  // accumulates only under the explicit set_phase_timing knob.
+  const bool timing = time_phases_ || telemetry_ != nullptr;
   PhaseClock::time_point t_begin, t_phase1, t_phase2;
   if (timing) t_begin = PhaseClock::now();
 
@@ -818,8 +861,11 @@ void Engine::run_round_impl(Hooks&& hooks, std::span<const std::uint32_t> initia
   // receiver space is genuinely partitioned, and nothing thread-unsafe is
   // shared: knowledge learning funnels every row through one spill arena,
   // so tracked rounds keep the serial (still bucketed) sweep.
-  const bool pool_delivery =
-      parallel_delivery_ && sharded && !track && !delivery_map_.flat();
+  // Telemetry keeps delivery serial too: pass A notes byzantine corruptions
+  // into the (unsynchronized) event log, the same way knowledge tracking
+  // funnels rows through one arena.
+  const bool pool_delivery = parallel_delivery_ && sharded && !track &&
+                             !delivery_map_.flat() && telemetry_ == nullptr;
 
   // ---- Phase 2: deliver pushes, bucket-major. ----------------------------
   // The byte stream(s) are decoded back into a (stack-local) Message per
@@ -919,6 +965,9 @@ void Engine::run_round_impl(Hooks&& hooks, std::span<const std::uint32_t> initia
               // the same whichever requester triggers the evaluation, so the
               // single-evaluation cache and every executor agree.
               response = byz->corrupt_response(fault_round, responder, net_, response);
+              // Once per (responder, round) - evaluation is cached - and the
+              // responder set is bucket-invariant, so so is the sample.
+              if (telemetry_ != nullptr) telemetry_->events.note_corruption(responder);
             }
             const std::uint64_t bits = response.bits(net_.costs());
             const bool has_payload = !response.is_empty();
@@ -1019,14 +1068,31 @@ void Engine::run_round_impl(Hooks&& hooks, std::span<const std::uint32_t> initia
     }
   }
 
+  std::uint64_t p1_ns = 0, p2_ns = 0, p3_ns = 0;
   if (timing) {
     const PhaseClock::time_point t_end = PhaseClock::now();
-    phase_times_.phase1_seconds +=
-        std::chrono::duration<double>(t_phase1 - t_begin).count();
-    phase_times_.phase2_seconds +=
-        std::chrono::duration<double>(t_phase2 - t_phase1).count();
-    phase_times_.phase3_seconds +=
-        std::chrono::duration<double>(t_end - t_phase2).count();
+    const auto ns = [](PhaseClock::duration d) {
+      return static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+    };
+    p1_ns = ns(t_phase1 - t_begin);
+    p2_ns = ns(t_phase2 - t_phase1);
+    p3_ns = ns(t_end - t_phase2);
+    if (time_phases_) {
+      phase_times_.phase1_seconds += static_cast<double>(p1_ns) * 1e-9;
+      phase_times_.phase2_seconds += static_cast<double>(p2_ns) * 1e-9;
+      phase_times_.phase3_seconds += static_cast<double>(p3_ns) * 1e-9;
+    }
+  }
+
+  if (telemetry_ != nullptr) {
+    // Capture BEFORE metrics_.end_round() archives and resets the
+    // in-progress RoundStats; the probe (if any) still sees live algorithm
+    // state because the caller's run_round has not returned yet.
+    const obs::EventLog::RoundCounts ec = telemetry_->events.end_round();
+    telemetry_->rounds.on_round_end(fault_round, metrics_.current_round(),
+                                    net_.n(), net_.alive_count(), ec.loss_drops,
+                                    ec.corrupt_responses, p1_ns, p2_ns, p3_ns);
   }
 
   metrics_.end_round();

@@ -61,6 +61,7 @@ std::uint32_t Network::join(NodeId id) {
   ++alive_count_;
   index_by_id_.insert(id.raw(), index);
   GOSSIP_CHECK(alive_count_ + failed_count_ == n_);
+  if (observer_ != nullptr) observer_->on_join(index);
   return index;
 }
 
@@ -72,6 +73,7 @@ void Network::fail(std::uint32_t index) {
   --alive_count_;
   ++failed_count_;
   GOSSIP_CHECK(alive_count_ + failed_count_ == n_);
+  if (observer_ != nullptr) observer_->on_fail(index);
 }
 
 Rng Network::node_rng(std::uint32_t index, std::uint64_t salt) const {

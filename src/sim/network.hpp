@@ -40,6 +40,17 @@ struct NetworkOptions {
   std::uint32_t max_nodes = 0;
 };
 
+/// Membership-change observer (obs::EventLog implements this). Notified
+/// from join()/fail(), which are cold paths - per-round fault-model
+/// activity, never per-contact - so a virtual call here costs nothing the
+/// engine's phase loops can see.
+class NetworkObserver {
+ public:
+  virtual ~NetworkObserver() = default;
+  virtual void on_join(std::uint32_t index) = 0;
+  virtual void on_fail(std::uint32_t index) = 0;
+};
+
 class Network {
  public:
   explicit Network(const NetworkOptions& options);
@@ -109,6 +120,12 @@ class Network {
   /// (seed, index, salt).
   [[nodiscard]] Rng node_rng(std::uint32_t index, std::uint64_t salt) const;
 
+  // --- observability ------------------------------------------------------
+  /// Installs (or clears, with nullptr) the membership observer. Non-owning;
+  /// the observer must outlive the network or be detached first.
+  void set_observer(NetworkObserver* observer) noexcept { observer_ = observer; }
+  [[nodiscard]] NetworkObserver* observer() const noexcept { return observer_; }
+
   // --- knowledge ----------------------------------------------------------
   /// Null when tracking is disabled.
   [[nodiscard]] KnowledgeTracker* knowledge() noexcept { return knowledge_.get(); }
@@ -127,6 +144,7 @@ class Network {
   std::vector<std::uint8_t> alive_;
   std::uint32_t alive_count_;
   std::uint32_t failed_count_ = 0;
+  NetworkObserver* observer_ = nullptr;
   std::unique_ptr<KnowledgeTracker> knowledge_;
 };
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "obs/sample.hpp"
 #include "sim/metrics.hpp"
 #include "sim/parallel/thread_pool.hpp"
 #include "sim/push_queue.hpp"
@@ -57,6 +58,14 @@ struct ShardBuffer {
   std::size_t draw_len = 0;
   std::size_t draw_chunk = 0;
 
+  /// Telemetry: per-shard loss-drop total plus the deterministic bottom-k
+  /// candidate sample (obs/sample.hpp), folded in shard order at merge
+  /// time. Keyed by the engine's sharded round key, so the sample set is a
+  /// pure function of the trajectory, not of threads or buckets.
+  std::uint64_t loss_drops = 0;
+  obs::TopKSample drop_sample;
+  std::uint64_t obs_round = 0;
+
   /// Re-arms the shard for one round: clears the buffers (capacity kept),
   /// adopts the engine's current delivery-bucket decomposition and re-keys
   /// the draw stream from the base generator.
@@ -71,6 +80,9 @@ struct ShardBuffer {
     draw_pos = 0;
     draw_len = 0;
     draw_chunk = std::min(kShardDrawBatch, initiator_count);
+    loss_drops = 0;
+    drop_sample.clear();
+    obs_round = round;
   }
 
   /// Next uniform draw from [0, bound), bulk-refilled from the shard stream.
@@ -115,6 +127,11 @@ struct ShardSink {
   }
   void enqueue_pull(std::uint32_t from, std::uint32_t responder) {
     sb.pulls.push_back(PendingPull{from, responder});
+  }
+  void record_loss(std::uint32_t initiator) {
+    ++sb.loss_drops;
+    sb.drop_sample.offer(obs::event_priority(sb.obs_round, initiator),
+                         initiator);
   }
 };
 

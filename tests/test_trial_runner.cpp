@@ -133,7 +133,7 @@ TEST(TrialRunner, LegacyFaultSpecReproducesTheOneShotFailSetRecipe) {
     }
     auto source = static_cast<std::uint32_t>(trial_rng.uniform_below(spec.n));
     while (!net.alive(source)) source = (source + 1) % spec.n;
-    const core::BroadcastReport legacy = algo.run(net, source, spec, nullptr);
+    const core::BroadcastReport legacy = algo.run(net, source, spec, nullptr, nullptr);
 
     const core::BroadcastReport current = TrialRunner::run_trial(spec, trial);
     EXPECT_EQ(current.rounds, legacy.rounds) << "trial " << trial;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/table.hpp"
+#include "obs/export.hpp"
 #include "runner/json_report.hpp"
 #include "runner/registry.hpp"
 #include "runner/scenario.hpp"
@@ -39,9 +40,18 @@ void print_usage(std::FILE* to) {
   }
   std::fprintf(to,
                "  --out=FILE       also write the JSON report to FILE\n"
+               "  --timeseries=FILE  write a per-round JSONL time series\n"
+               "  --events=FILE    write a structured event JSONL log\n"
+               "  --trace=FILE     write a Chrome trace_event JSON file\n"
+               "                   (open in chrome://tracing or Perfetto)\n"
+               "  --progress[=BOOL]  rate-limited stderr heartbeat while the\n"
+               "                   trials run (implied off by --quiet)\n"
                "  --list           list registry algorithm ids and exit\n"
-               "  --quiet          suppress the stderr summary table\n\n"
-               "JSON schema: see src/runner/json_report.hpp. The report is\n"
+               "  --quiet          suppress all stderr chatter (summary table,\n"
+               "                   'wrote FILE' notes, --progress)\n\n"
+               "JSON schema: see src/runner/json_report.hpp; telemetry schemas:\n"
+               "src/obs/export.hpp. The report AND the telemetry files (modulo\n"
+               "wall-clock *_ns fields, cf. tools/strip_timing.py) are\n"
                "bit-identical for every --threads value >= 1.\n");
 }
 
@@ -105,6 +115,8 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--progress") {
+      spec_flags.push_back("--progress=true");  // bare-flag sugar
     } else if (arg.rfind("--scenario=", 0) == 0) {
       scenario_path = arg.substr(11);
     } else if (arg.rfind("--out=", 0) == 0) {
@@ -120,6 +132,7 @@ int main(int argc, char** argv) {
       spec = runner::ScenarioSpec::from_file(scenario_path);
     }
     spec.apply_cli(spec_flags);  // flags override the file
+    if (quiet) spec.progress = false;  // --quiet silences the heartbeat too
 
     // run_scenario validates the spec and resolves the algorithm itself.
     const runner::ScenarioResult result = runner::run_scenario(spec);
@@ -132,7 +145,29 @@ int main(int argc, char** argv) {
         return 1;
       }
       runner::write_scenario_json(f, result);
-      std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+      if (!quiet) std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+    }
+
+    // Telemetry exports (collected when any of the paths is set).
+    const auto views = result.telemetry_views();
+    const auto write_telemetry =
+        [&](const std::string& path,
+            void (*writer)(std::ostream&, const std::vector<const obs::Telemetry*>&,
+                           const obs::ExportOptions&)) {
+          if (path.empty()) return true;
+          std::ofstream f(path);
+          if (!f) {
+            std::fprintf(stderr, "gossip_run: cannot write %s\n", path.c_str());
+            return false;
+          }
+          writer(f, views, obs::ExportOptions{});
+          if (!quiet) std::fprintf(stderr, "wrote %s\n", path.c_str());
+          return true;
+        };
+    if (!write_telemetry(spec.timeseries, &obs::write_timeseries_jsonl) ||
+        !write_telemetry(spec.events, &obs::write_events_jsonl) ||
+        !write_telemetry(spec.trace, &obs::write_chrome_trace)) {
+      return 1;
     }
     if (!quiet) print_summary(result);
   } catch (const runner::ScenarioError& e) {

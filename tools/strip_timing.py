@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Strip wall-clock fields from a telemetry JSONL stream.
+
+The observability determinism contract (README "Observability") covers
+everything in the per-round time series EXCEPT the phase*_ns wall-clock
+fields. CI diffs --threads=1 against --threads=4 time series after piping
+both through this filter:
+
+    gossip_run ... --timeseries=/dev/stdout | python3 tools/strip_timing.py
+
+Reads JSONL on stdin, drops every key ending in "_ns", re-serialises each
+object compactly (sorted keys are NOT needed: dicts keep insertion order,
+and both inputs were produced by the same writer).
+"""
+import json
+import signal
+import sys
+
+
+def main() -> int:
+    # Die quietly when the consumer (e.g. `head`) closes the pipe early.
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            continue
+        obj = json.loads(line)
+        obj = {k: v for k, v in obj.items() if not k.endswith("_ns")}
+        sys.stdout.write(json.dumps(obj, separators=(",", ":")) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
