@@ -17,8 +17,9 @@
 //                      (aggregates are bit-identical for every value)
 // The wall-clock benches (bench_engine_throughput, bench_parallel_scaling;
 // they carry their own flag sets) additionally take --repeats=N and report
-// the MEDIAN repeat per configuration via bench::median_sample below,
-// cutting single-core noise on the bench host.
+// the MEDIAN repeat per configuration (bench::median_sample below, or the
+// interleaved round-robin variant in bench_engine_throughput), cutting
+// single-core noise on the bench host.
 //   --loss-prob=P      TrialRunner-based benches: per-contact payload loss
 //                      probability in [0, 1) (sim/fault.hpp LossyChannel)
 //   --crash-round=R    TrialRunner-based benches: defer the crash set to the

@@ -14,6 +14,8 @@ void ReportAggregate::add(const core::BroadcastReport& r) {
   informed_fraction.add(r.informed_fraction());
   uninformed.add(static_cast<double>(r.uninformed()));
   estimate_error.add(r.estimate_n_error);
+  spread_depth.add(r.spread_depth);
+  direct_share.add(r.direct_share);
 }
 
 void ReportAggregate::merge(const ReportAggregate& other) {
@@ -28,6 +30,8 @@ void ReportAggregate::merge(const ReportAggregate& other) {
   informed_fraction.merge(other.informed_fraction);
   uninformed.merge(other.uninformed);
   estimate_error.merge(other.estimate_error);
+  spread_depth.merge(other.spread_depth);
+  direct_share.merge(other.direct_share);
 }
 
 }  // namespace gossip::analysis

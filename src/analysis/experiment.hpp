@@ -83,6 +83,8 @@ struct ReportAggregate {
   MetricStat informed_fraction;
   MetricStat uninformed;
   MetricStat estimate_error;  ///< BroadcastReport::estimate_n_error
+  MetricStat spread_depth;    ///< BroadcastReport::spread_depth
+  MetricStat direct_share;    ///< BroadcastReport::direct_share
   std::uint64_t runs = 0;
   std::uint64_t failures = 0;  ///< runs that did not inform everyone
 

@@ -1,0 +1,32 @@
+// Peak resident-set size of the current process, for the memory column in
+// reports and bench JSON (bench_check gates regressions on it). Process-
+// wide and monotone by definition (getrusage maxrss never decreases), so it
+// is a coarse per-run ceiling, not a per-trial delta - and, being a wall-
+// clock-class observable, it is NOT part of any determinism contract
+// (tools/strip_timing.py strips it before CI diffs).
+#pragma once
+
+#include <cstdint>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace gossip {
+
+/// Peak RSS in bytes, or 0 where the platform offers no getrusage.
+[[nodiscard]] inline std::uint64_t peak_rss_bytes() noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB elsewhere
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace gossip

@@ -34,6 +34,11 @@ struct BroadcastReport {
   /// 0 for algorithms that do not estimate n (broadcasts); the membership
   /// scenarios populate it (see membership/membership.hpp).
   double estimate_n_error = 0.0;
+  /// Dispersion-tree shape of the spread, derived from the provenance
+  /// tracer's first-inform records (obs/provenance.hpp). 0 when the run was
+  /// not traced (e.g. run_trial without a telemetry handle).
+  double spread_depth = 0.0;  ///< max informer-chain depth (seed = 0)
+  double direct_share = 0.0;  ///< direct-addressed fraction of first-informs
   /// Per-phase attribution, in execution order.
   std::vector<PhaseBreakdown> phases;
 

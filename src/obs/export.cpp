@@ -76,6 +76,34 @@ void write_events_jsonl(std::ostream& os,
   }
 }
 
+void write_provenance_jsonl(std::ostream& os,
+                            const std::vector<const Telemetry*>& trials,
+                            const ExportOptions& options) {
+  for (std::size_t t = 0; t < trials.size(); ++t) {
+    if (trials[t] == nullptr) continue;
+    const ProvenanceTracer& tracer = trials[t]->provenance;
+    if (!tracer.enabled()) continue;
+    const std::vector<std::uint32_t> depths = spread_depths(tracer);
+    const std::vector<ProvenanceTracer::Entry>& entries = tracer.entries();
+    for (std::uint32_t v = 0; v < entries.size(); ++v) {
+      if (!tracer.informed(v)) continue;
+      const ProvenanceTracer::Entry& e = entries[v];
+      runner::JsonWriter w(os, /*compact=*/true);
+      w.begin_object();
+      if (!options.label.empty()) w.kv("scenario", options.label);
+      w.kv("trial", static_cast<std::uint64_t>(t));
+      w.kv("node", v);
+      w.kv("round", std::int64_t{e.round});
+      w.kv("informer", e.informer);
+      w.kv("channel", channel_name(e.channel));
+      w.kv("direct", e.channel != ProvenanceTracer::kChanSeed &&
+                         (e.channel & ProvenanceTracer::kDirectBit) != 0);
+      w.kv("depth", depths[v]);
+      w.end_object();
+    }
+  }
+}
+
 void write_chrome_trace(std::ostream& os,
                         const std::vector<const Telemetry*>& trials,
                         const ExportOptions& options) {

@@ -48,6 +48,19 @@ void write_events_jsonl(std::ostream& os,
                         const std::vector<const Telemetry*>& trials,
                         const ExportOptions& options = {});
 
+/// One JSON object per informed node, in node order within each trial:
+///   {"trial":0,"node":17,"round":4,"informer":3,"channel":"push",
+///    "direct":false,"depth":2}
+///   {"trial":0,"node":3,"round":-1,"informer":3,"channel":"seed",
+///    "direct":false,"depth":0}
+/// Only nodes the tracer saw informed are emitted; `depth` is the
+/// informer-chain distance from the seed (obs::spread_depths). Content is
+/// receiver-local and delivery-order-invariant, so the whole file is
+/// covered by the workers x engine-threads x buckets determinism contract.
+void write_provenance_jsonl(std::ostream& os,
+                            const std::vector<const Telemetry*>& trials,
+                            const ExportOptions& options = {});
+
 /// Chrome trace_event JSON: one "X" (complete) span per phase per round,
 /// one track (tid) per trial, pid 0. Timestamps are built by accumulating
 /// phase durations per track, so `ts` is monotone within each tid and the

@@ -1,0 +1,85 @@
+#include "obs/provenance.hpp"
+
+#include "common/assert.hpp"
+
+namespace gossip::obs {
+
+std::vector<std::uint32_t> spread_depths(const ProvenanceTracer& tracer) {
+  const std::vector<ProvenanceTracer::Entry>& entries = tracer.entries();
+  std::vector<std::uint32_t> depth(entries.size(), kNoDepth);
+  std::vector<std::uint32_t> chain;
+  for (std::uint32_t v = 0; v < entries.size(); ++v) {
+    if (!tracer.informed(v) || depth[v] != kNoDepth) continue;
+    // Walk the informer chain until a memoised depth or a root, then unwind.
+    // The chain is acyclic because an informer's first-inform strictly
+    // precedes the delivery it caused (phase order within a round, round
+    // order across rounds); the CHECK is a belt-and-braces guard.
+    chain.clear();
+    std::uint32_t cur = v;
+    while (depth[cur] == kNoDepth) {
+      const ProvenanceTracer::Entry& e = entries[cur];
+      const bool root = e.channel == ProvenanceTracer::kChanSeed ||
+                        e.informer == cur || !tracer.informed(e.informer);
+      if (root) {
+        depth[cur] = 0;
+        break;
+      }
+      chain.push_back(cur);
+      GOSSIP_CHECK(chain.size() <= entries.size());
+      cur = e.informer;
+    }
+    std::uint32_t d = depth[cur];
+    while (!chain.empty()) {
+      depth[chain.back()] = ++d;
+      chain.pop_back();
+    }
+  }
+  return depth;
+}
+
+SpreadMetrics spread_metrics(const ProvenanceTracer& tracer) {
+  const std::vector<ProvenanceTracer::Entry>& entries = tracer.entries();
+  const std::vector<std::uint32_t> depth = spread_depths(tracer);
+  SpreadMetrics m;
+  std::vector<std::uint32_t> children(entries.size(), 0);
+  std::uint64_t non_seed = 0;
+  std::uint64_t direct = 0;
+  for (std::uint32_t v = 0; v < entries.size(); ++v) {
+    if (!tracer.informed(v)) continue;
+    ++m.informed;
+    if (depth[v] != kNoDepth && depth[v] > m.depth) m.depth = depth[v];
+    const ProvenanceTracer::Entry& e = entries[v];
+    if (e.channel == ProvenanceTracer::kChanSeed) continue;
+    ++non_seed;
+    if ((e.channel & ProvenanceTracer::kDirectBit) != 0) ++direct;
+    if (e.informer != v && tracer.informed(e.informer)) ++children[e.informer];
+  }
+  std::uint64_t internal = 0;
+  std::uint64_t child_sum = 0;
+  for (std::uint32_t v = 0; v < entries.size(); ++v) {
+    if (children[v] == 0) continue;
+    ++internal;
+    child_sum += children[v];
+    if (children[v] > m.max_branching) m.max_branching = children[v];
+  }
+  if (internal > 0) {
+    m.mean_branching =
+        static_cast<double>(child_sum) / static_cast<double>(internal);
+  }
+  if (non_seed > 0) {
+    m.direct_share = static_cast<double>(direct) / static_cast<double>(non_seed);
+  }
+  return m;
+}
+
+const char* channel_name(std::uint8_t channel) noexcept {
+  if (channel == ProvenanceTracer::kChanSeed) return "seed";
+  switch (channel & ProvenanceTracer::kKindMask) {
+    case ProvenanceTracer::kChanPush: return "push";
+    case ProvenanceTracer::kChanPullResponse: return "pull_response";
+    case ProvenanceTracer::kChanExchange: return "exchange";
+    default: return "unknown";
+  }
+}
+
+}  // namespace gossip::obs

@@ -21,6 +21,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/provenance.hpp"
 #include "obs/sample.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
@@ -216,20 +217,35 @@ class EventLog final : public sim::NetworkObserver {
   [[nodiscard]] const std::vector<Event>& events() const { return events_; }
   [[nodiscard]] std::int64_t current_round() const { return round_; }
 
+  /// Per-round, per-kind reservoir size (scenario key `event_sample_cap`).
+  /// The cap is experiment identity, not execution order, so it may differ
+  /// between runs without breaking any determinism contract - but two runs
+  /// compared for bit-identity must of course use the same cap.
+  void set_sample_cap(std::size_t cap) {
+    sample_cap_ = cap == 0 ? 1 : cap;
+    loss_sample_.set_cap(sample_cap_);
+    corrupt_sample_.set_cap(sample_cap_);
+  }
+  [[nodiscard]] std::size_t sample_cap() const noexcept { return sample_cap_; }
+
  private:
   std::int64_t round_ = kPreRunRound;
   std::uint64_t loss_count_ = 0;
   std::uint64_t corrupt_count_ = 0;
+  std::size_t sample_cap_ = kEventSampleCap;
   TopKSample loss_sample_;
   TopKSample corrupt_sample_;
   std::vector<Event> events_;
 };
 
 /// The single attachment handle: one per trial. Engine, Driver, and the
-/// algorithm runners all take an obs::Telemetry* and write into these two.
+/// algorithm runners all take an obs::Telemetry* and write into these
+/// three. The provenance tracer participates only when armed
+/// (ProvenanceTracer::arm); the other two are always live once attached.
 struct Telemetry {
   RoundRecorder rounds;
   EventLog events;
+  ProvenanceTracer provenance;
 };
 
 /// Rate-limited stderr heartbeat for long scenarios (gossip_run

@@ -17,16 +17,18 @@
 // event log, and must not pull sim/ headers into the shard layer.
 #pragma once
 
-#include <array>
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "common/rng.hpp"
 
 namespace gossip::obs {
 
-/// Sampled events of one kind kept per round. Small: the samples are for
-/// "which nodes were hit" spot checks; totals ride the round record.
+/// Default sampled events of one kind kept per round (scenario key
+/// `event_sample_cap` overrides). Small: the samples are for "which nodes
+/// were hit" spot checks; totals ride the round record.
 inline constexpr std::size_t kEventSampleCap = 8;
 
 /// Priority of one candidate event: a pure function of the round key and
@@ -47,8 +49,23 @@ struct TopKSample {
     std::uint32_t node = 0;
   };
 
-  std::array<Entry, kEventSampleCap> entries{};
+  std::vector<Entry> entries = std::vector<Entry>(kEventSampleCap);
   std::size_t count = 0;
+  std::size_t cap = kEventSampleCap;
+
+  /// Resizes the reservoir. The cap is part of the experiment identity
+  /// (smaller caps keep a different k-subset), never of the execution
+  /// order, so determinism is unaffected. Callers set it between rounds;
+  /// an in-flight sample is cut down to the new cap's bottom-k.
+  void set_cap(std::size_t new_cap) {
+    cap = new_cap == 0 ? 1 : new_cap;
+    if (entries.size() < cap) entries.resize(cap);
+    if (count > cap) {
+      std::nth_element(entries.begin(), entries.begin() + cap,
+                       entries.begin() + count, before);
+      count = cap;
+    }
+  }
 
   void clear() noexcept { count = 0; }
   [[nodiscard]] std::size_t size() const noexcept { return count; }
@@ -59,12 +76,12 @@ struct TopKSample {
 
   void offer(std::uint64_t priority, std::uint32_t node) noexcept {
     const Entry e{priority, node};
-    if (count < entries.size()) {
+    if (count < cap) {
       entries[count++] = e;
       return;
     }
     std::size_t worst = 0;
-    for (std::size_t i = 1; i < entries.size(); ++i) {
+    for (std::size_t i = 1; i < cap; ++i) {
       if (before(entries[worst], entries[i])) worst = i;
     }
     if (before(e, entries[worst])) entries[worst] = e;

@@ -67,7 +67,12 @@ void write_scenario_members(JsonWriter& w, const ScenarioResult& result) {
   write_metric(w, "informed_fraction", a.informed_fraction);
   write_metric(w, "uninformed", a.uninformed);
   write_metric(w, "estimate_error", a.estimate_error);
+  write_metric(w, "spread_depth", a.spread_depth);
+  write_metric(w, "direct_share", a.direct_share);
   w.end_object();
+  // Wall-clock-class (process-wide, machine-dependent): strip_timing.py
+  // removes it before determinism diffs.
+  w.kv("peak_rss_bytes", result.peak_rss_bytes);
 }
 
 void write_scenario_json(std::ostream& os, const ScenarioResult& result) {

@@ -11,14 +11,21 @@
 //                   loss_prob },
 //     "runs": N, "failures": M,
 //     "metrics": { "<metric>": { count, mean, stddev, min, max,
-//                                p50, p90, p99 }, ... }
+//                                p50, p90, p99 }, ... },
+//     "peak_rss_bytes": B
 //   }
+//
+// The metrics include the dispersion-tree pair derived from the provenance
+// tracer (obs/provenance.hpp): "spread_depth" (max informer-chain depth)
+// and "direct_share" (direct-addressed fraction of first-informs).
 //
 // The spec's `threads` (TrialRunner worker count) and `delivery_buckets`
 // (receiver-bucketed delivery decomposition) are deliberately NOT echoed:
 // the runner's contract is that this report is bit-identical for every
 // worker count AND every bucket count, and CI enforces both by diffing
-// runs.
+// runs. "peak_rss_bytes" is the one wall-clock-class exception - it is
+// process-wide and machine-dependent, so tools/strip_timing.py removes it
+// (together with every *_ns field) before those diffs.
 #pragma once
 
 #include <ostream>

@@ -221,7 +221,8 @@ std::uint32_t ScenarioSpec::fault_count() const noexcept {
 }
 
 bool ScenarioSpec::wants_telemetry() const noexcept {
-  return !timeseries.empty() || !trace.empty() || !events.empty();
+  return !timeseries.empty() || !trace.empty() || !events.empty() ||
+         !provenance.empty();
 }
 
 bool ScenarioSpec::has_churn() const noexcept {
@@ -320,6 +321,13 @@ void ScenarioSpec::apply(std::string_view key, std::string_view value) {
     trace = value == "none" ? std::string() : std::string(value);
   } else if (key == "events") {
     events = value == "none" ? std::string() : std::string(value);
+  } else if (key == "provenance") {
+    provenance = value == "none" ? std::string() : std::string(value);
+  } else if (key == "event_sample_cap") {
+    // Zero would keep no samples at all while still counting totals - a
+    // silent lie in the event log - so the floor is 1 (parse_count errors
+    // on 0 and on anything non-numeric via the ScenarioError path).
+    event_sample_cap = static_cast<unsigned>(parse_count(key, value, 1, 1u << 20));
   } else if (key == "progress") {
     if (value == "true" || value == "1") {
       progress = true;
@@ -516,7 +524,8 @@ const std::vector<std::string>& ScenarioSpec::keys() {
       "crash_round", "loss_prob", "fault_model",
       "join_rate",  "crash_rate", "churn_schedule", "loss_schedule",
       "byzantine_fraction",
-      "timeseries", "trace",      "events",         "progress",
+      "timeseries", "trace",      "events",         "provenance",
+      "event_sample_cap", "progress",
   };
   return kKeys;
 }

@@ -132,9 +132,16 @@ struct ScenarioSpec {
   std::string timeseries;          ///< per-round JSONL time series path
   std::string trace;               ///< Chrome trace_event JSON path
   std::string events;              ///< structured event JSONL path
+  std::string provenance;          ///< per-node first-inform JSONL path
   bool progress = false;           ///< rate-limited stderr heartbeat
+  /// Per-round, per-kind bottom-k reservoir size of the event log
+  /// (obs/sample.hpp). Unlike the paths above this IS part of the
+  /// experiment's observable output (a different cap keeps a different
+  /// k-subset), but it never alters trajectories. Must be >= 1.
+  unsigned event_sample_cap = 8;
 
-  /// Any telemetry output configured (timeseries / trace / events)?
+  /// Any telemetry output configured (timeseries / trace / events /
+  /// provenance)?
   [[nodiscard]] bool wants_telemetry() const noexcept;
 
   /// Number of failed nodes per trial (round(fault_fraction * n)).

@@ -3,6 +3,8 @@
 #include <memory>
 
 #include "common/rng.hpp"
+#include "common/rss.hpp"
+#include "obs/provenance.hpp"
 #include "runner/registry.hpp"
 #include "sim/fault.hpp"
 #include "sim/network.hpp"
@@ -38,8 +40,13 @@ core::BroadcastReport TrialRunner::run_trial(const ScenarioSpec& spec,
   // Event observer BEFORE the fault model runs: a StaticCrash fails its set
   // below, and those crashes must land at obs::kPreRunRound (the EventLog's
   // initial round). The algorithm's Engine::set_telemetry re-installs the
-  // same observer later, which is idempotent.
-  if (telemetry != nullptr) net.set_observer(&telemetry->events);
+  // same observer later, which is idempotent. The provenance tracer is armed
+  // over the full join-headroom capacity so mid-run joiners get slots too.
+  if (telemetry != nullptr) {
+    net.set_observer(&telemetry->events);
+    telemetry->events.set_sample_cap(spec.event_sample_cap);
+    telemetry->provenance.arm(net.capacity());
+  }
 
   // Fault setup before any algorithm randomness (obliviousness): a
   // StaticCrash fails its set here; a ScheduledCrash only commits to its
@@ -54,8 +61,19 @@ core::BroadcastReport TrialRunner::run_trial(const ScenarioSpec& spec,
 
   auto source = static_cast<std::uint32_t>(trial_rng.uniform_below(spec.n));
   while (!net.alive(source)) source = (source + 1) % spec.n;
+  if (telemetry != nullptr) telemetry->provenance.note_seed(source);
 
-  return algo.run(net, source, spec, fault.get(), telemetry);
+  core::BroadcastReport report = algo.run(net, source, spec, fault.get(), telemetry);
+  if (telemetry != nullptr) {
+    // Dispersion-tree shape of this trial's spread (obs/provenance.hpp).
+    // Derived from the tracer's first-inform records, which are receiver-
+    // local and delivery-order-invariant, so these two metrics inherit the
+    // full workers x engine-threads x buckets determinism contract.
+    const obs::SpreadMetrics sm = obs::spread_metrics(telemetry->provenance);
+    report.spread_depth = static_cast<double>(sm.depth);
+    report.direct_share = sm.direct_share;
+  }
+  return report;
 }
 
 ScenarioResult TrialRunner::run(const ScenarioSpec& spec) {
@@ -66,35 +84,36 @@ ScenarioResult TrialRunner::run(const ScenarioSpec& spec) {
   result.spec = spec;
   result.reports.resize(spec.trials);
 
-  // Telemetry is collected whenever an output path is configured, and also
-  // under --progress alone (the heartbeat rides the recorder's round
-  // callback). One recorder per trial, allocated up front so the parallel
-  // loop only fills pre-sized slots.
-  const bool collect = spec.wants_telemetry() || spec.progress;
+  // Telemetry handles are attached to EVERY trial: the spread metrics
+  // (spread_depth / direct_share) ride the provenance tracer, and the report
+  // carries them unconditionally. Telemetry consumes no randomness and never
+  // alters trajectories, so always-attaching keeps every historical
+  // trajectory bit-identical. The handles are only KEPT in the result when
+  // an output path (or --progress) asked for them.
+  const bool keep = spec.wants_telemetry() || spec.progress;
   std::unique_ptr<obs::ProgressMeter> meter;
   if (spec.progress) meter = std::make_unique<obs::ProgressMeter>(spec.trials);
-  if (collect) {
-    result.telemetry.resize(spec.trials);
-    for (unsigned t = 0; t < spec.trials; ++t) {
-      auto telemetry = std::make_shared<obs::Telemetry>();
-      telemetry->rounds.reserve(512);
-      if (meter) telemetry->rounds.set_progress(meter.get(), t);
-      result.telemetry[t] = std::move(telemetry);
-    }
+  result.telemetry.resize(spec.trials);
+  for (unsigned t = 0; t < spec.trials; ++t) {
+    auto telemetry = std::make_shared<obs::Telemetry>();
+    telemetry->rounds.reserve(512);
+    if (meter) telemetry->rounds.set_progress(meter.get(), t);
+    result.telemetry[t] = std::move(telemetry);
   }
 
   pool_.parallel_for(spec.trials, [&](std::size_t t) {
-    result.reports[t] = run_trial(
-        spec, static_cast<unsigned>(t),
-        collect ? result.telemetry[t].get() : nullptr);
+    result.reports[t] = run_trial(spec, static_cast<unsigned>(t),
+                                  result.telemetry[t].get());
   });
   // The meter dies with this frame; recorders outlive it in the result.
   if (meter) {
     for (auto& t : result.telemetry) t->rounds.set_progress(nullptr, 0);
   }
+  if (!keep) result.telemetry.clear();
   // Trial-order merge: the aggregate never sees completion order, so it is
   // bit-identical for every worker count.
   for (const core::BroadcastReport& r : result.reports) result.aggregate.add(r);
+  result.peak_rss_bytes = peak_rss_bytes();
   return result;
 }
 

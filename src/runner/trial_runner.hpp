@@ -47,6 +47,9 @@ struct ScenarioResult {
   /// Per-trial telemetry (empty unless collection was armed). shared_ptr so
   /// results are copyable; each trial's handle is exclusively owned here.
   std::vector<std::shared_ptr<obs::Telemetry>> telemetry;
+  /// Peak RSS of the whole process after the trials ran (common/rss.hpp).
+  /// Wall-clock-class: echoed in reports but stripped before CI diffs.
+  std::uint64_t peak_rss_bytes = 0;
 
   /// Borrowed per-trial views in trial order, the shape the obs exporters
   /// take. Empty when telemetry was not collected.

@@ -310,9 +310,14 @@ inline constexpr std::uint32_t kUnresolvedTarget = 0xFFFFFFFFu;
 ///   void record_push(u32 from, u32 to, u64 bits, bool has_payload)
 ///   void record_pull_request(u32 from, u32 to)
 ///   void on_contact(u32 a, u32 b)                endpoints for knowledge/Delta
-///   void enqueue_push(u32 to, Message&&)
-///   void enqueue_pull(u32 from, u32 responder)
+///   void enqueue_push(u32 to, u32 src, u8 chan, Message&&)
+///   void enqueue_pull(u32 from, u32 responder, u8 chan)
 ///   void record_loss(u32 initiator)              telemetry; drop branch only
+/// `src`/`chan` carry the provenance channel (obs::ProvenanceTracer
+/// encoding) of the eventual delivery; with a tracer armed the sinks use
+/// them to record first-inform candidates at enqueue time
+/// (obs::TraceCandidate) - the queues themselves never store them, so
+/// computing them here is a couple of ALU ops per contact.
 /// `want_payloads` skips queueing when nothing observes deliveries (no
 /// on_push hook, no knowledge tracking) - queueing would be dead work.
 /// `loss` is the round's armed LossChannel, or null for a lossless round
@@ -353,18 +358,38 @@ void run_phase1(Network& net, Hooks& hooks, Sink& sink,
     // observable consequences as contacting a failed node.
     const bool lost = loss != nullptr && loss->drop(node);
     if (lost) sink.record_loss(node);
+    // Provenance channel byte of whatever this contact delivers (kind bits
+    // + "dialled a learned ID" bit; obs::ProvenanceTracer encoding).
+    const std::uint8_t direct =
+        contact->to_random ? 0 : obs::ProvenanceTracer::kDirectBit;
     if (contact->kind == ContactKind::kPush || contact->kind == ContactKind::kExchange) {
+      const bool exchange = contact->kind == ContactKind::kExchange;
       // Meter before the payload is moved into the pending-push queue.
       const std::uint64_t bits = contact->payload.bits(net.costs());
       const bool has_payload = !contact->payload.is_empty();
       sink.record_push(node, target, bits, has_payload);
       if (!lost && (no_failures || net.alive(target))) {
-        if (contact->kind == ContactKind::kExchange) sink.enqueue_pull(node, target);
-        if (want_payloads) sink.enqueue_push(target, std::move(contact->payload));
+        if (exchange) {
+          sink.enqueue_pull(
+              node, target,
+              static_cast<std::uint8_t>(obs::ProvenanceTracer::kChanExchange | direct));
+        }
+        if (want_payloads) {
+          sink.enqueue_push(target, node,
+                            static_cast<std::uint8_t>(
+                                (exchange ? obs::ProvenanceTracer::kChanExchange
+                                          : obs::ProvenanceTracer::kChanPush) |
+                                direct),
+                            std::move(contact->payload));
+        }
       }
     } else {
       sink.record_pull_request(node, target);
-      if (!lost && (no_failures || net.alive(target))) sink.enqueue_pull(node, target);
+      if (!lost && (no_failures || net.alive(target))) {
+        sink.enqueue_pull(node, target,
+                          static_cast<std::uint8_t>(
+                              obs::ProvenanceTracer::kChanPullResponse | direct));
+      }
     }
   }
 }
@@ -549,6 +574,10 @@ class Engine {
   struct SerialSink {
     Engine& e;
     bool track;
+    /// Round tracer hoisted out of the engine: enqueue_push probes it per
+    /// contact, and a member load through `e` would be reloaded every
+    /// iteration (the queue stores alias the Engine object).
+    obs::ProvenanceTracer* const tracer = nullptr;
 
     void record_initiator() { e.metrics_.record_initiator(); }
     std::uint32_t draw_other(std::uint32_t node) {
@@ -566,11 +595,22 @@ class Engine {
     void on_contact(std::uint32_t a, std::uint32_t b) {
       if (track) e.learn_contact(a, b);
     }
-    void enqueue_push(std::uint32_t to, Message&& msg) {
+    void enqueue_push(std::uint32_t to, std::uint32_t src, std::uint8_t chan,
+                      Message&& msg) {
+      // The bitmap claim happens here (cheap: the word was just probed), but
+      // the Entry store is deferred to the apply sweep between phases 1 and
+      // 2: its scattered stores would stall this loop's store pipeline
+      // (measured ~1.5x phase 1 at n=1e6), while the sweep's sequential scan
+      // prefetches them. Claiming also dedups same-round candidates, so the
+      // serial list holds exactly the round's first-informs.
+      if (msg.has_rumor() && tracer != nullptr && tracer->try_claim(to))
+          [[unlikely]] {
+        e.trace_candidates_.push_back(obs::TraceCandidate{to, src, chan});
+      }
       e.pushes_.enqueue(to, std::move(msg));
     }
-    void enqueue_pull(std::uint32_t from, std::uint32_t responder) {
-      e.pulls_[e.pull_count_++] = PendingPull{from, responder};
+    void enqueue_pull(std::uint32_t from, std::uint32_t responder, std::uint8_t chan) {
+      e.pulls_[e.pull_count_++] = PendingPull{from, responder, chan};
     }
     void record_loss(std::uint32_t initiator) {
       if (e.telemetry_ != nullptr) e.telemetry_->events.note_loss_drop(initiator);
@@ -624,6 +664,10 @@ class Engine {
   }
 
   /// Phase 2 body for one pending-push queue: decode, learn, deliver.
+  /// Provenance never touches this loop - push first-informs were already
+  /// recorded as enqueue-time candidates by the phase-1 sinks and applied
+  /// before phase 2 started, so the replay runs the original layout whether
+  /// or not a tracer is armed.
   template <class Hooks>
   void deliver_queue(const PushQueue& queue, Hooks& hooks, bool track) {
     queue.for_each([&](std::uint32_t to, const Message& msg) {
@@ -652,12 +696,23 @@ class Engine {
     const bool want_endpoints = track || metrics_.track_involvement();
     const std::uint64_t draw_bound = net_.n() - 1;
     const std::uint32_t shard_size = par.shard_size();
+    // Provenance tracer and the event-sample cap are round-stable: the
+    // informed bitmap is only written in the engine's serial sections
+    // (candidate application, phase 3), never during phase 1, so the shards
+    // can probe it race-free while recording first-inform candidates.
+    const obs::ProvenanceTracer* const shard_tracer =
+        telemetry_ != nullptr && telemetry_->provenance.active()
+            ? &telemetry_->provenance
+            : nullptr;
+    const std::size_t sample_cap =
+        telemetry_ != nullptr ? telemetry_->events.sample_cap() : obs::kEventSampleCap;
     par.pool().parallel_for(n_shards, [&](std::size_t s) {
       parallel::ShardBuffer& sb = shards[s];
       const std::size_t lo = s * static_cast<std::size_t>(shard_size);
       const std::size_t len =
           std::min<std::size_t>(shard_size, initiators.size() - lo);
-      sb.begin_round(par.stream_base(), round_key, s, len, delivery_map_);
+      sb.begin_round(par.stream_base(), round_key, s, len, delivery_map_,
+                     shard_tracer, sample_cap);
       parallel::ShardSink sink{sb, draw_bound, want_endpoints};
       detail::run_phase1(net_, hooks, sink, initiators.subspan(lo, len), no_failures,
                          want_payloads, loss, tolerate_unknown);
@@ -717,6 +772,10 @@ class Engine {
   BucketedPushQueue pushes_;  ///< serial-mode pending pushes (sharded: per shard)
   std::vector<PendingPull> pulls_;  ///< flat slots; pull_count_ are filled
   std::size_t pull_count_ = 0;
+  // Serial sink's first-inform candidates for the round's armed tracer
+  // (cleared at the top of run_round_impl). Sharded rounds collect
+  // candidates per shard instead (parallel/shard.hpp).
+  std::vector<obs::TraceCandidate> trace_candidates_;
   std::vector<std::uint32_t> all_nodes_;
   std::vector<NodeId> learn_scratch_;  ///< bulk-learn gather buffer
   // Bulk uniform-target draws (ring of kDrawBatch, refilled on demand).
@@ -823,6 +882,21 @@ void Engine::run_round_impl(Hooks&& hooks, std::span<const std::uint32_t> initia
 
   metrics_.begin_round();
   pushes_.clear();
+  // Provenance tracing is per-round opt-in: armed AND not yet complete.
+  // Once every armed slot has its first-inform recorded, active() turns
+  // false, the sinks skip the candidate probe, and the round is bit-for-bit
+  // the untraced fast path. The capacity condition backs try_claim's
+  // bounds-check-free hot path: every enqueue target is < n <= the join
+  // ceiling, so an arm() that covers Network::capacity() - what TrialRunner
+  // and the bench always do - covers every probe; an under-armed tracer is
+  // simply not traced by this engine rather than partially traced.
+  obs::ProvenanceTracer* const tracer =
+      telemetry_ != nullptr && telemetry_->provenance.active() &&
+              telemetry_->provenance.capacity() >= net_.capacity()
+          ? &telemetry_->provenance
+          : nullptr;
+  const std::int64_t trace_round = static_cast<std::int64_t>(fault_round);
+  trace_candidates_.clear();
   // Pending-pull slots: at most one pull per offered initiator, so a flat
   // grown-once buffer replaces per-contact push_back bookkeeping on the
   // phase-1 hot path.
@@ -850,12 +924,48 @@ void Engine::run_round_impl(Hooks&& hooks, std::span<const std::uint32_t> initia
     run_phase1_sharded(hooks, initiators, no_failures, track, want_payloads, loss,
                        byz != nullptr);
   } else {
-    SerialSink sink{*this, track};
+    SerialSink sink{*this, track, tracer};
     detail::run_phase1(net_, hooks, sink, initiators, no_failures, want_payloads, loss,
                        byz != nullptr);
   }
 
   if (timing) t_phase1 = PhaseClock::now();
+
+  // Apply the phase-1 first-inform candidates before any delivery runs.
+  // Candidates only exist under want_payloads (= the phase-2 delivery gate),
+  // and they replay here in global initiator order - serial sink order, or
+  // shard-index order, which is the same thing - so the first candidate per
+  // receiver IS its first push delivery and first-write-wins settles
+  // same-round duplicates identically on every parallelism axis. Applying
+  // them before phase 3's pass B keeps the phase ordering of informs:
+  // push/exchange payloads land before any pull response is read. Both
+  // sweeps scan a sequential list whose targets scatter over the entry
+  // array, so they prefetch one lookahead window ahead (same trick as
+  // phase 3's pass B).
+  constexpr std::size_t kApplyLookahead = 48;
+  if (tracer != nullptr && sharded) {
+    // Shard sinks could only READ the bitmap (phase 1 runs parallel), so
+    // their lists still hold same-round duplicates: full first-write-wins.
+    for (const parallel::ShardBuffer& sb : par_->acquire(active_shards_)) {
+      const std::span<const obs::TraceCandidate> cs = sb.trace_candidates;
+      for (std::size_t i = 0; i < cs.size(); ++i) {
+        if (i + kApplyLookahead < cs.size()) {
+          tracer->prefetch_entry(cs[i + kApplyLookahead].to);
+        }
+        tracer->note_first_inform(cs[i].to, cs[i].src, trace_round, cs[i].chan);
+      }
+    }
+  } else if (tracer != nullptr) {
+    // The serial sink already claimed the bitmap bits (try_claim dedups at
+    // the source), so this sweep is one unconditional Entry store each.
+    const std::span<const obs::TraceCandidate> cs = trace_candidates_;
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      if (i + kApplyLookahead < cs.size()) {
+        tracer->prefetch_entry_slot(cs[i + kApplyLookahead].to);
+      }
+      tracer->note_claimed_entry(cs[i].to, cs[i].src, trace_round, cs[i].chan);
+    }
+  }
 
   // Delivery phases run on the pool only when explicitly opted in, the
   // receiver space is genuinely partitioned, and nothing thread-unsafe is
@@ -1017,11 +1127,18 @@ void Engine::run_round_impl(Hooks&& hooks, std::span<const std::uint32_t> initia
         }
       }
 
-      // Pass B: deliver in requester order (no metering left to do).
+      // Pass B: deliver in requester order (no metering left to do). A
+      // rumor-bearing response is the requester's first-inform when nothing
+      // informed it earlier; p.chan carries the channel byte phase 1
+      // computed. The tracer's bitmap word is prefetched alongside the
+      // response entry, one lookahead window ahead.
       if (deliver) {
         const auto deliver_one = [&](const ResponseStore& store, std::size_t i) {
           const PendingPull& p = pulls_[i];
           store.with_message(response_of_[i], [&](const Message& msg) {
+            if (tracer != nullptr && msg.has_rumor()) {
+              tracer->note_first_inform(p.from, p.responder, trace_round, p.chan);
+            }
             if (track) learn_from_message(p.from, msg);
             if constexpr (HasOnPullReplyHook<H>) hooks.on_pull_reply(p.from, msg);
           });
@@ -1032,6 +1149,7 @@ void Engine::run_round_impl(Hooks&& hooks, std::span<const std::uint32_t> initia
             for (std::size_t i = lo; i < hi; ++i) {
               if (i + kPullLookahead < hi) {
                 store.prefetch(response_of_[i + kPullLookahead]);
+                if (tracer != nullptr) tracer->prefetch(pulls_[i + kPullLookahead].from);
               }
               deliver_one(store, i);
             }
@@ -1041,6 +1159,7 @@ void Engine::run_round_impl(Hooks&& hooks, std::span<const std::uint32_t> initia
                 const PendingPull& ahead = pulls_[i + kPullLookahead];
                 response_stores_[delivery_map_.bucket_of(ahead.responder)].prefetch(
                     response_of_[i + kPullLookahead]);
+                if (tracer != nullptr) tracer->prefetch(ahead.from);
               }
               deliver_one(response_stores_[delivery_map_.bucket_of(pulls_[i].responder)],
                           i);

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "obs/provenance.hpp"
 #include "obs/sample.hpp"
 #include "sim/metrics.hpp"
 #include "sim/parallel/thread_pool.hpp"
@@ -66,23 +67,37 @@ struct ShardBuffer {
   obs::TopKSample drop_sample;
   std::uint64_t obs_round = 0;
 
+  /// Provenance (obs/provenance.hpp): the armed tracer this round (null =
+  /// untraced) and the shard's first-inform candidates, appended in
+  /// initiator order and applied by the engine's serial shard-order merge.
+  /// The tracer's bitmap is READ-only here - phase 1 never writes it, so
+  /// the probe is race-free across shards.
+  const obs::ProvenanceTracer* tracer = nullptr;
+  std::vector<obs::TraceCandidate> trace_candidates;
+
   /// Re-arms the shard for one round: clears the buffers (capacity kept),
-  /// adopts the engine's current delivery-bucket decomposition and re-keys
-  /// the draw stream from the base generator.
+  /// adopts the engine's current delivery-bucket decomposition, provenance
+  /// tracer (null when untraced) and event-sample cap, and re-keys the draw
+  /// stream from the base generator.
   void begin_round(const Rng& base, std::uint64_t round, std::uint64_t shard,
-                   std::size_t initiator_count, const BucketMap& delivery_buckets) {
+                   std::size_t initiator_count, const BucketMap& delivery_buckets,
+                   const obs::ProvenanceTracer* round_tracer,
+                   std::size_t sample_cap) {
     stats = RoundStats{};
     endpoints.clear();
-    pushes.configure(delivery_buckets);
     pushes.clear();
+    pushes.configure(delivery_buckets);
     pulls.clear();
     rng = base.fork(round, shard);
     draw_pos = 0;
     draw_len = 0;
     draw_chunk = std::min(kShardDrawBatch, initiator_count);
     loss_drops = 0;
+    drop_sample.set_cap(sample_cap);
     drop_sample.clear();
     obs_round = round;
+    tracer = round_tracer;
+    trace_candidates.clear();
   }
 
   /// Next uniform draw from [0, bound), bulk-refilled from the shard stream.
@@ -122,11 +137,15 @@ struct ShardSink {
   void on_contact(std::uint32_t a, std::uint32_t b) {
     if (want_endpoints) sb.endpoints.emplace_back(a, b);
   }
-  void enqueue_push(std::uint32_t to, Message&& msg) {
+  void enqueue_push(std::uint32_t to, std::uint32_t src, std::uint8_t chan,
+                    Message&& msg) {
+    if (msg.has_rumor() && sb.tracer != nullptr && !sb.tracer->informed(to)) {
+      sb.trace_candidates.push_back(obs::TraceCandidate{to, src, chan});
+    }
     sb.pushes.enqueue(to, std::move(msg));
   }
-  void enqueue_pull(std::uint32_t from, std::uint32_t responder) {
-    sb.pulls.push_back(PendingPull{from, responder});
+  void enqueue_pull(std::uint32_t from, std::uint32_t responder, std::uint8_t chan) {
+    sb.pulls.push_back(PendingPull{from, responder, chan});
   }
   void record_loss(std::uint32_t initiator) {
     ++sb.loss_drops;

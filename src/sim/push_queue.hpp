@@ -11,6 +11,11 @@
 // footnote 2) spill the whole Message to a side vector and store its index
 // in place of the count.
 //
+// Provenance (PR 8) never touches this stream: first-inform candidates are
+// recorded at ENQUEUE time by the phase-1 sinks (see sim/engine.hpp), so
+// the wire format - and phase 2's replay cost - is identical whether the
+// tracer is armed or not.
+//
 // Receiver bucketing (PR 5). Phases 2-3 probe receiver-indexed state - the
 // on_push/on_pull_reply target's own arrays, KnowledgeTracker rows, the
 // engine's pull-response stamps - once per contact, and at multi-million n
@@ -41,9 +46,14 @@
 namespace gossip::sim {
 
 /// One pull request awaiting its (single, address-oblivious) response.
+/// `chan` is the provenance channel byte of the eventual response
+/// (obs::ProvenanceTracer encoding: kind bits + direct-addressing bit);
+/// it rides along unconditionally - one byte per pending pull - so the
+/// tracer needs no side table in phase 3.
 struct PendingPull {
   std::uint32_t from;
   std::uint32_t responder;
+  std::uint8_t chan = 0;
 };
 
 /// Contiguous power-of-two partition of the receiver index space used by the

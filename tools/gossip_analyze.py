@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Cross-trial analysis of gossip_run telemetry files.
+
+Consumes any subset of the three JSONL telemetry streams (schemas in
+src/obs/export.hpp) and prints per-trial and cross-trial summaries:
+
+    gossip_run --scenario=... --timeseries=ts.jsonl --events=ev.jsonl \
+               --provenance=prov.jsonl
+    python3 tools/gossip_analyze.py --provenance=prov.jsonl \
+               --timeseries=ts.jsonl --events=ev.jsonl --n=512 --check
+
+Provenance gives the dispersion-tree view (who informed whom): per-trial
+spread depth, mean depth, channel mix, direct-addressing share, and the
+first-informed-round distribution (the per-node spread latency). The time
+series gives rounds-to-completion and loss totals; the event log gives
+fault/churn counts by kind.
+
+--check enforces the paper's O(log n)-round envelope on the spread: every
+traced first-inform must land within the engine's own auto round cap
+(10 * ceil(log2(n)) + 50, sim/engine.hpp auto_round_cap) for the given
+--n. Exit 1 on violation (or on empty input), 0 otherwise - CI runs this
+against the churn scenario's provenance artifact.
+"""
+import argparse
+import collections
+import json
+import math
+import sys
+
+
+def read_jsonl(path):
+    rows = []
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+def quantile(sorted_vals, q):
+    """Linear-interpolated quantile, matching common/stats.hpp."""
+    if not sorted_vals:
+        return 0.0
+    pos = q * (len(sorted_vals) - 1)
+    lo = int(math.floor(pos))
+    hi = min(lo + 1, len(sorted_vals) - 1)
+    frac = pos - lo
+    return sorted_vals[lo] * (1 - frac) + sorted_vals[hi] * frac
+
+
+def round_cap(n):
+    """The engine's auto round cap: 10 * ceil(log2(n)) + 50."""
+    return 10 * max(1, math.ceil(math.log2(max(2, n)))) + 50
+
+
+def summarize_provenance(rows):
+    """Per-trial dispersion-tree summaries keyed by trial index."""
+    by_trial = collections.defaultdict(list)
+    for r in rows:
+        by_trial[r["trial"]].append(r)
+    out = {}
+    for trial, entries in sorted(by_trial.items()):
+        depths = [e["depth"] for e in entries]
+        # Seeds sit at round -1; spread latency is over real deliveries.
+        rounds = sorted(e["round"] for e in entries if e["channel"] != "seed")
+        channels = collections.Counter(e["channel"] for e in entries)
+        non_seed = sum(c for k, c in channels.items() if k != "seed")
+        direct = sum(1 for e in entries if e.get("direct"))
+        out[trial] = {
+            "informed": len(entries),
+            "depth_max": max(depths) if depths else 0,
+            "depth_mean": sum(depths) / len(depths) if depths else 0.0,
+            "first_inform_round_p50": quantile(rounds, 0.50),
+            "first_inform_round_p90": quantile(rounds, 0.90),
+            "first_inform_round_max": rounds[-1] if rounds else 0,
+            "direct_share": direct / non_seed if non_seed else 0.0,
+            "channels": dict(sorted(channels.items())),
+        }
+    return out
+
+
+def summarize_timeseries(rows):
+    by_trial = collections.defaultdict(list)
+    for r in rows:
+        by_trial[r["trial"]].append(r)
+    out = {}
+    for trial, recs in sorted(by_trial.items()):
+        recs.sort(key=lambda r: r["round"])
+        last = recs[-1]
+        out[trial] = {
+            "rounds": last["round"] + 1,
+            "final_informed": last.get("informed"),
+            "final_alive": last["alive"],
+            "total_loss_drops": sum(r["loss_drops"] for r in recs),
+            "total_bits": sum(r["bits"] for r in recs),
+        }
+    return out
+
+
+def summarize_events(rows):
+    by_kind = collections.Counter(r["kind"] for r in rows)
+    return dict(sorted(by_kind.items()))
+
+
+def cross_trial(per_trial, field):
+    vals = sorted(t[field] for t in per_trial.values())
+    return {
+        "mean": sum(vals) / len(vals),
+        "min": vals[0],
+        "p50": quantile(vals, 0.50),
+        "max": vals[-1],
+    }
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--provenance", help="provenance JSONL (--provenance=FILE)")
+    ap.add_argument("--timeseries", help="per-round time-series JSONL")
+    ap.add_argument("--events", help="structured event JSONL")
+    ap.add_argument("--n", type=int, default=0,
+                    help="network size, enables the O(log n) envelope check")
+    ap.add_argument("--check", action="store_true",
+                    help="exit 1 when the spread exceeds the round envelope")
+    ap.add_argument("--json", action="store_true",
+                    help="emit the summary as one JSON document")
+    args = ap.parse_args()
+    if not (args.provenance or args.timeseries or args.events):
+        ap.error("need at least one of --provenance/--timeseries/--events")
+
+    summary = {}
+    violations = []
+
+    if args.provenance:
+        prov = summarize_provenance(read_jsonl(args.provenance))
+        if not prov:
+            print("gossip_analyze: provenance file has no entries",
+                  file=sys.stderr)
+            return 1
+        summary["provenance"] = {
+            "trials": len(prov),
+            "per_trial": prov,
+            "spread_depth": cross_trial(prov, "depth_max"),
+            "first_inform_round_max": cross_trial(prov, "first_inform_round_max"),
+            "direct_share": cross_trial(prov, "direct_share"),
+        }
+        if args.n:
+            cap = round_cap(args.n)
+            summary["provenance"]["round_envelope"] = cap
+            for trial, t in prov.items():
+                if t["first_inform_round_max"] > cap:
+                    violations.append(
+                        f"trial {trial}: last first-inform at round "
+                        f"{t['first_inform_round_max']} > envelope {cap}")
+
+    if args.timeseries:
+        ts = summarize_timeseries(read_jsonl(args.timeseries))
+        summary["timeseries"] = {
+            "trials": len(ts),
+            "per_trial": ts,
+            "rounds": cross_trial(ts, "rounds") if ts else {},
+        }
+        if args.n and ts:
+            cap = round_cap(args.n)
+            for trial, t in ts.items():
+                if t["rounds"] > cap:
+                    violations.append(
+                        f"trial {trial}: ran {t['rounds']} rounds > "
+                        f"envelope {cap}")
+
+    if args.events:
+        summary["events"] = summarize_events(read_jsonl(args.events))
+
+    if args.json:
+        json.dump(summary, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        if "provenance" in summary:
+            p = summary["provenance"]
+            print(f"provenance: {p['trials']} trials")
+            print(f"  spread depth        mean {p['spread_depth']['mean']:.2f}"
+                  f"  max {p['spread_depth']['max']}")
+            print(f"  last first-inform   mean "
+                  f"{p['first_inform_round_max']['mean']:.2f}"
+                  f"  max {p['first_inform_round_max']['max']}")
+            print(f"  direct share        mean {p['direct_share']['mean']:.4f}")
+            if "round_envelope" in p:
+                print(f"  round envelope      {p['round_envelope']}"
+                      f" (n={args.n})")
+        if "timeseries" in summary:
+            t = summary["timeseries"]
+            print(f"timeseries: {t['trials']} trials, rounds"
+                  f" mean {t['rounds'].get('mean', 0):.2f}"
+                  f" max {t['rounds'].get('max', 0)}")
+        if "events" in summary:
+            counts = ", ".join(f"{k}={v}" for k, v in summary["events"].items())
+            print(f"events: {counts if counts else 'none'}")
+
+    for v in violations:
+        print(f"gossip_analyze: envelope violation: {v}", file=sys.stderr)
+    return 1 if (violations and args.check) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

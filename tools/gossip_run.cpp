@@ -44,6 +44,10 @@ void print_usage(std::FILE* to) {
                "  --events=FILE    write a structured event JSONL log\n"
                "  --trace=FILE     write a Chrome trace_event JSON file\n"
                "                   (open in chrome://tracing or Perfetto)\n"
+               "  --provenance=FILE  write per-node first-inform provenance\n"
+               "                   JSONL (informer, round, channel, depth)\n"
+               "  --event_sample_cap=N  per-round, per-kind bottom-k event\n"
+               "                   reservoir size (default 8, must be >= 1)\n"
                "  --progress[=BOOL]  rate-limited stderr heartbeat while the\n"
                "                   trials run (implied off by --quiet)\n"
                "  --list           list registry algorithm ids and exit\n"
@@ -166,6 +170,7 @@ int main(int argc, char** argv) {
         };
     if (!write_telemetry(spec.timeseries, &obs::write_timeseries_jsonl) ||
         !write_telemetry(spec.events, &obs::write_events_jsonl) ||
+        !write_telemetry(spec.provenance, &obs::write_provenance_jsonl) ||
         !write_telemetry(spec.trace, &obs::write_chrome_trace)) {
       return 1;
     }

@@ -1,32 +1,61 @@
 #!/usr/bin/env python3
-"""Strip wall-clock fields from a telemetry JSONL stream.
+"""Strip wall-clock-class fields from a JSONL stream or a JSON document.
 
-The observability determinism contract (README "Observability") covers
-everything in the per-round time series EXCEPT the phase*_ns wall-clock
-fields. CI diffs --threads=1 against --threads=4 time series after piping
-both through this filter:
+The determinism contracts (README "Determinism contracts") cover everything
+in the telemetry files and the scenario reports EXCEPT the wall-clock-class
+fields: phase timing (any key ending in "_ns"), peak memory (any key
+containing "_rss" - process-wide and machine-dependent), and the derived
+"recorder_overhead" ratio. CI diffs --threads=1 against --threads=4 output
+after piping both through this filter:
 
     gossip_run ... --timeseries=/dev/stdout | python3 tools/strip_timing.py
+    python3 tools/strip_timing.py < report_t1.json > stripped_t1.json
 
-Reads JSONL on stdin, drops every key ending in "_ns", re-serialises each
-object compactly (sorted keys are NOT needed: dicts keep insertion order,
-and both inputs were produced by the same writer).
+Input may be JSONL (one object per line, e.g. --timeseries/--events output)
+or a single pretty-printed JSON document (the gossip_run report); the format
+is auto-detected. Keys are stripped recursively at every nesting level and
+each object/document is re-serialised compactly (sorted keys are NOT needed:
+dicts keep insertion order, and both diffed inputs come from one writer).
 """
 import json
 import signal
 import sys
 
 
+def strip(value):
+    if isinstance(value, dict):
+        return {
+            k: strip(v)
+            for k, v in value.items()
+            if not (k.endswith("_ns") or "_rss" in k or k == "recorder_overhead")
+        }
+    if isinstance(value, list):
+        return [strip(v) for v in value]
+    return value
+
+
+def emit(obj) -> None:
+    sys.stdout.write(json.dumps(obj, separators=(",", ":")) + "\n")
+
+
 def main() -> int:
     # Die quietly when the consumer (e.g. `head`) closes the pipe early.
     signal.signal(signal.SIGPIPE, signal.SIG_DFL)
-    for line in sys.stdin:
-        line = line.strip()
-        if not line:
-            continue
-        obj = json.loads(line)
-        obj = {k: v for k, v in obj.items() if not k.endswith("_ns")}
-        sys.stdout.write(json.dumps(obj, separators=(",", ":")) + "\n")
+    text = sys.stdin.read()
+    if not text.strip():
+        return 0
+    try:
+        # JSONL fast path: every non-blank line is its own object.
+        objs = [
+            json.loads(line)
+            for line in text.splitlines()
+            if line.strip()
+        ]
+    except json.JSONDecodeError:
+        # Pretty-printed document spanning multiple lines (the report).
+        objs = [json.loads(text)]
+    for obj in objs:
+        emit(strip(obj))
     return 0
 
 
