@@ -33,8 +33,8 @@ bool Clustering::is_flat() const {
   return true;
 }
 
-std::unordered_map<std::uint32_t, std::uint64_t> Clustering::cluster_sizes() const {
-  std::unordered_map<std::uint32_t, std::uint64_t> sizes;
+std::map<std::uint32_t, std::uint64_t> Clustering::cluster_sizes() const {
+  std::map<std::uint32_t, std::uint64_t> sizes;
   for (std::uint32_t v = 0; v < n(); ++v) {
     if (!net_.alive(v) || is_unclustered(v)) continue;
     const auto leader = net_.find(follow_[v]);

@@ -12,7 +12,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -85,7 +85,10 @@ class Clustering {
   [[nodiscard]] ClusteringStats stats() const;
 
   /// leader index -> cluster size (leaders counted; alive nodes only).
-  [[nodiscard]] std::unordered_map<std::uint32_t, std::uint64_t> cluster_sizes() const;
+  /// Ordered map on purpose: callers iterate it for reports and stats, and
+  /// iteration order must not depend on a hash function (determinism
+  /// contract; enforced by tools/gossip_lint.py).
+  [[nodiscard]] std::map<std::uint32_t, std::uint64_t> cluster_sizes() const;
 
   /// Alive member indices of the cluster led by `leader_id` (test helper).
   [[nodiscard]] std::vector<std::uint32_t> members_of(NodeId leader_id) const;

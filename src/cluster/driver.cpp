@@ -35,7 +35,8 @@ Driver::Driver(sim::Engine& engine, Options opts)
       cand_seen_(net_.capacity(), 0),
       inbox_(net_.capacity(), NodeId::unclustered()),
       inbox_seen_(net_.capacity(), 0),
-      collect_count_(net_.capacity(), 0) {
+      collect_count_(net_.capacity(), 0),
+      collected_ids_(net_.capacity()) {
   // Opt-in parallel execution for every primitive this driver runs. All
   // driver initiate hooks only read clustering state, which is what the
   // sharded phase 1 requires of them. An engine already sharded at the
@@ -93,7 +94,7 @@ void Driver::set_all_active(bool active) {
 void Driver::collect_and_verdict(bool only_active, bool with_ids, const DecideFn& decide) {
   validate_flat("collect_and_verdict");
   std::fill(collect_count_.begin(), collect_count_.end(), 0);
-  collected_ids_.clear();
+  for (std::vector<NodeId>& ids : collected_ids_) ids.clear();
 
   const auto participates = [&](std::uint32_t v) {
     return cl_.is_clustered(v) && (!only_active || cl_.active(v));
@@ -113,8 +114,12 @@ void Driver::collect_and_verdict(bool only_active, bool with_ids, const DecideFn
 
   // Leaders decide; decisions are stored as encoded responses and applied to
   // the leader's own state immediately.
+  // Appended in ascending leader order (the decision loop walks v upward),
+  // so lookups below binary-search it; a hash map here would be harmless
+  // today (keyed access only) but is banned from the verdict path outright -
+  // one hash-ordered container is how order nondeterminism creeps back in.
+  std::vector<std::pair<std::uint32_t, std::vector<NodeId>>> response_ids;
   std::vector<std::uint64_t> encoded(net_.capacity(), 0);
-  std::unordered_map<std::uint32_t, std::vector<NodeId>> response_ids;
   std::vector<std::uint8_t> decided(net_.capacity(), 0);
   std::uint32_t verdict_leaders = 0;
   std::uint64_t verdict_dissolved = 0;
@@ -155,7 +160,9 @@ void Driver::collect_and_verdict(bool only_active, bool with_ids, const DecideFn
         cl_.set_follow(v, *it);
       }
     }
-    if (!verdict.new_leaders.empty()) response_ids.emplace(v, std::move(verdict.new_leaders));
+    if (!verdict.new_leaders.empty()) {
+      response_ids.emplace_back(v, std::move(verdict.new_leaders));
+    }
   }
 
   if (obs::EventLog* log = engine_.event_log()) {
@@ -172,8 +179,10 @@ void Driver::collect_and_verdict(bool only_active, bool with_ids, const DecideFn
   const auto distribute_respond = [&](std::uint32_t leader) {
     if (!decided[leader]) return Message::empty();
     Message m = Message::count(encoded[leader]);
-    const auto it = response_ids.find(leader);
-    if (it != response_ids.end()) {
+    const auto it = std::lower_bound(
+        response_ids.begin(), response_ids.end(), leader,
+        [](const auto& entry, std::uint32_t v) { return entry.first < v; });
+    if (it != response_ids.end() && it->first == leader) {
       Message::IdList ids;
       for (NodeId id : it->second) ids.push_back(id);
       m = Message::id_list(std::move(ids)).and_count(encoded[leader]);

@@ -13,7 +13,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "cluster/clustering.hpp"
@@ -168,7 +167,10 @@ class Driver {
   std::vector<NodeId> inbox_;            ///< per-leader merge candidate
   std::vector<std::uint32_t> inbox_seen_;
   std::vector<std::uint64_t> collect_count_;
-  std::unordered_map<std::uint32_t, std::vector<NodeId>> collected_ids_;
+  /// Collected member IDs, indexed by leader like every other scratch array
+  /// (a hash map here would be the only hash-ordered state in the driver;
+  /// see tools/gossip_lint.py). Entries are cleared per collect call.
+  std::vector<std::vector<NodeId>> collected_ids_;
 };
 
 }  // namespace gossip::cluster

@@ -76,11 +76,18 @@ class FlatIdIndex {
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
 
   /// Index of `key`, or kNotFound. Inline: one mix, then a linear walk of
-  /// the key lane (expected < 1.5 probes at load 0.5).
+  /// the key lane (expected < 1.5 probes at load 0.5). Termination rests on
+  /// the <= 0.5 load-factor invariant (there is always an empty slot); audit
+  /// builds count the walk and fire if it ever wraps the whole table.
+  // GOSSIP_HOT
   [[nodiscard]] std::uint32_t find(std::uint64_t key) const {
     if (keys_.empty()) return kNotFound;
     std::size_t slot = mix64(key) & mask_;
+    GOSSIP_AUDIT_ONLY(std::size_t audit_probes = 0;)
     for (;;) {
+      GOSSIP_DCHECK_MSG(++audit_probes <= keys_.size(),
+                        "FlatIdIndex probe walked the full table without an "
+                        "empty slot (load-factor invariant broken)");
       const std::uint64_t k = keys_[slot];
       if (k == key) return vals_[slot];
       if (k == kEmptyKey) return kNotFound;

@@ -28,6 +28,10 @@ double RunningStat::variance() const noexcept {
 
 double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
 
+// Chan/Welford parallel-variance merge: floating point by nature, so it is
+// carried in tools/lint_baseline.txt rather than rewritten - TrialRunner
+// folds worker stats in fixed index order, so the rounding is still
+// deterministic for a fixed worker decomposition.
 void RunningStat::merge(const RunningStat& other) noexcept {
   if (other.count_ == 0) return;
   if (count_ == 0) {

@@ -1,6 +1,7 @@
 #include "core/leader_election.hpp"
 
-#include <unordered_map>
+#include <algorithm>
+#include <vector>
 
 #include "common/assert.hpp"
 #include "core/cluster2.hpp"
@@ -21,19 +22,27 @@ LeaderElectionResult elect_leader(sim::Network& net, Cluster2Options options) {
   // Every node's local view of its leader is its follow variable (its own
   // ID if it leads). Tally agreement.
   const auto& cl = algo.driver().clustering();
-  std::unordered_map<std::uint64_t, std::uint64_t> votes;
+  // Sorted tally instead of a hash map: the winning leader under a vote tie
+  // must not depend on hash iteration order (determinism contract; enforced
+  // by tools/gossip_lint.py). Ties break to the smallest raw ID.
+  std::vector<std::uint64_t> votes;
+  votes.reserve(net.n());
   for (std::uint32_t v = 0; v < net.n(); ++v) {
     if (!net.alive(v) || cl.is_unclustered(v)) continue;
-    ++votes[(cl.is_leader(v) ? net.id_of(v) : cl.follow(v)).raw()];
+    votes.push_back((cl.is_leader(v) ? net.id_of(v) : cl.follow(v)).raw());
   }
   GOSSIP_CHECK_MSG(!votes.empty(), "election produced no clustering");
+  std::sort(votes.begin(), votes.end());
   std::uint64_t best_raw = 0;
   std::uint64_t best_count = 0;
-  for (const auto& [raw, count] : votes) {
-    if (count > best_count) {
-      best_raw = raw;
-      best_count = count;
+  for (std::size_t i = 0; i < votes.size();) {
+    std::size_t j = i;
+    while (j < votes.size() && votes[j] == votes[i]) ++j;
+    if (j - i > best_count) {
+      best_raw = votes[i];
+      best_count = j - i;
     }
+    i = j;
   }
   result.leader = NodeId(best_raw);
   result.leader_index = net.index_of(result.leader);

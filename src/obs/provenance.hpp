@@ -33,6 +33,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/assert.hpp"
+
 namespace gossip::obs {
 
 /// First-inform provenance store. Detached (never armed) it is an empty
@@ -98,6 +100,7 @@ class ProvenanceTracer {
 
   /// First write wins; later calls for an already-informed node are a
   /// single bitmap probe.
+  // GOSSIP_HOT
   void note_first_inform(std::uint32_t node, std::uint32_t informer,
                          std::int64_t round, std::uint8_t channel) noexcept {
     if (node >= capacity_) return;
@@ -121,8 +124,12 @@ class ProvenanceTracer {
   /// round only when the armed capacity covers the network's join ceiling
   /// (every enqueue target is < n <= Network::capacity()); this is the one
   /// per-contact call on the traced hot path, so it skips the bounds
-  /// re-check that the cold entry points keep.
-  [[nodiscard]] bool try_claim(std::uint32_t node) noexcept {
+  /// re-check that the cold entry points keep. Audit builds re-arm the check
+  /// (GOSSIP_AUDIT; an unarmed tracer has capacity 0, so ANY claim fires).
+  // GOSSIP_HOT
+  [[nodiscard]] bool try_claim(std::uint32_t node) GOSSIP_AUDIT_NOEXCEPT {
+    GOSSIP_DCHECK_MSG(node < capacity_,
+                      "try_claim past the armed capacity (unarmed tracer?)");
     std::uint64_t& w = words_[node >> 6];
     const std::uint64_t bit = 1ULL << (node & 63);
     if ((w & bit) != 0) return false;
@@ -133,8 +140,11 @@ class ProvenanceTracer {
 
   /// Entry store for a node previously claimed via try_claim. The bitmap
   /// and count are already settled, so this is one unconditional store.
+  // GOSSIP_HOT
   void note_claimed_entry(std::uint32_t node, std::uint32_t informer,
-                          std::int64_t round, std::uint8_t channel) noexcept {
+                          std::int64_t round, std::uint8_t channel) GOSSIP_AUDIT_NOEXCEPT {
+    GOSSIP_DCHECK_MSG(node < capacity_ && informed(node),
+                      "note_claimed_entry without a prior try_claim");
     entries_[node] = Entry{informer, static_cast<std::int32_t>(round), channel};
   }
 

@@ -326,6 +326,7 @@ inline constexpr std::uint32_t kUnresolvedTarget = 0xFFFFFFFFu;
 /// `tolerate_unknown` (byzantine rounds only) turns direct dials to IDs that
 /// name nothing into lost turns: the initiator is counted (it acted), but no
 /// connection is metered, nothing is learned and nothing is delivered.
+// GOSSIP_HOT
 template <class Hooks, class Sink>
 void run_phase1(Network& net, Hooks& hooks, Sink& sink,
                 std::span<const std::uint32_t> initiators, bool no_failures,
@@ -595,6 +596,7 @@ class Engine {
     void on_contact(std::uint32_t a, std::uint32_t b) {
       if (track) e.learn_contact(a, b);
     }
+    // GOSSIP_HOT
     void enqueue_push(std::uint32_t to, std::uint32_t src, std::uint8_t chan,
                       Message&& msg) {
       // The bitmap claim happens here (cheap: the word was just probed), but
@@ -605,6 +607,7 @@ class Engine {
       // serial list holds exactly the round's first-informs.
       if (msg.has_rumor() && tracer != nullptr && tracer->try_claim(to))
           [[unlikely]] {
+        // gossip-lint: allow(hot-push-back) at most one claim per node per run; amortized
         e.trace_candidates_.push_back(obs::TraceCandidate{to, src, chan});
       }
       e.pushes_.enqueue(to, std::move(msg));
@@ -734,6 +737,11 @@ class Engine {
       }
     }
     for (const parallel::ShardBuffer& sb : shards) {
+      // Shard deltas are additive counters only: involvement (a running max
+      // over GLOBAL per-node counts) must be left to the replay below, or
+      // the merge would double-count it.
+      GOSSIP_DCHECK_MSG(sb.stats.max_involvement == 0,
+                        "shard delta carries max_involvement; the merge owns it");
       metrics_.merge_round_delta(sb.stats);
       if (telemetry_ != nullptr) {
         // Bottom-k merge is order-insensitive, so folding shards in index
@@ -753,6 +761,11 @@ class Engine {
           }
         }
       }
+      // The flat pending-pull buffer was sized for one pull per offered
+      // initiator; a shard writing past it would corrupt its neighbour's
+      // slots silently.
+      GOSSIP_DCHECK_MSG(pull_count_ + sb.pulls.size() <= pulls_.size(),
+                        "sharded merge overflows the pending-pull slots");
       std::copy(sb.pulls.begin(), sb.pulls.end(), pulls_.begin() + pull_count_);
       pull_count_ += sb.pulls.size();
     }
@@ -873,6 +886,10 @@ void Engine::run_round_impl(Hooks&& hooks, std::span<const std::uint32_t> initia
   sync_network_growth();
   if (use_all_nodes) initiators = std::span<const std::uint32_t>(all_nodes_);
 
+  // Wall-clock reads below are phase-timing TELEMETRY only - they never feed
+  // a decision, so the trajectory stays a pure function of (seed, config).
+  // gossip_lint still flags ::now() outside obs/; the four sites in this
+  // function are carried in tools/lint_baseline.txt.
   using PhaseClock = std::chrono::steady_clock;
   // An attached recorder always captures per-phase clocks; phase_times_
   // accumulates only under the explicit set_phase_timing knob.
@@ -1109,6 +1126,14 @@ void Engine::run_round_impl(Hooks&& hooks, std::span<const std::uint32_t> initia
             if (j + kPullLookahead < refs.size()) {
               __builtin_prefetch(&pull_stamp_[refs[j + kPullLookahead].responder], 1);
             }
+            // Bucket-order merge preconditions: every ref in this bucket's
+            // list must actually belong to bucket b, and the routing pass
+            // must have preserved ascending pull order within the bucket
+            // (pass B's requester-order delivery depends on it).
+            GOSSIP_DCHECK_MSG(delivery_map_.bucket_of(refs[j].responder) == b,
+                              "pull ref routed into the wrong responder bucket");
+            GOSSIP_DCHECK_MSG(j == 0 || refs[j].index > refs[j - 1].index,
+                              "pull refs out of order within a responder bucket");
             eval_one(refs[j].responder, refs[j].index);
           }
         }
@@ -1119,6 +1144,8 @@ void Engine::run_round_impl(Hooks&& hooks, std::span<const std::uint32_t> initia
           evaluate_bucket(b, &bucket_deltas_[b]);
         });
         for (const RoundStats& delta : bucket_deltas_) {
+          GOSSIP_DCHECK_MSG(delta.max_involvement == 0,
+                            "bucket delta carries max_involvement; the merge owns it");
           metrics_.merge_round_delta(delta);
         }
       } else {

@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/rng.hpp"
 #include "obs/provenance.hpp"
 #include "obs/sample.hpp"
@@ -101,6 +102,7 @@ struct ShardBuffer {
   }
 
   /// Next uniform draw from [0, bound), bulk-refilled from the shard stream.
+  // GOSSIP_HOT
   std::uint32_t next_draw(std::uint64_t bound) {
     if (draw_pos == draw_len) {
       if (draw_buf.size() < draw_chunk) draw_buf.resize(draw_chunk);
@@ -123,9 +125,15 @@ struct ShardSink {
   bool want_endpoints;
 
   void record_initiator() { ++sb.stats.initiators; }
+  // GOSSIP_HOT
   std::uint32_t draw_other(std::uint32_t node) {
     std::uint32_t t = sb.next_draw(draw_bound);
     if (t >= node) ++t;
+    // Uniform-other contract: the skip-self adjustment must keep the target
+    // inside [0, n) and away from the initiator, or the draw stream and the
+    // contact graph silently diverge from the model.
+    GOSSIP_DCHECK_MSG(t <= draw_bound && t != node,
+                      "draw_other produced an out-of-range or self target");
     return t;
   }
   void record_push(std::uint32_t, std::uint32_t, std::uint64_t bits, bool has_payload) {
@@ -137,14 +145,20 @@ struct ShardSink {
   void on_contact(std::uint32_t a, std::uint32_t b) {
     if (want_endpoints) sb.endpoints.emplace_back(a, b);
   }
+  // GOSSIP_HOT
   void enqueue_push(std::uint32_t to, std::uint32_t src, std::uint8_t chan,
                     Message&& msg) {
     if (msg.has_rumor() && sb.tracer != nullptr && !sb.tracer->informed(to)) {
+      // gossip-lint: allow(hot-push-back) at most one candidate per uninformed
+      // receiver per round; amortized across the run
       sb.trace_candidates.push_back(obs::TraceCandidate{to, src, chan});
     }
     sb.pushes.enqueue(to, std::move(msg));
   }
+  // GOSSIP_HOT
   void enqueue_pull(std::uint32_t from, std::uint32_t responder, std::uint8_t chan) {
+    // gossip-lint: allow(hot-push-back) shard-local pending-pull buffer;
+    // capacity is retained across rounds so growth amortizes away
     sb.pulls.push_back(PendingPull{from, responder, chan});
   }
   void record_loss(std::uint32_t initiator) {

@@ -63,10 +63,16 @@ struct BucketMap {
   std::uint32_t bits = 32;  ///< log2 of the receivers-per-bucket width
   std::uint32_t count = 1;  ///< number of buckets covering [0, n)
 
-  [[nodiscard]] std::uint32_t bucket_of(std::uint32_t receiver) const noexcept {
+  // GOSSIP_HOT
+  [[nodiscard]] std::uint32_t bucket_of(std::uint32_t receiver) const GOSSIP_AUDIT_NOEXCEPT {
     // Widen before shifting: bits == 32 (a flat map over a full-width index
     // space) would be UB on a 32-bit shift.
-    return static_cast<std::uint32_t>(static_cast<std::uint64_t>(receiver) >> bits);
+    const std::uint32_t bucket =
+        static_cast<std::uint32_t>(static_cast<std::uint64_t>(receiver) >> bits);
+    GOSSIP_DCHECK_MSG(bucket < count,
+                      "receiver outside the bucketed index space (bucket "
+                          << bucket << " of " << count << ")");
+    return bucket;
   }
   [[nodiscard]] bool flat() const noexcept { return count <= 1; }
 };
@@ -120,6 +126,7 @@ class PushQueue {
   /// Encodes a payload addressed to `to`; oversized ID lists (rare) move
   /// into the spill vector. Geometric growth, no shrink, so steady-state
   /// rounds do not allocate.
+  // GOSSIP_HOT
   void enqueue(std::uint32_t to, Message&& msg) {
     ++entries_;
     const Message::IdList& ids = msg.ids();
@@ -128,6 +135,7 @@ class PushQueue {
         (msg.has_rumor() ? kHasRumor : 0) | (msg.has_count() ? kHasCount : 0));
     if (n_ids > kInlineIds) {
       const std::uint64_t spill_index = spill_.size();
+      // gossip-lint: allow(hot-push-back) rare spill path (ClusterResize-length ID lists only)
       spill_.push_back(std::move(msg));
       flags = static_cast<std::uint8_t>(flags | kSpilled);
       std::uint8_t* w = grow(6 + 8);
@@ -157,11 +165,17 @@ class PushQueue {
   /// Replays the queue in enqueue order: fn(to, const Message&) per entry.
   /// Inline entries are decoded into a stack-local Message; the reference
   /// must not be retained beyond the call.
+  // GOSSIP_HOT
   template <class Fn>
   void for_each(Fn&& fn) const {
     const std::uint8_t* r = bytes_.data();
     std::uint64_t scratch_ids[kInlineIds];
     for (std::size_t e = 0; e < entries_; ++e) {
+      // Decode cursor must stay within the encoded prefix: a drifting cursor
+      // would silently mis-deliver every later entry, so audit builds bound
+      // it per entry.
+      GOSSIP_DCHECK_MSG(static_cast<std::size_t>(r - bytes_.data()) + 6 <= len_,
+                        "push stream decode overran the encoded bytes");
       std::uint32_t to;
       std::memcpy(&to, r, 4);
       const std::uint8_t flags = r[4];
@@ -236,6 +250,7 @@ class ResponseStore {
   }
 
   /// Encodes a response, returning its byte offset (stable until clear()).
+  // GOSSIP_HOT
   std::uint32_t append(Message&& msg) {
     const std::uint32_t offset = static_cast<std::uint32_t>(len_);
     const Message::IdList& ids = msg.ids();
@@ -244,6 +259,7 @@ class ResponseStore {
         (msg.has_rumor() ? kHasRumor : 0) | (msg.has_count() ? kHasCount : 0));
     if (n_ids > PushQueue::kInlineIds) {
       const std::uint64_t spill_index = spill_.size();
+      // gossip-lint: allow(hot-push-back) rare spill path (ClusterResize-length ID lists only)
       spill_.push_back(std::move(msg));
       flags = static_cast<std::uint8_t>(flags | kSpilled);
       std::uint8_t* w = grow(2 + 8);
@@ -276,7 +292,9 @@ class ResponseStore {
 
   /// Metering of the entry at `offset` from its header alone - exactly what
   /// Message::bits / Message::is_empty would report after a decode.
+  // GOSSIP_HOT
   [[nodiscard]] Meter meter_at(std::uint32_t offset, const MessageCosts& costs) const {
+    GOSSIP_DCHECK_MSG(offset + 2 <= len_, "ResponseStore meter past the encoded bytes");
     const std::uint8_t* r = bytes_.data() + offset;
     const std::uint8_t flags = r[0];
     if (flags & kSpilled) {
@@ -296,8 +314,10 @@ class ResponseStore {
   /// Invokes fn(const Message&) with the entry decoded at `offset`. Inline
   /// entries decode into a stack-local Message; the reference must not be
   /// retained beyond the call.
+  // GOSSIP_HOT
   template <class Fn>
   void with_message(std::uint32_t offset, Fn&& fn) const {
+    GOSSIP_DCHECK_MSG(offset + 2 <= len_, "ResponseStore decode past the encoded bytes");
     const std::uint8_t* r = bytes_.data() + offset;
     const std::uint8_t flags = r[0];
     const std::uint8_t n_ids = r[1];
@@ -389,9 +409,12 @@ class BucketedPushQueue {
     return static_cast<std::uint32_t>(count_);
   }
 
+  // GOSSIP_HOT
   void enqueue(std::uint32_t to, Message&& msg) {
     ++entries_;
-    queues_[static_cast<std::uint64_t>(to) >> bits_].enqueue(to, std::move(msg));
+    const std::uint64_t bucket = static_cast<std::uint64_t>(to) >> bits_;
+    GOSSIP_DCHECK_MSG(bucket < count_, "push routed outside the bucket partition");
+    queues_[bucket].enqueue(to, std::move(msg));
   }
 
   /// Stream of one bucket, for phase 2's bucket-major replay.
