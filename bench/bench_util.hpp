@@ -72,7 +72,20 @@ struct Config {
   double crash_rate = 0.0; ///< Poisson mid-run crashes per round
   /// Crash timing for the fault keys (kCrashPreRun = legacy pre-run crash).
   std::int64_t crash_round = runner::ScenarioSpec::kCrashPreRun;
+  /// Recovery/partition overlay (TrialRunner benches): --recovery arms the
+  /// supervisor on every cell whose algorithm has one (cluster1 / cluster2 /
+  /// cluster3_push_pull - other algorithms keep running brittle, matching
+  /// ScenarioSpec::validate()); the partition keys split the alive set for
+  /// rounds [partition_round, heal_round) like the .scn keys of the same name.
+  bool recovery = false;
+  unsigned retry_budget = 0;       ///< 0 = the RecoveryOptions default (3)
+  std::int64_t partition_round = -1;
+  std::int64_t heal_round = -1;
+  unsigned partition_parts = 0;    ///< 0 = default 2
   std::string out;        ///< JSON report path (migrated benches; "" = none)
+  /// bench_fault_tolerance only: JSON path for the recovery sweep (the
+  /// committed BENCH_recovery.json tracking file; "" = none).
+  std::string recovery_out;
   /// TrialRunner-based benches: re-run every cell N times asserting
   /// bit-identical aggregates (a determinism self-check; the wall-clock
   /// benches keep their own median-of-N --repeats semantics).
@@ -89,12 +102,14 @@ struct Config {
                  "usage: bench_* [--full] [--seeds=N] [--max-exp=K] [--threads=N]\n"
                  "               [--shard-size=N] [--delivery-buckets=N]\n"
                  "               [--trial-threads=N] [--loss-prob=P] [--crash-round=R]\n"
-                 "               [--join-rate=R] [--crash-rate=R] [--out=FILE]\n"
-                 "               [--repeats=N] [--timeseries=FILE]\n"
-                 "(--trial-threads, --loss-prob, --crash-round, --join-rate,\n"
-                 " --crash-rate, --out, --repeats and --timeseries only act on\n"
-                 " TrialRunner-based benches; see the flag list at the top of\n"
-                 " bench_util.hpp)\n",
+                 "               [--join-rate=R] [--crash-rate=R] [--recovery]\n"
+                 "               [--retry-budget=N] [--partition-round=R]\n"
+                 "               [--heal-round=R] [--partition-parts=K] [--out=FILE]\n"
+                 "               [--recovery-out=FILE] [--repeats=N] [--timeseries=FILE]\n"
+                 "(--trial-threads, the fault/recovery overlays, --out, --repeats\n"
+                 " and --timeseries only act on TrialRunner-based benches;\n"
+                 " --recovery-out only on bench_fault_tolerance; see the flag\n"
+                 " list at the top of bench_util.hpp)\n",
                  message.c_str());
     std::exit(2);
   }
@@ -153,6 +168,42 @@ struct Config {
         } catch (const std::exception& e) {
           usage_and_exit(e.what());
         }
+      } else if (arg == "--recovery") {
+        c.recovery = true;
+      } else if (arg.rfind("--recovery-out=", 0) == 0) {
+        c.recovery_out = arg.substr(15);
+      } else if (arg.rfind("--retry-budget=", 0) == 0) {
+        try {
+          runner::ScenarioSpec probe;  // shared bounds with the .scn key
+          probe.apply("retry_budget", arg.substr(15));
+          c.retry_budget = probe.retry_budget;
+        } catch (const std::exception& e) {
+          usage_and_exit(e.what());
+        }
+      } else if (arg.rfind("--partition-round=", 0) == 0) {
+        try {
+          runner::ScenarioSpec probe;
+          probe.apply("partition_round", arg.substr(18));
+          c.partition_round = probe.partition_round;
+        } catch (const std::exception& e) {
+          usage_and_exit(e.what());
+        }
+      } else if (arg.rfind("--heal-round=", 0) == 0) {
+        try {
+          runner::ScenarioSpec probe;
+          probe.apply("heal_round", arg.substr(13));
+          c.heal_round = probe.heal_round;
+        } catch (const std::exception& e) {
+          usage_and_exit(e.what());
+        }
+      } else if (arg.rfind("--partition-parts=", 0) == 0) {
+        try {
+          runner::ScenarioSpec probe;
+          probe.apply("partition_parts", arg.substr(18));
+          c.partition_parts = probe.partition_parts;
+        } catch (const std::exception& e) {
+          usage_and_exit(e.what());
+        }
       } else if (arg.rfind("--delivery-buckets=", 0) == 0) {
         try {
           c.delivery_buckets = static_cast<unsigned>(runner::parse_count(
@@ -196,6 +247,16 @@ struct Config {
     if (spec.fault_count() > 0) spec.crash_round = crash_round;
     spec.join_rate = join_rate;
     spec.crash_rate = crash_rate;
+    spec.partition_round = partition_round;
+    spec.heal_round = heal_round;
+    spec.partition_parts = partition_parts;
+    // --recovery only arms cells with a supervisor; baselines in the same
+    // sweep keep running brittle (validate() rejects the key elsewhere).
+    const bool supervised = spec.algorithm == "cluster1" ||
+                            spec.algorithm == "cluster2" ||
+                            spec.algorithm == "cluster3_push_pull";
+    spec.recovery = recovery && supervised;
+    if (spec.recovery) spec.retry_budget = retry_budget;
   }
 
   /// Copies the engine-execution flags (--threads / --shard-size /

@@ -65,6 +65,13 @@ struct BroadcastOptions {
   Cluster2Options cluster2;
   Cluster3Options cluster3;
   ClusterPushPullOptions push_pull;
+  /// Self-healing (core/recovery.hpp): when enabled and the algorithm ends
+  /// with uninformed alive nodes, a recovery supervisor runs repair epochs
+  /// (suspicion-driven leader re-election, watchdogged re-share, bounded
+  /// backoff) and finally degrades to plain PUSH-PULL, so the run completes
+  /// with a verdict. Disabled (the default) adds zero rounds and keeps
+  /// trajectories bit-identical to builds without a supervisor.
+  RecoveryOptions recovery;
   PhaseObserverFn observer;
 };
 

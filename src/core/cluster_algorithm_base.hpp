@@ -27,6 +27,9 @@ class ClusterAlgorithmBase {
   [[nodiscard]] cluster::Driver& driver() noexcept { return driver_; }
   [[nodiscard]] const cluster::Driver& driver() const noexcept { return driver_; }
   [[nodiscard]] const std::vector<std::uint8_t>& informed() const noexcept { return informed_; }
+  /// Mutable informed bitmap, for post-run repair (the recovery supervisor
+  /// continues the broadcast task in place; core/recovery.hpp).
+  [[nodiscard]] std::vector<std::uint8_t>& mutable_informed() noexcept { return informed_; }
 
  protected:
   ClusterAlgorithmBase(sim::Engine& engine, cluster::DriverOptions driver_opts,

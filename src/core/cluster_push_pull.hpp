@@ -40,6 +40,10 @@ class ClusterPushPull {
   [[nodiscard]] const std::vector<std::uint8_t>& informed() const noexcept {
     return informed_;
   }
+  /// Mutable informed bitmap, for post-run repair (core/recovery.hpp).
+  [[nodiscard]] std::vector<std::uint8_t>& mutable_informed() noexcept {
+    return informed_;
+  }
 
  private:
   cluster::Driver& driver_;

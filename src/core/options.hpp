@@ -93,4 +93,34 @@ struct ClusterPushPullOptions {
   unsigned final_pull_reps = 3;
 };
 
+/// Options for the recovery supervisor (core/recovery.hpp): watchdogged
+/// repair epochs over a finished-but-incomplete cluster broadcast, with
+/// suspicion-driven leader re-election and a plain PUSH-PULL fallback once
+/// the retry budget is exhausted. Off by default - a disabled supervisor
+/// never runs a round, keeping recovery-off trajectories bit-identical to
+/// runs built without one.
+struct RecoveryOptions {
+  /// Master switch; the supervisor only engages when the algorithm finished
+  /// with uninformed alive nodes.
+  bool enabled = false;
+  /// Repair epochs before degrading to plain PUSH-PULL.
+  unsigned retry_budget = 3;
+  /// Rounds without informed-count progress before an epoch is declared
+  /// stalled (doubled per epoch - bounded exponential backoff of patience).
+  unsigned watchdog_rounds = 4;
+  /// Idle rounds slept after a stalled epoch: min(backoff_base << epoch,
+  /// max_backoff). The sleep advances the fault timeline, so transient
+  /// adversities (partitions, loss bursts) can clear between retries.
+  unsigned backoff_base = 2;
+  unsigned max_backoff = 32;
+  /// Heartbeat-probe rounds per epoch; a follower suspects its leader only
+  /// after missing every probe (loss tolerance, membership-style suspicion).
+  unsigned suspicion_probes = 3;
+  /// Push+relay+merge repetitions consolidating re-elected leaders.
+  unsigned reelect_merge_reps = 2;
+  /// Hard round cap on the PUSH-PULL fallback (0 = auto: 10 ceil(log2 n)
+  /// + 50, generous enough that plain push-pull completes w.h.p.).
+  std::uint64_t fallback_round_cap = 0;
+};
+
 }  // namespace gossip::core

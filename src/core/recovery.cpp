@@ -1,0 +1,214 @@
+#include "core/recovery.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/math.hpp"
+
+namespace gossip::core {
+
+using cluster::RelayPolicy;
+using sim::Contact;
+using sim::Message;
+using sim::make_hooks;
+using sim::no_hook;
+
+RecoverySupervisor::RecoverySupervisor(cluster::Driver& driver,
+                                       const RecoveryOptions& opts)
+    : driver_(driver),
+      engine_(driver.engine()),
+      net_(driver.network()),
+      opts_(opts),
+      probe_heard_(net_.capacity(), 0) {}
+
+std::uint64_t RecoverySupervisor::count_informed(
+    const std::vector<std::uint8_t>& informed) const {
+  std::uint64_t count = 0;
+  for (std::uint32_t v = 0; v < net_.n(); ++v) {
+    if (net_.alive(v) && informed[v]) ++count;
+  }
+  return count;
+}
+
+RecoveryStats RecoverySupervisor::run(std::vector<std::uint8_t>& informed) {
+  // Capacity-sized like every per-node bitmap (mid-run joins never
+  // reallocate; see sim/network.hpp).
+  GOSSIP_CHECK(informed.size() == net_.capacity());
+  RecoveryStats stats;
+  const std::uint64_t start_rounds = engine_.rounds();
+  for (unsigned epoch = 0; epoch < opts_.retry_budget; ++epoch) {
+    if (count_informed(informed) == net_.alive_count()) break;
+    stats.epochs = epoch + 1;
+    reelect(informed, epoch, stats);
+    if (repair(informed, epoch)) break;
+    // The watchdog fired: back off (the fault timeline keeps advancing, so
+    // a partition window or loss burst can clear) and try again, unless
+    // this was the last budgeted epoch - then fall through immediately.
+    if (epoch + 1 < opts_.retry_budget) backoff(epoch);
+  }
+  if (count_informed(informed) != net_.alive_count()) fallback(informed, stats);
+  stats.completed = count_informed(informed) == net_.alive_count();
+  stats.rounds = engine_.rounds() - start_rounds;
+  return stats;
+}
+
+void RecoverySupervisor::reelect(std::vector<std::uint8_t>& informed,
+                                 unsigned epoch, RecoveryStats& stats) {
+  auto& cl = driver_.clustering();
+  std::fill(probe_heard_.begin(), probe_heard_.end(), 0);
+  // Step 1: heartbeat probes. A follower direct-pulls its leader; any alive
+  // responder answers with its own ID - the membership service's leading
+  // digest slot (membership/membership.hpp) - plus the rumor when it has it,
+  // so every probe round doubles as intra-cluster repair. The initiate hook
+  // only reads clustering state (the sharded phase-1 contract); suspicion
+  // state is written in the serial reply phase.
+  for (unsigned p = 0; p < opts_.suspicion_probes; ++p) {
+    engine_.run_round(make_hooks(
+        // GOSSIP_HOT
+        [&](std::uint32_t v) -> std::optional<Contact> {
+          if (!cl.is_follower(v)) return std::nullopt;
+          return Contact::pull_direct(cl.follow(v));
+        },
+        // GOSSIP_HOT
+        [&](std::uint32_t v) {
+          const Message m = Message::single_id(net_.id_of(v));
+          return informed[v] ? m.and_rumor() : m;
+        },
+        no_hook,
+        // GOSSIP_HOT
+        [&](std::uint32_t q, const Message& m) {
+          if (!m.ids().empty()) probe_heard_[q] = 1;
+          if (m.has_rumor()) informed[q] = 1;
+        }));
+  }
+  // Step 2: suspects (every probe missed - single drops under loss are
+  // forgiven; a false suspicion only costs a redundant merge) promote
+  // themselves to singleton leaders...
+  std::uint64_t suspected = 0;
+  std::vector<std::uint32_t> suspects;
+  for (std::uint32_t v = 0; v < net_.n(); ++v) {
+    if (!net_.alive(v) || !cl.is_follower(v) || probe_heard_[v]) continue;
+    ++suspected;
+    cl.make_leader(v);
+    cl.set_active(v, true);
+    cl.set_size_estimate(v, 1);
+    GOSSIP_DCHECK_MSG(cl.is_leader(v),
+                      "re-election must leave the suspect leading itself");
+    suspects.push_back(v);
+  }
+  // ...then merge-to-smallest consolidates the pieces and the recruiting
+  // pushes adopt any stranded unclustered nodes (MergeAllClusters machinery,
+  // cluster/driver.hpp).
+  for (unsigned rep = 0; rep < opts_.reelect_merge_reps; ++rep) {
+    driver_.clear_candidates();
+    driver_.push_cluster_id(/*only_active=*/false, /*recruit_unclustered=*/true,
+                            RelayPolicy::kSmallest);
+    driver_.relay_candidates(RelayPolicy::kSmallest, /*only_inactive_relayers=*/false);
+    driver_.merge_from_inbox(RelayPolicy::kSmallest, /*only_inactive=*/false);
+  }
+  driver_.settle(2);
+  std::uint64_t promoted = 0;
+  for (const std::uint32_t v : suspects) {
+    if (net_.alive(v) && cl.is_leader(v)) ++promoted;
+  }
+  stats.suspected += suspected;
+  stats.reelected += promoted;
+  if (obs::EventLog* log = engine_.event_log()) {
+    log->note_reelect(suspected, promoted, epoch);
+  }
+}
+
+bool RecoverySupervisor::repair(std::vector<std::uint8_t>& informed,
+                                unsigned epoch) {
+  // Progress watchdog: patience doubles per epoch (bounded - later epochs
+  // face healed networks but colder clusters), measured in engine rounds
+  // without growth of the informed-alive count.
+  const std::uint64_t allowance = std::max<std::uint64_t>(1, opts_.watchdog_rounds)
+                                  << std::min(epoch, 16u);
+  std::uint64_t last = count_informed(informed);
+  std::uint64_t rounds_since_progress = 0;
+  while (last < net_.alive_count()) {
+    // One repair iteration, 4 rounds: intra-cluster share (collect +
+    // distribute), one uniform push by every informed node (the
+    // cross-cluster injection ClusterShare cannot do), one unclustered pull.
+    driver_.share_rumor(informed, /*collect_first=*/true);
+    engine_.run_round(make_hooks(
+        // GOSSIP_HOT
+        [&](std::uint32_t v) -> std::optional<Contact> {
+          if (!informed[v]) return std::nullopt;
+          return Contact::push_random(Message::rumor());
+        },
+        no_hook,
+        // GOSSIP_HOT
+        [&](std::uint32_t r, const Message& m) {
+          if (m.has_rumor()) informed[r] = 1;
+        }));
+    driver_.unclustered_pull_round();
+    const std::uint64_t now = count_informed(informed);
+    if (now > last) {
+      last = now;
+      rounds_since_progress = 0;
+    } else {
+      rounds_since_progress += 4;
+      if (rounds_since_progress >= allowance) return false;
+    }
+  }
+  return true;
+}
+
+void RecoverySupervisor::backoff(unsigned epoch) {
+  const std::uint64_t idle =
+      std::min<std::uint64_t>(opts_.max_backoff,
+                              static_cast<std::uint64_t>(opts_.backoff_base)
+                                  << std::min(epoch, 16u));
+  for (std::uint64_t i = 0; i < idle; ++i) {
+    // Nobody initiates; the round still advances the fault clock (churn,
+    // partition heals, loss schedules run on engine-lifetime rounds).
+    engine_.run_round(
+        make_hooks([](std::uint32_t) -> std::optional<Contact> { return std::nullopt; }));
+  }
+}
+
+void RecoverySupervisor::fallback(std::vector<std::uint8_t>& informed,
+                                  RecoveryStats& stats) {
+  const std::uint64_t stranded = net_.alive_count() - count_informed(informed);
+  // Handoff invariants: degradation happens only after the full budget was
+  // spent on a still-incomplete broadcast.
+  GOSSIP_DCHECK_MSG(stranded > 0, "fallback handoff with nobody stranded");
+  GOSSIP_DCHECK_MSG(stats.epochs == opts_.retry_budget,
+                    "fallback handoff before the retry budget was exhausted");
+  stats.fallback = true;
+  if (obs::EventLog* log = engine_.event_log()) {
+    log->note_fallback(stranded, stats.epochs, opts_.retry_budget);
+  }
+  const std::uint64_t cap =
+      opts_.fallback_round_cap != 0
+          ? opts_.fallback_round_cap
+          : 10ULL * ceil_log2(std::max<std::uint64_t>(2, net_.capacity())) + 50;
+  for (std::uint64_t r = 0; r < cap; ++r) {
+    if (count_informed(informed) == net_.alive_count()) break;
+    // Plain PUSH-PULL: no leaders, no direct addressing, nothing left to
+    // decapitate - the robust textbook protocol as the floor of degradation.
+    engine_.run_round(make_hooks(
+        // GOSSIP_HOT
+        [&](std::uint32_t v) -> std::optional<Contact> {
+          if (informed[v]) return Contact::push_random(Message::rumor());
+          return Contact::pull_random();
+        },
+        // GOSSIP_HOT
+        [&](std::uint32_t v) {
+          return informed[v] ? Message::rumor() : Message::empty();
+        },
+        // GOSSIP_HOT
+        [&](std::uint32_t to, const Message& m) {
+          if (m.has_rumor()) informed[to] = 1;
+        },
+        // GOSSIP_HOT
+        [&](std::uint32_t q, const Message& m) {
+          if (m.has_rumor()) informed[q] = 1;
+        }));
+    ++stats.fallback_rounds;
+  }
+}
+
+}  // namespace gossip::core

@@ -1,0 +1,94 @@
+// Recovery supervisor: self-healing for the cluster broadcasts.
+//
+// PR 4/6 measured what Theorem 19 only guarantees pre-run: a mid-run crash
+// that decapitates a merge leader strands nearly every node, and heavy loss
+// breaks the relay chains - the direct-addressing cores have no recovery
+// story. This supervisor layers one on top of a finished-but-incomplete
+// cluster broadcast (Doerr-Fouz: robustness is explicit failure handling
+// layered on the fast protocol), in repair epochs of four steps:
+//
+//   1. Suspicion probes (membership-style heartbeats, src/membership/):
+//      every follower direct-pulls its leader for `suspicion_probes` rounds;
+//      an alive leader's reply carries its ID (and the rumor when it has it,
+//      so probes double as repair). A follower that misses EVERY probe
+//      suspects its leader - single misses under loss are forgiven.
+//   2. Re-election: suspects promote themselves to singleton leaders, then
+//      `reelect_merge_reps` push+relay+merge-to-smallest repetitions (the
+//      MergeAllClusters machinery) consolidate the survivors and recruit
+//      the stranded unclustered.
+//   3. Repair rounds under a progress watchdog: ClusterShare + one informed
+//      random push + one unclustered pull per iteration, until the informed
+//      count stops growing for `watchdog_rounds << epoch` rounds.
+//   4. Bounded exponential round-backoff: a stalled epoch sleeps
+//      min(backoff_base << epoch, max_backoff) idle rounds - the fault
+//      timeline keeps advancing, so transient adversities (PartitionFault
+//      windows, loss bursts) can clear before the next attempt.
+//
+// When the retry budget is exhausted the supervisor degrades gracefully:
+// stranded nodes fall back to plain PUSH-PULL (informed push, uninformed
+// pull - no direct addressing, nothing left to decapitate) so every run
+// completes with a verdict instead of hanging uninformed.
+//
+// Determinism: the supervisor runs ordinary engine rounds; all node
+// randomness flows through the engine's draw path and the network's
+// node_rng streams, and every local decision (suspicion counters, watchdog
+// arithmetic) is a pure function of delivered messages. Recovery
+// trajectories are therefore bit-identical across TrialRunner workers,
+// engine threads and delivery buckets, like every other layer. Re-election
+// and fallback handoffs post kReelect/kFallback events to the EventLog.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/driver.hpp"
+#include "core/options.hpp"
+
+namespace gossip::core {
+
+/// What one supervisor invocation did (consumed by reports and tests).
+struct RecoveryStats {
+  unsigned epochs = 0;              ///< repair epochs actually run
+  std::uint64_t rounds = 0;         ///< engine rounds spent (fallback included)
+  std::uint64_t suspected = 0;      ///< follower->leader suspicions, all epochs
+  std::uint64_t reelected = 0;      ///< suspects still leading after the merges
+  bool fallback = false;            ///< degraded to plain PUSH-PULL
+  std::uint64_t fallback_rounds = 0;
+  bool completed = false;           ///< every alive node informed at return
+};
+
+/// Drives repair epochs over the clustering and informed state of a finished
+/// broadcast. The driver (and its engine/network) must outlive the call;
+/// `informed` is the algorithm's capacity-sized informed bitmap, repaired in
+/// place.
+class RecoverySupervisor {
+ public:
+  RecoverySupervisor(cluster::Driver& driver, const RecoveryOptions& opts);
+
+  /// Runs until every alive node is informed, or the retry budget AND the
+  /// fallback round cap are exhausted. Idempotent on a complete broadcast
+  /// (returns immediately, zero rounds).
+  RecoveryStats run(std::vector<std::uint8_t>& informed);
+
+ private:
+  [[nodiscard]] std::uint64_t count_informed(
+      const std::vector<std::uint8_t>& informed) const;
+  /// Steps 1+2: probe leaders, promote the suspects, merge the pieces.
+  void reelect(std::vector<std::uint8_t>& informed, unsigned epoch,
+               RecoveryStats& stats);
+  /// Step 3: repair rounds under the epoch's progress watchdog. Returns true
+  /// when every alive node is informed.
+  bool repair(std::vector<std::uint8_t>& informed, unsigned epoch);
+  /// Step 4: idle rounds (the fault clock advances, nobody talks).
+  void backoff(unsigned epoch);
+  /// Graceful degradation: plain PUSH-PULL until done or the round cap.
+  void fallback(std::vector<std::uint8_t>& informed, RecoveryStats& stats);
+
+  cluster::Driver& driver_;
+  sim::Engine& engine_;
+  sim::Network& net_;
+  RecoveryOptions opts_;
+  std::vector<std::uint8_t> probe_heard_;  ///< per-follower: leader replied
+};
+
+}  // namespace gossip::core

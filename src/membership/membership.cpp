@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
-#include <limits>
 #include <utility>
 #include <vector>
 
@@ -26,11 +25,6 @@ core::BroadcastReport run_membership(sim::Network& net, std::uint32_t seed_node,
                                      const MembershipOptions& options) {
   GOSSIP_CHECK_MSG(net.alive(seed_node), "seed node must be alive");
   const std::uint32_t cap = net.capacity();
-  // The membership table is a dense capacity^2 stamp matrix - simple and
-  // cache-friendly at service scale, quadratic in memory. Guard against
-  // accidentally pointing a broadcast-scale n at it.
-  GOSSIP_CHECK_MSG(cap <= (1u << 13),
-                   "membership service is O(capacity^2) memory; use n <= 8192");
 
   const std::uint64_t n0 = net.n();
   const unsigned ttl =
@@ -57,13 +51,27 @@ core::BroadcastReport run_membership(sim::Network& net, std::uint32_t seed_node,
   if (options.delivery_buckets) engine.set_delivery_buckets(options.delivery_buckets);
   engine.set_fault_model(options.fault);
 
-  // last heard FIRST-HAND-or-discounted, per (listener, peer); kNever =
-  // never heard of. Stamps are rounds; second-hand receipt stores
-  // round - ttl (see the header: one-hop freshness, no gossip ghosts).
-  constexpr std::int32_t kNever = std::numeric_limits<std::int32_t>::min() / 2;
-  std::vector<std::int32_t> last_heard(static_cast<std::size_t>(cap) * cap, kNever);
-  const auto stamp_at = [&](std::uint32_t listener, std::uint32_t peer) -> std::int32_t& {
-    return last_heard[static_cast<std::size_t>(listener) * cap + peer];
+  // last heard FIRST-HAND-or-discounted, one sparse row per listener:
+  // (peer, stamp) pairs for the peers actually heard of, sorted by peer
+  // index. Stamps are rounds; second-hand receipt stores round - ttl (see
+  // the header: one-hop freshness, no gossip ghosts). Sorted order makes
+  // every scan visit peers in ascending index - exactly the old dense
+  // capacity^2 matrix walk - so trajectories are bit-identical to the dense
+  // implementation while memory tracks actual knowledge instead of
+  // capacity^2 (which capped the service at n = 8192).
+  using Row = std::vector<std::pair<std::uint32_t, std::int32_t>>;
+  std::vector<Row> heard(cap);
+  const auto upsert = [&](std::uint32_t listener, std::uint32_t peer,
+                          std::int32_t stamp) {
+    Row& row = heard[listener];
+    const auto it = std::lower_bound(
+        row.begin(), row.end(), peer,
+        [](const auto& entry, std::uint32_t p) { return entry.first < p; });
+    if (it != row.end() && it->first == peer) {
+      it->second = std::max(it->second, stamp);
+    } else {
+      row.insert(it, {peer, stamp});
+    }
   };
   // Poisoned IDs that resolve to no node, per listener: (raw id, stamp).
   // Bounded by byzantine exposure; empty in honest runs.
@@ -83,8 +91,7 @@ core::BroadcastReport run_membership(sim::Network& net, std::uint32_t seed_node,
     Rng rng = net.node_rng(v, kDigestSalt + round);
     std::uint64_t seen = 0;
     const auto offer = [&](NodeId id, std::int32_t stamp) {
-      if (stamp == kNever ||
-          round >= static_cast<std::uint64_t>(stamp) + ttl) {
+      if (round >= static_cast<std::uint64_t>(stamp) + ttl) {
         return;  // stale (or discounted second-hand): not relayable
       }
       if (seen < digest_ids) {
@@ -95,10 +102,7 @@ core::BroadcastReport run_membership(sim::Network& net, std::uint32_t seed_node,
       }
       ++seen;
     };
-    const std::uint32_t known = net.n();  // peers beyond n have never been heard
-    for (std::uint32_t w = 0; w < known; ++w) {
-      if (w != v) offer(net.id_of(w), stamp_at(v, w));
-    }
+    for (const auto& [w, stamp] : heard[v]) offer(net.id_of(w), stamp);
     for (const auto& [raw, stamp] : ghosts[v]) offer(NodeId(raw), stamp);
     return sim::Message::id_list(std::move(ids));
   };
@@ -114,8 +118,7 @@ core::BroadcastReport run_membership(sim::Network& net, std::uint32_t seed_node,
       heartbeat_slot = false;
       if (const auto w = net.find(id)) {
         if (*w == v) return;
-        std::int32_t& cell = stamp_at(v, *w);
-        cell = std::max(cell, stamp);
+        upsert(v, *w, stamp);
         return;
       }
       // Unresolvable: byzantine garbage. Indistinguishable from an honest
@@ -140,16 +143,15 @@ core::BroadcastReport run_membership(sim::Network& net, std::uint32_t seed_node,
     options.telemetry->rounds.set_probe([&] {
       const std::uint64_t ref = round + 1;
       const auto fresh = [&](std::int32_t stamp) {
-        return stamp != kNever &&
-               ref <= static_cast<std::uint64_t>(stamp) + suspicion;
+        return ref <= static_cast<std::uint64_t>(stamp) + suspicion;
       };
       double est_sum = 0.0;
       std::uint64_t alive_now = 0;
       for (std::uint32_t v = 0; v < net.n(); ++v) {
         if (!net.alive(v)) continue;
         std::uint64_t est = 1;
-        for (std::uint32_t w = 0; w < net.n(); ++w) {
-          if (w != v && fresh(stamp_at(v, w))) ++est;
+        for (const auto& [w, stamp] : heard[v]) {
+          if (fresh(stamp)) ++est;
         }
         for (const auto& [raw, stamp] : ghosts[v]) {
           if (fresh(stamp)) ++est;
@@ -180,16 +182,15 @@ core::BroadcastReport run_membership(sim::Network& net, std::uint32_t seed_node,
   // round would observe.
   const std::uint64_t alive = net.alive_count();
   const auto unsuspected = [&](std::int32_t stamp) {
-    return stamp != kNever &&
-           round <= static_cast<std::uint64_t>(stamp) + suspicion;
+    return round <= static_cast<std::uint64_t>(stamp) + suspicion;
   };
   double err_sum = 0.0;
   std::uint64_t within_eps = 0;
   for (std::uint32_t v = 0; v < net.n(); ++v) {
     if (!net.alive(v)) continue;
     std::uint64_t est = 1;
-    for (std::uint32_t w = 0; w < net.n(); ++w) {
-      if (w != v && unsuspected(stamp_at(v, w))) ++est;
+    for (const auto& [w, stamp] : heard[v]) {
+      if (unsuspected(stamp)) ++est;
     }
     for (const auto& [raw, stamp] : ghosts[v]) {
       if (unsuspected(stamp)) ++est;

@@ -57,6 +57,10 @@ const char* event_kind_name(EventKind kind) {
       return "corrupt_response";
     case EventKind::kVerdict:
       return "verdict";
+    case EventKind::kReelect:
+      return "reelect";
+    case EventKind::kFallback:
+      return "fallback";
   }
   return "unknown";
 }

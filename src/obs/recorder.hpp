@@ -140,6 +140,8 @@ enum class EventKind : std::uint8_t {
   kLossDrop,         ///< Sampled per-contact loss drop (total in RoundRecord).
   kCorruptResponse,  ///< Sampled byzantine corruption (total in RoundRecord).
   kVerdict,          ///< Driver verdict summary for one collect round.
+  kReelect,          ///< Recovery supervisor re-elected suspected leaders.
+  kFallback,         ///< Recovery supervisor degraded to plain PUSH-PULL.
 };
 
 [[nodiscard]] const char* event_kind_name(EventKind kind);
@@ -204,6 +206,23 @@ class EventLog final : public sim::NetworkObserver {
                     std::uint64_t resized) {
     events_.push_back(Event{round_, EventKind::kVerdict, leaders, dissolved,
                             resized});
+  }
+
+  /// Recovery-supervisor re-election summary for one epoch (node = followers
+  /// that suspected their leader, a = of those, the ones promoted to leader,
+  /// b = the supervisor epoch index).
+  void note_reelect(std::uint64_t suspected, std::uint64_t promoted,
+                    std::uint64_t epoch) {
+    events_.push_back(Event{round_, EventKind::kReelect, suspected, promoted,
+                            epoch});
+  }
+
+  /// Recovery-supervisor fallback handoff (node = nodes still uninformed at
+  /// the handoff, a = supervisor epochs spent, b = the retry budget).
+  void note_fallback(std::uint64_t stranded, std::uint64_t epochs,
+                     std::uint64_t budget) {
+    events_.push_back(Event{round_, EventKind::kFallback, stranded, epochs,
+                            budget});
   }
 
   // sim::NetworkObserver

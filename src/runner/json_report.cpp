@@ -51,6 +51,12 @@ void write_scenario_members(JsonWriter& w, const ScenarioResult& result) {
   w.kv("churn_schedule", s.churn_schedule.empty() ? "none" : s.churn_schedule);
   w.kv("loss_schedule", s.loss_schedule.empty() ? "none" : s.loss_schedule);
   w.kv("byzantine_fraction", s.byzantine_fraction);
+  w.kv("recovery", s.recovery);
+  w.kv("retry_budget", std::uint64_t{s.retry_budget != 0 ? s.retry_budget : 3});
+  w.kv("partition_round", std::int64_t{s.partition_round});
+  w.kv("heal_round", std::int64_t{s.heal_round});
+  w.kv("partition_parts",
+       std::uint64_t{s.partition_parts != 0 ? s.partition_parts : 2});
   w.kv("max_nodes", s.max_nodes());
   w.end_object();
 

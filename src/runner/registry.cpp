@@ -25,6 +25,8 @@ core::BroadcastReport run_core(sim::Network& net, std::uint32_t source,
   o.delivery_buckets = spec.delivery_buckets;
   o.fault_model = fault;
   o.telemetry = telemetry;
+  o.recovery.enabled = spec.recovery;
+  if (spec.retry_budget != 0) o.recovery.retry_budget = spec.retry_budget;
   return core::broadcast(net, o);
 }
 

@@ -336,6 +336,33 @@ void ScenarioSpec::apply(std::string_view key, std::string_view value) {
     } else {
       bad_value(key, value, "true | false | 1 | 0");
     }
+  } else if (key == "recovery") {
+    if (value == "true" || value == "1") {
+      recovery = true;
+    } else if (value == "false" || value == "0") {
+      recovery = false;
+    } else {
+      bad_value(key, value, "true | false | 1 | 0");
+    }
+  } else if (key == "retry_budget") {
+    retry_budget = static_cast<unsigned>(parse_count(key, value, 1, 64));
+  } else if (key == "partition_round") {
+    // "none" (or -1) restores the default, so a CLI flag can switch a
+    // scenario file's partition back off.
+    if (value == "none" || value == "-1") {
+      partition_round = -1;
+    } else {
+      partition_round =
+          static_cast<std::int64_t>(parse_count(key, value, 0, 1u << 30));
+    }
+  } else if (key == "heal_round") {
+    if (value == "none" || value == "-1") {
+      heal_round = -1;
+    } else {
+      heal_round = static_cast<std::int64_t>(parse_count(key, value, 1, 1u << 30));
+    }
+  } else if (key == "partition_parts") {
+    partition_parts = static_cast<unsigned>(parse_count(key, value, 2, 1u << 20));
   } else {
     std::ostringstream os;
     os << "unknown scenario key: '" << key << "'";
@@ -368,6 +395,44 @@ void ScenarioSpec::validate() const {
         "churn keys (join_rate/crash_rate/churn_schedule/loss_schedule/"
         "byzantine_fraction) compose only under fault_model = auto "
         "(or are silenced by none)");
+  }
+  const bool has_partition = partition_round >= 0 || heal_round >= 0;
+  if (has_partition) {
+    if (partition_round < 0 || heal_round < 0) {
+      throw ScenarioError(
+          "partition_round and heal_round must be set together "
+          "(the partition window is [partition_round, heal_round))");
+    }
+    if (heal_round <= partition_round) {
+      throw ScenarioError(
+          "heal_round must be greater than partition_round "
+          "(the window [partition_round, heal_round) would be empty)");
+    }
+    if (max_rounds != 0 && heal_round >= static_cast<std::int64_t>(max_rounds)) {
+      throw ScenarioError(
+          "heal_round must be below max_rounds, or the partition never heals "
+          "within the run");
+    }
+    if (fault_model != FaultModelKind::kAuto && fault_model != FaultModelKind::kNone) {
+      throw ScenarioError(
+          "partition keys (partition_round/heal_round/partition_parts) compose "
+          "only under fault_model = auto (or are silenced by none)");
+    }
+  } else if (partition_parts != 0) {
+    throw ScenarioError(
+        "partition_parts needs a partition window "
+        "(set partition_round and heal_round)");
+  }
+  if (retry_budget != 0 && !recovery) {
+    throw ScenarioError(
+        "retry_budget configures the recovery supervisor; set recovery = true");
+  }
+  if (recovery && algorithm != "cluster1" && algorithm != "cluster2" &&
+      algorithm != "cluster3_push_pull") {
+    throw ScenarioError(
+        "recovery = true needs a supervised cluster algorithm "
+        "(one of: cluster1 | cluster2 | cluster3_push_pull); '" +
+        algorithm + "' has no recovery hook");
   }
   switch (fault_model) {
     case FaultModelKind::kAuto:
@@ -416,9 +481,9 @@ void ScenarioSpec::validate() const {
 
 std::unique_ptr<sim::FaultModel> ScenarioSpec::make_fault_model() const {
   if (fault_model == FaultModelKind::kNone) return nullptr;
-  // Parts compose in a fixed order (crash, churn, flat loss, loss schedule,
-  // byzantine) so the adversary stream is consumed identically no matter
-  // which keys configured them.
+  // Parts compose in a fixed order (crash, churn, partition, flat loss, loss
+  // schedule, byzantine) so the adversary stream is consumed identically no
+  // matter which keys configured them.
   std::vector<std::unique_ptr<sim::FaultModel>> parts;
   if (const std::uint32_t f = fault_count(); f > 0) {
     if (crash_round != kCrashPreRun) {
@@ -433,6 +498,12 @@ std::unique_ptr<sim::FaultModel> ScenarioSpec::make_fault_model() const {
         parse_churn_script("churn_schedule", churn_schedule)));
   } else if (join_rate > 0.0 || crash_rate > 0.0) {
     parts.push_back(std::make_unique<sim::ChurnSchedule>(join_rate, crash_rate));
+  }
+  if (partition_round >= 0 && heal_round > partition_round) {
+    parts.push_back(std::make_unique<sim::PartitionFault>(
+        static_cast<std::uint64_t>(partition_round),
+        static_cast<std::uint64_t>(heal_round),
+        partition_parts != 0 ? partition_parts : 2));
   }
   if (loss_prob > 0.0) parts.push_back(std::make_unique<sim::LossyChannel>(loss_prob));
   if (!loss_schedule.empty()) {
@@ -460,6 +531,7 @@ std::string ScenarioSpec::fault_model_name() const {
     append(crash_round != kCrashPreRun ? "scheduled_crash" : "static_crash");
   }
   if (has_churn()) append("churn");
+  if (partition_round >= 0 && heal_round > partition_round) append("partition");
   if (loss_prob > 0.0) append("lossy");
   if (!loss_schedule.empty()) {
     const std::string_view sv(loss_schedule);
@@ -524,6 +596,8 @@ const std::vector<std::string>& ScenarioSpec::keys() {
       "crash_round", "loss_prob", "fault_model",
       "join_rate",  "crash_rate", "churn_schedule", "loss_schedule",
       "byzantine_fraction",
+      "recovery",   "retry_budget", "partition_round", "heal_round",
+      "partition_parts",
       "timeseries", "trace",      "events",         "provenance",
       "event_sample_cap", "progress",
   };

@@ -124,6 +124,20 @@ struct ScenarioSpec {
   std::string churn_schedule;      ///< "round:joins:crashes,..." script
   std::string loss_schedule;       ///< burst:... | ramp:... | periodic:...
   double byzantine_fraction = 0.0; ///< poisoned pull responders, F/n
+  // Recovery keys (PR 10). `recovery` arms the self-healing supervisor
+  // (core/recovery.hpp) on the cluster algorithms: when the primary run ends
+  // with uninformed alive nodes it re-elects suspected-dead leaders, retries
+  // the spread under a progress watchdog with bounded backoff, and degrades
+  // to plain PUSH-PULL once `retry_budget` epochs are spent. The partition
+  // keys add a sim::PartitionFault under fault_model = auto: the alive set
+  // splits into `partition_parts` components for rounds
+  // [partition_round, heal_round) and cross-component contacts lose their
+  // payload (the connection is still metered).
+  bool recovery = false;           ///< arm the recovery supervisor
+  unsigned retry_budget = 0;       ///< supervisor epochs (0 = default 3)
+  std::int64_t partition_round = -1;  ///< partition onset round (-1 = off)
+  std::int64_t heal_round = -1;    ///< first healed round (-1 = off)
+  unsigned partition_parts = 0;    ///< partition components (0 = default 2)
   // Observability keys (src/obs/): output paths arm per-trial telemetry
   // collection; gossip_run writes the files after the run. Like `threads`,
   // these describe HOW a run is observed, not WHAT it computes - they are

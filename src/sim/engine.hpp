@@ -93,6 +93,14 @@
 // every thread count. `round` is the engine-lifetime round index (it starts
 // at 0 and never resets with the metrics).
 //
+// Partitions (sim/fault.hpp PartitionFault). When the fault model returns a
+// non-null m->partition_components(round) map, every contact whose initiator
+// and target carry different component labels is treated exactly like a
+// lossy contact: the connection is metered, the payload is dropped, and the
+// drop is counted among the round's loss drops in telemetry. The map is
+// pre-committed at run begin from its own seed-keyed per-node streams, so
+// partition trajectories follow the same determinism contract as loss.
+//
 // Churn (PR 6). The alive set is no longer monotone: fault models (and
 // callers) may also Network::join() mid-run, up to the capacity the network
 // pre-reserved at construction (NetworkOptions::max_nodes). All
@@ -323,6 +331,8 @@ inline constexpr std::uint32_t kUnresolvedTarget = 0xFFFFFFFFu;
 /// `loss` is the round's armed LossChannel, or null for a lossless round
 /// (the common case pays one predictable branch per contact). Drop decisions
 /// are keyed by the initiator, so serial and sharded execution agree.
+/// `partition` is the round's component map (null = whole network): a
+/// cross-component contact drops its payload exactly like a lossy one.
 /// `tolerate_unknown` (byzantine rounds only) turns direct dials to IDs that
 /// name nothing into lost turns: the initiator is counted (it acted), but no
 /// connection is metered, nothing is learned and nothing is delivered.
@@ -330,7 +340,8 @@ inline constexpr std::uint32_t kUnresolvedTarget = 0xFFFFFFFFu;
 template <class Hooks, class Sink>
 void run_phase1(Network& net, Hooks& hooks, Sink& sink,
                 std::span<const std::uint32_t> initiators, bool no_failures,
-                bool want_payloads, const LossChannel* loss, bool tolerate_unknown) {
+                bool want_payloads, const LossChannel* loss,
+                const std::uint32_t* partition, bool tolerate_unknown) {
   for (const std::uint32_t node : initiators) {
     if (no_failures) {
       // alive() would bounds-check a caller-supplied initiator; keep that
@@ -354,10 +365,13 @@ void run_phase1(Network& net, Hooks& hooks, Sink& sink,
 
     sink.on_contact(node, target);
 
-    // Lossy channel: the connection succeeds (metered; IDs exchanged in the
-    // handshake) but the payload in every direction is dropped - the same
-    // observable consequences as contacting a failed node.
-    const bool lost = loss != nullptr && loss->drop(node);
+    // Lossy channel / partition: the connection succeeds (metered; IDs
+    // exchanged in the handshake) but the payload in every direction is
+    // dropped - the same observable consequences as contacting a failed
+    // node. A cross-component contact under an armed partition map drops
+    // unconditionally and is counted among the round's loss drops.
+    const bool lost = (loss != nullptr && loss->drop(node)) ||
+                      (partition != nullptr && partition[node] != partition[target]);
     if (lost) sink.record_loss(node);
     // Provenance channel byte of whatever this contact delivers (kind bits
     // + "dialled a learned ID" bit; obs::ProvenanceTracer encoding).
@@ -688,7 +702,8 @@ class Engine {
   template <class Hooks>
   void run_phase1_sharded(Hooks& hooks, std::span<const std::uint32_t> initiators,
                           bool no_failures, bool track, bool want_payloads,
-                          const LossChannel* loss, bool tolerate_unknown) {
+                          const LossChannel* loss, const std::uint32_t* partition,
+                          bool tolerate_unknown) {
     parallel::Phase1Sharder& par = *par_;
     const std::size_t n_shards = par.shard_count(initiators.size());
     const std::span<parallel::ShardBuffer> shards = par.acquire(n_shards);
@@ -718,7 +733,7 @@ class Engine {
                      shard_tracer, sample_cap);
       parallel::ShardSink sink{sb, draw_bound, want_endpoints};
       detail::run_phase1(net_, hooks, sink, initiators.subspan(lo, len), no_failures,
-                         want_payloads, loss, tolerate_unknown);
+                         want_payloads, loss, partition, tolerate_unknown);
     });
     // Deterministic merge. The initiator-side endpoint replay runs in shard
     // (= global initiator) order; the target side is routed into receiver
@@ -876,6 +891,10 @@ void Engine::run_round_impl(Hooks&& hooks, std::span<const std::uint32_t> initia
         LossChannel(net_.options().seed, fault_round, fault_->loss_probability(fault_round));
   }
   const LossChannel* loss = loss_channel.active() ? &loss_channel : nullptr;
+  // Component map for the round: non-null only while a PartitionFault's
+  // window is open; cross-component contacts then drop like lossy ones.
+  const std::uint32_t* partition =
+      fault_ != nullptr ? fault_->partition_components(fault_round) : nullptr;
   // Armed per round: traitors rewrite their pull responses and phase 1
   // tolerates dials to poisoned (nonexistent) IDs.
   const FaultModel* byz =
@@ -939,11 +958,11 @@ void Engine::run_round_impl(Hooks&& hooks, std::span<const std::uint32_t> initia
   const bool sharded = par_ != nullptr;
   if (sharded) {
     run_phase1_sharded(hooks, initiators, no_failures, track, want_payloads, loss,
-                       byz != nullptr);
+                       partition, byz != nullptr);
   } else {
     SerialSink sink{*this, track, tracer};
     detail::run_phase1(net_, hooks, sink, initiators, no_failures, want_payloads, loss,
-                       byz != nullptr);
+                       partition, byz != nullptr);
   }
 
   if (timing) t_phase1 = PhaseClock::now();

@@ -70,8 +70,10 @@ namespace {
 constexpr std::uint64_t kLossStreamSalt = 0x10551e55c4a77e1aULL;
 /// Same role for the churn arrival/victim streams...
 constexpr std::uint64_t kChurnStreamSalt = 0xc4a12bd96e03f875ULL;
-/// ...and for the byzantine response-poisoning streams.
+/// ...and for the byzantine response-poisoning streams...
 constexpr std::uint64_t kByzantineStreamSalt = 0xb12a77f31c9e5d04ULL;
+/// ...and for the partition component assignment.
+constexpr std::uint64_t kPartitionStreamSalt = 0x7a9c0b3d51e8f246ULL;
 
 /// Knuth's product-of-uniforms Poisson sampler. Consumes a variable number
 /// of draws from `rng`, which is fine: churn streams are per-round forks, so
@@ -116,6 +118,9 @@ bool FaultModel::byzantine(std::uint32_t) const { return false; }
 Message FaultModel::corrupt_response(std::uint64_t, std::uint32_t, const Network&,
                                      const Message& honest) const {
   return honest;
+}
+const std::uint32_t* FaultModel::partition_components(std::uint64_t) const {
+  return nullptr;
 }
 
 // ---------------------------------------------------------------------------
@@ -344,6 +349,42 @@ std::string LossSchedule::describe() const {
 }
 
 // ---------------------------------------------------------------------------
+// PartitionFault
+// ---------------------------------------------------------------------------
+
+PartitionFault::PartitionFault(std::uint64_t from_round, std::uint64_t until_round,
+                               std::uint32_t parts)
+    : from_round_(from_round), until_round_(until_round), parts_(parts) {
+  GOSSIP_CHECK_MSG(from_round < until_round, "partition window must be non-empty");
+  GOSSIP_CHECK_MSG(parts >= 2, "a partition needs at least 2 components");
+}
+
+void PartitionFault::on_run_begin(Network& net, Rng&) {
+  // Labels over ALL capacity slots so a mid-partition joiner lands in a
+  // component as well. Per-node forks off a seed-keyed base stream - NOT the
+  // adversary stream - keep the assignment a pure function of (network seed,
+  // node): the adversary stream's consumption order varies with the model
+  // composition, this must not.
+  components_.resize(net.capacity());
+  Rng base = Rng(mix64(net.options().seed ^ kPartitionStreamSalt));
+  for (std::uint32_t v = 0; v < net.capacity(); ++v) {
+    components_[v] = static_cast<std::uint32_t>(base.fork(v).uniform_below(parts_));
+  }
+}
+
+const std::uint32_t* PartitionFault::partition_components(std::uint64_t round) const {
+  if (round < from_round_ || round >= until_round_) return nullptr;
+  return components_.empty() ? nullptr : components_.data();
+}
+
+std::string PartitionFault::describe() const {
+  std::ostringstream os;
+  os << "partition(parts=" << parts_ << ", rounds=[" << from_round_ << ", "
+     << until_round_ << "))";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
 // ByzantineResponder
 // ---------------------------------------------------------------------------
 
@@ -460,6 +501,15 @@ Message CompositeFault::corrupt_response(std::uint64_t round, std::uint32_t resp
     }
   }
   return honest;
+}
+
+const std::uint32_t* CompositeFault::partition_components(std::uint64_t round) const {
+  // At most one part is expected to partition a given round; the first
+  // non-null map wins (mirrors the first-byzantine-part convention above).
+  for (const auto& part : parts_) {
+    if (const std::uint32_t* map = part->partition_components(round)) return map;
+  }
+  return nullptr;
 }
 
 std::string CompositeFault::describe() const {

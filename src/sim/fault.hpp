@@ -141,6 +141,15 @@ class FaultModel {
                                                  const Network& net,
                                                  const Message& honest) const;
 
+  /// Component map for `round`, or nullptr when the network is whole (the
+  /// default - no cost on the hot path). When non-null the pointer addresses
+  /// `Network::capacity()` component labels and a contact whose initiator and
+  /// target carry different labels behaves exactly like a lossy contact: the
+  /// connection is metered, the payload is dropped. The map must stay valid
+  /// and constant for the duration of the round.
+  [[nodiscard]] virtual const std::uint32_t* partition_components(
+      std::uint64_t round) const;
+
   /// Human-readable summary, e.g. "static_crash(f=32, strategy=random)".
   [[nodiscard]] virtual std::string describe() const = 0;
 };
@@ -279,6 +288,35 @@ class LossSchedule final : public FaultModel {
   std::uint64_t r1_; ///< burst: until; periodic: duty; unused for ramp
 };
 
+/// Splits the network into `parts` components for rounds [t0, t1): every
+/// cross-component contact behaves as payload loss (connection metered,
+/// content dropped), then the partition heals. Component labels cover ALL
+/// capacity slots - joiners arriving mid-partition land in a component too -
+/// and are pre-committed at run begin from a per-node counter stream keyed
+/// on (network seed, node) with a dedicated salt, so the split is oblivious
+/// to the algorithm and bit-identical across trial workers, engine threads
+/// and delivery buckets.
+class PartitionFault final : public FaultModel {
+ public:
+  PartitionFault(std::uint64_t from_round, std::uint64_t until_round,
+                 std::uint32_t parts);
+
+  void on_run_begin(Network& net, Rng& adversary) override;
+  [[nodiscard]] const std::uint32_t* partition_components(
+      std::uint64_t round) const override;
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] std::uint32_t component_of(std::uint32_t node) const {
+    return components_[node];
+  }
+
+ private:
+  std::uint64_t from_round_;
+  std::uint64_t until_round_;
+  std::uint32_t parts_;
+  std::vector<std::uint32_t> components_;  ///< indexed by node, sized to capacity
+};
+
 /// A `fraction` of the initial nodes (pre-committed obliviously at run
 /// begin) answer every pull with a corrupted message: the payload
 /// (rumor/count) is stripped - corruption there is detectable, so the
@@ -326,6 +364,8 @@ class CompositeFault final : public FaultModel {
   [[nodiscard]] Message corrupt_response(std::uint64_t round, std::uint32_t responder,
                                          const Network& net,
                                          const Message& honest) const override;
+  [[nodiscard]] const std::uint32_t* partition_components(
+      std::uint64_t round) const override;
   [[nodiscard]] std::string describe() const override;
 
  private:

@@ -82,12 +82,22 @@ TEST(Membership, DirectApiRespectsExplicitKnobs) {
   EXPECT_EQ(r.phases.front().rounds, 40u);
 }
 
-TEST(Membership, RejectsServiceScaleViolations) {
+TEST(Membership, RunsPastTheOldDenseTableCap) {
+  // The table used to be a dense capacity^2 stamp matrix hard-capped at
+  // n = 8192; the sparse per-listener rows lift that. A capacity over the
+  // old cap must run (memory now tracks actual knowledge, not capacity^2).
   sim::NetworkOptions no;
-  no.n = 16;
-  no.max_nodes = 1u << 14;  // capacity over the 8192 dense-table guard
+  no.n = 64;
+  no.max_nodes = 1u << 14;  // capacity over the old 8192 dense-table guard
+  no.seed = 5;
   sim::Network net(no);
-  EXPECT_THROW(membership::run_membership(net, 0, {}), ContractViolation);
+  membership::MembershipOptions mo;
+  mo.rounds = 30;
+  mo.gossip_ttl = 8;
+  mo.suspicion_after = 20;
+  const core::BroadcastReport r = membership::run_membership(net, 0, mo);
+  EXPECT_EQ(r.rounds, 30u);
+  EXPECT_EQ(r.alive, 64u);
 }
 
 TEST(Membership, RerunsAreBitIdentical) {

@@ -322,6 +322,121 @@ TEST(ScenarioSpec, MakeFaultModelBuildsTheRightShape) {
   EXPECT_EQ(spec.make_fault_model(), nullptr);
 }
 
+TEST(ScenarioSpec, ParsesRecoveryAndPartitionKeys) {
+  ScenarioSpec spec;
+  spec.apply("recovery", "true");
+  spec.apply("retry_budget", "5");
+  spec.apply("partition_round", "10");
+  spec.apply("heal_round", "40");
+  spec.apply("partition_parts", "3");
+  EXPECT_TRUE(spec.recovery);
+  EXPECT_EQ(spec.retry_budget, 5u);
+  EXPECT_EQ(spec.partition_round, 10);
+  EXPECT_EQ(spec.heal_round, 40);
+  EXPECT_EQ(spec.partition_parts, 3u);
+  // Flag-style resets mirror crash_round: "none" (or -1) re-disarms.
+  spec.apply("partition_round", "none");
+  spec.apply("heal_round", "-1");
+  spec.apply("recovery", "0");
+  EXPECT_EQ(spec.partition_round, -1);
+  EXPECT_EQ(spec.heal_round, -1);
+  EXPECT_FALSE(spec.recovery);
+  EXPECT_THROW(spec.apply("partition_parts", "1"), ScenarioError);  // min 2
+  EXPECT_THROW(spec.apply("retry_budget", "0"), ScenarioError);
+  EXPECT_THROW(spec.apply("recovery", "maybe"), ScenarioError);
+}
+
+TEST(ScenarioSpec, ValidateCrossChecksTheRecoveryKeys) {
+  const auto valid_base = [] {
+    ScenarioSpec spec;
+    spec.algorithm = "cluster1";
+    spec.n = 256;
+    return spec;
+  };
+  {
+    ScenarioSpec spec = valid_base();  // a partition window must be a pair
+    spec.partition_round = 10;
+    EXPECT_THROW(spec.validate(), ScenarioError);
+    spec.heal_round = 40;
+    EXPECT_NO_THROW(spec.validate());
+  }
+  {
+    ScenarioSpec spec = valid_base();
+    spec.heal_round = 40;  // heal without a split
+    EXPECT_THROW(spec.validate(), ScenarioError);
+  }
+  {
+    ScenarioSpec spec = valid_base();  // the window must be non-empty
+    spec.partition_round = 40;
+    spec.heal_round = 40;
+    EXPECT_THROW(spec.validate(), ScenarioError);
+  }
+  {
+    ScenarioSpec spec = valid_base();  // ... and must heal before the cap
+    spec.partition_round = 10;
+    spec.heal_round = 40;
+    spec.max_rounds = 40;
+    EXPECT_THROW(spec.validate(), ScenarioError);
+    spec.max_rounds = 41;
+    EXPECT_NO_THROW(spec.validate());
+  }
+  {
+    ScenarioSpec spec = valid_base();  // parts need a window to act on
+    spec.partition_parts = 4;
+    EXPECT_THROW(spec.validate(), ScenarioError);
+  }
+  {
+    ScenarioSpec spec = valid_base();  // a budget needs a supervisor
+    spec.retry_budget = 2;
+    EXPECT_THROW(spec.validate(), ScenarioError);
+    spec.recovery = true;
+    EXPECT_NO_THROW(spec.validate());
+  }
+  {
+    ScenarioSpec spec = valid_base();  // supervisor needs a cluster algorithm
+    spec.algorithm = "push_pull";
+    spec.recovery = true;
+    try {
+      spec.validate();
+      FAIL() << "expected ScenarioError";
+    } catch (const ScenarioError& e) {
+      // The message lists the supervised choices, fault_model-style.
+      EXPECT_NE(std::string(e.what()).find("cluster1"), std::string::npos);
+      EXPECT_NE(std::string(e.what()).find("cluster3_push_pull"), std::string::npos);
+    }
+    spec.algorithm = "cluster2";
+    EXPECT_NO_THROW(spec.validate());
+  }
+  {
+    ScenarioSpec spec = valid_base();  // partitions ride the auto composition
+    spec.partition_round = 10;
+    spec.heal_round = 40;
+    spec.fault_model = FaultModelKind::kLossy;
+    spec.loss_prob = 0.1;
+    EXPECT_THROW(spec.validate(), ScenarioError);
+  }
+}
+
+TEST(ScenarioSpec, PartitionJoinsTheFaultComposition) {
+  ScenarioSpec spec;
+  spec.n = 256;
+  spec.partition_round = 10;
+  spec.heal_round = 40;
+  EXPECT_EQ(spec.fault_model_name(), "partition");
+  auto model = spec.make_fault_model();
+  ASSERT_NE(model, nullptr);
+  EXPECT_NE(model->describe().find("partition(parts=2"), std::string::npos);
+
+  spec.fault_fraction = 0.1;
+  spec.crash_round = 4;
+  spec.partition_parts = 3;
+  EXPECT_EQ(spec.fault_model_name(), "scheduled_crash+partition");
+  auto combo = spec.make_fault_model();
+  ASSERT_NE(combo, nullptr);
+  EXPECT_NE(combo->describe().find("partition(parts=3"), std::string::npos);
+  EXPECT_NE(combo->describe().find("scheduled_crash"), std::string::npos);
+}
+
 TEST(ScenarioSpec, StrategyKeysRoundTrip) {
   for (const auto s :
        {sim::FaultStrategy::kRandomSubset, sim::FaultStrategy::kSmallestIds,

@@ -14,6 +14,17 @@ skipped with a note (CI runs a reduced --sizes sweep); a fresh row whose
 baseline counterpart LACKS a checked field, or a matched fresh row missing
 one, is schema drift and fails hard regardless of tolerance.
 
+Scenario-schema files (write_scenarios_json: a top-level "scenarios" array,
+e.g. BENCH_recovery.json / BENCH_churn.json) are detected automatically and
+checked with scenario rules instead: rows pair up on scenario.name, the
+informed_fraction mean is a floor, rounds/bits_per_node means are ceilings,
+and - the completion contract - a baseline row with informed_fraction
+min = 1.0 (every supervised recovery cell) must KEEP min = 1.0 exactly,
+ratio tolerance notwithstanding:
+
+    ./build/bench_fault_tolerance --seeds=2 --recovery-out=fresh_recovery.json
+    python3 tools/bench_check.py BENCH_recovery.json fresh_recovery.json
+
 Checks (all ratio-based, so one --max-ratio spans fast and slow machines):
   contacts_per_sec   fresh may not drop below baseline / max-ratio
   vs_reference,      same (the static path must stay ahead of the
@@ -109,11 +120,66 @@ def main() -> int:
                         f"regression: {rows_key}{ident} recorder_overhead "
                         f"{fv:.4g} > cap {args.recorder_overhead_max}")
 
-    check_rows("results", ("n", "workload", "path"),
-               [("contacts_per_sec", "floor")])
-    check_rows("speedup_static_over_stdfunction_path", ("n", "workload"),
-               [("vs_reference", "floor"), ("vs_adapter", "floor"),
-                ("recorder_overhead", "ceil")])
+    def check_scenarios():
+        base_rows = {r["scenario"]["name"]: r for r in base.get("scenarios", [])}
+        fresh_rows = {r["scenario"]["name"]: r for r in fresh.get("scenarios", [])}
+        if not base_rows:
+            failures.append("schema drift: baseline has no 'scenarios' rows")
+            return
+        if not fresh_rows:
+            failures.append("schema drift: fresh run has no 'scenarios' rows")
+            return
+        checks = [("informed_fraction", "mean", "floor"),
+                  ("rounds", "mean", "ceil"),
+                  ("bits_per_node", "mean", "ceil")]
+        for name, b in sorted(base_rows.items()):
+            f = fresh_rows.get(name)
+            if f is None:
+                notes.append(f"scenarios[{name}]: not in fresh run, skipped")
+                continue
+            for metric, stat, kind in checks:
+                bv = b.get("metrics", {}).get(metric, {}).get(stat)
+                fv = f.get("metrics", {}).get(metric, {}).get(stat)
+                if bv is None or fv is None:
+                    failures.append(
+                        f"schema drift: scenarios[{name}] '{metric}.{stat}' "
+                        f"missing ({'baseline' if bv is None else 'fresh'})")
+                    continue
+                if bv < args.min_abs:
+                    continue
+                # A brittle showcase row's informed fraction is adversarial
+                # by design (near zero, seed-count sensitive) - only floors
+                # that certify real coverage are worth holding.
+                if metric == "informed_fraction" and bv < 0.9:
+                    notes.append(f"scenarios[{name}]: informed_fraction.mean "
+                                 f"{bv:.4g} < 0.9 baseline, floor skipped")
+                    continue
+                if kind == "floor" and fv < bv / args.max_ratio:
+                    failures.append(
+                        f"regression: scenarios[{name}] {metric}.{stat} "
+                        f"{fv:.4g} < {bv:.4g} / {args.max_ratio}")
+                elif kind == "ceil" and fv > bv * args.max_ratio:
+                    failures.append(
+                        f"regression: scenarios[{name}] {metric}.{stat} "
+                        f"{fv:.4g} > {bv:.4g} * {args.max_ratio}")
+            # The completion contract is exact, not ratio-tolerant: a cell
+            # the baseline certifies as "every trial fully informed" (the
+            # supervised recovery rows) may never strand a node again.
+            b_min = b.get("metrics", {}).get("informed_fraction", {}).get("min")
+            f_min = f.get("metrics", {}).get("informed_fraction", {}).get("min")
+            if b_min == 1.0 and f_min is not None and f_min < 1.0:
+                failures.append(
+                    f"regression: scenarios[{name}] completion contract broken: "
+                    f"informed_fraction.min {f_min:.4g} < 1.0")
+
+    if "scenarios" in base or "scenarios" in fresh:
+        check_scenarios()
+    else:
+        check_rows("results", ("n", "workload", "path"),
+                   [("contacts_per_sec", "floor")])
+        check_rows("speedup_static_over_stdfunction_path", ("n", "workload"),
+                   [("vs_reference", "floor"), ("vs_adapter", "floor"),
+                    ("recorder_overhead", "ceil")])
 
     b_rss, f_rss = base.get("peak_rss_bytes"), fresh.get("peak_rss_bytes")
     if b_rss and f_rss:
